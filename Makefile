@@ -1,0 +1,24 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench bench-quick examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	REPRO_BENCH_SCALE=0.7 pytest benchmarks/ --benchmark-only
+
+examples:
+	for script in examples/*.py; do \
+		echo "== $$script"; python $$script || exit 1; \
+	done
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

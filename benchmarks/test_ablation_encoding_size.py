@@ -1,0 +1,93 @@
+"""Ablation — encoding size scaling (§2/§3/§4 trade-offs).
+
+How do variables-per-vertex, clause count and average conflict-clause
+length scale with the number of colors K under each encoding family?
+This is the structural mechanism behind Table 2: hierarchical encodings
+shrink the variable count (vs direct/muldirect) while keeping conflict
+clauses short (vs ITE-linear), and ITE encodings drop all structural
+clauses.
+"""
+
+from __future__ import annotations
+
+from repro.bench import render_simple_table
+from repro.coloring import ColoringProblem, complete_graph
+from repro.core import ALL_ENCODINGS, get_encoding
+from .conftest import publish
+
+COLOR_COUNTS = [4, 8, 12, 16]
+
+
+def _stats(encoding_name: str, num_colors: int):
+    problem = ColoringProblem(complete_graph(6), num_colors)
+    encoded = get_encoding(encoding_name).encode(problem)
+    # Structural clauses come first in the CNF (one block per vertex),
+    # followed by the conflict clauses.
+    structural = len(encoded.vertex_encoding.clauses) * 6
+    conflict_lengths = [len(clause)
+                        for clause in encoded.cnf.clauses[structural:]]
+    mean_len = (sum(conflict_lengths) / len(conflict_lengths)
+                if conflict_lengths else 0.0)
+    return encoded.vars_per_vertex, encoded.cnf.num_clauses, mean_len
+
+
+def test_encoding_size_scaling(benchmark):
+    def measure():
+        table = {}
+        for name in ALL_ENCODINGS:
+            for k in COLOR_COUNTS:
+                table[(name, k)] = _stats(name, k)
+        return table
+
+    table = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    header = ["encoding"] + [f"K={k} (vars/cls/len)" for k in COLOR_COUNTS]
+    rows = []
+    for name in ALL_ENCODINGS:
+        row = [name]
+        for k in COLOR_COUNTS:
+            vars_per_vertex, clauses, mean_len = table[(name, k)]
+            row.append(f"{vars_per_vertex}/{clauses}/{mean_len:.1f}")
+        rows.append(row)
+    publish("ablation_sizes", render_simple_table(
+        "Encoding size scaling on K6 (per vertex vars / total clauses / "
+        "mean conflict-clause length)", header, rows))
+
+    for k in COLOR_COUNTS:
+        # log and ITE-log spend logarithmically many variables...
+        assert table[("log", k)][0] == table[("ITE-log", k)][0]
+        # ...direct/muldirect spend K...
+        assert table[("direct", k)][0] == k
+        # ...and 2-level hybrids sit strictly in between for K >= 8.
+        if k >= 8:
+            hybrid = table[("ITE-linear-2+muldirect", k)][0]
+            assert table[("ITE-log", k)][0] < hybrid < k
+        # ITE-linear conflict clauses grow with K (its known weakness).
+        assert table[("ITE-linear", k)][2] >= table[("ITE-log", k)][2]
+
+
+def test_hierarchy_depth_tradeoff(benchmark):
+    """Deeper hierarchies trade fewer variables for longer patterns —
+    measured on a 16-color domain."""
+    specs = ["muldirect", "muldirect-3+muldirect",
+             "muldirect-2+muldirect-2+muldirect"]
+
+    def measure():
+        out = {}
+        for name in specs:
+            vertex = get_encoding(name).vertex_encoding(16)
+            mean_pattern = sum(len(p) for p in vertex.patterns) / 16
+            out[name] = (vertex.num_vars, mean_pattern)
+        return out
+
+    result = benchmark.pedantic(measure, rounds=3, iterations=1)
+    rows = [[name, str(v), f"{l:.2f}"]
+            for name, (v, l) in result.items()]
+    publish("ablation_hierarchy_depth", render_simple_table(
+        "Hierarchy depth on a 16-color domain",
+        ["encoding", "vars/vertex", "mean pattern length"], rows))
+
+    vars_by_depth = [result[name][0] for name in specs]
+    lens_by_depth = [result[name][1] for name in specs]
+    assert vars_by_depth[0] > vars_by_depth[1] > vars_by_depth[2]
+    assert lens_by_depth[0] < lens_by_depth[1] < lens_by_depth[2]

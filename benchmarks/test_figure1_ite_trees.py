@@ -1,0 +1,92 @@
+"""Figure 1 — the four ITE trees for a 13-value domain:
+
+(a) ITE-linear, (b) ITE-log, (c) ITE-log-1+ITE-linear,
+(d) ITE-log-2+ITE-linear.
+
+Prints each tree's indexing patterns (the figure's content in textual
+form), asserts the paper's worked selection patterns, and times
+per-vertex encoding construction.
+"""
+
+from __future__ import annotations
+
+from repro.bench import render_simple_table
+from repro.core import get_encoding
+from .conftest import publish
+
+FIGURE1_ENCODINGS = ["ITE-linear", "ITE-log", "ITE-log-1+ITE-linear",
+                     "ITE-log-2+ITE-linear"]
+DOMAIN = 13
+
+
+def _pattern_text(pattern):
+    if not pattern:
+        return "(true)"
+    return "·".join((f"i{abs(l) - 1}" if l > 0 else f"¬i{abs(l) - 1}")
+                    for l in pattern)
+
+
+def test_figure1_patterns(benchmark):
+    encodings = {}
+
+    def build():
+        for name in FIGURE1_ENCODINGS:
+            encodings[name] = get_encoding(name).vertex_encoding(DOMAIN)
+        return encodings
+
+    benchmark.pedantic(build, rounds=5, iterations=1)
+
+    header = ["value"] + FIGURE1_ENCODINGS
+    rows = []
+    for value in range(DOMAIN):
+        rows.append([f"v{value}"] + [
+            _pattern_text(encodings[name].patterns[value])
+            for name in FIGURE1_ENCODINGS])
+    rows.append(["vars"] + [str(encodings[name].num_vars)
+                            for name in FIGURE1_ENCODINGS])
+    publish("figure1", render_simple_table(
+        "Figure 1 — ITE-tree selection patterns, 13-value domain",
+        header, rows))
+
+    # Fig. 1.a: chain with 12 variables.
+    linear = encodings["ITE-linear"]
+    assert linear.num_vars == 12
+    assert linear.patterns[0] == (1,)
+    assert linear.patterns[12] == tuple(-v for v in range(1, 13))
+    # Fig. 1.b: balanced tree with 4 shared variables.
+    assert encodings["ITE-log"].num_vars == 4
+    # Fig. 1.d worked example (§4): v4 = i0·¬i1·i2, v5 = i0·¬i1·¬i2·i3.
+    fig1d = encodings["ITE-log-2+ITE-linear"]
+    assert fig1d.patterns[4] == (1, -2, 3)
+    assert fig1d.patterns[5] == (1, -2, -3, 4)
+    assert fig1d.patterns[6] == (1, -2, -3, -4)
+    # Fig. 1.c: top variable splits 13 into 7 + 6.
+    fig1c = encodings["ITE-log-1+ITE-linear"]
+    assert fig1c.patterns[0][0] == 1
+    assert fig1c.patterns[7][0] == -1
+    # ITE encodings never emit structural clauses.
+    assert all(not encodings[name].clauses for name in FIGURE1_ENCODINGS)
+
+
+def test_figure1_tree_shapes(benchmark):
+    """Shape summary: variable counts and pattern-length distributions."""
+
+    def summarize():
+        summary = {}
+        for name in FIGURE1_ENCODINGS:
+            vertex = get_encoding(name).vertex_encoding(DOMAIN)
+            lengths = sorted(len(p) for p in vertex.patterns)
+            summary[name] = (vertex.num_vars, lengths[0], lengths[-1],
+                             sum(lengths) / len(lengths))
+        return summary
+
+    summary = benchmark.pedantic(summarize, rounds=5, iterations=1)
+    rows = [[name, str(v), str(lo), str(hi), f"{avg:.2f}"]
+            for name, (v, lo, hi, avg) in summary.items()]
+    publish("figure1_shapes", render_simple_table(
+        "Figure 1 — tree shapes (13 values)",
+        ["encoding", "vars", "min path", "max path", "mean path"], rows))
+
+    assert summary["ITE-linear"][2] == 12      # deepest chain path
+    assert summary["ITE-log"][2] == 4          # balanced depth
+    assert summary["ITE-log-2+ITE-linear"][2] == 5  # 2 + chain(4)-1

@@ -1,0 +1,71 @@
+"""§6 routable configurations — "most of the encodings had comparable and
+very efficient performance when finding solutions for configurations that
+were routable".
+
+Runs every Table-2 circuit at its minimum routable width W_min under all
+15 encodings (with s1) and checks that the satisfiable instances are
+uniformly fast: no encoding is catastrophically slower than the field, in
+stark contrast with the unroutable table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (prepare_routable_instance, render_table, sweep)
+from repro.core import ALL_ENCODINGS, Strategy
+from .conftest import bench_circuits, bench_scale, publish
+
+STRATEGIES = [Strategy(encoding, "s1") for encoding in ALL_ENCODINGS]
+
+
+@pytest.fixture(scope="module")
+def routable_instances():
+    scale = bench_scale()
+    return [prepare_routable_instance(name, scale=scale)
+            for name in bench_circuits()]
+
+
+def test_routable_all_encodings_fast(benchmark, routable_instances):
+    def run():
+        return sweep(routable_instances, STRATEGIES,
+                     expect_satisfiable=True)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    columns = [s.label for s in STRATEGIES]
+    publish("routable", render_table(
+        "Routable configurations (W = W_min) — total CPU time [s], all "
+        "encodings with s1",
+        result.instances, columns, result.time_cells()))
+
+    totals = result.totals()
+    slowest = max(totals.values())
+    fastest = min(totals.values())
+    publish("routable_summary",
+            f"fastest total {fastest:.2f}s, slowest total {slowest:.2f}s, "
+            f"spread {slowest / fastest:.1f}x")
+    # "Comparable and very efficient": the spread between encodings on SAT
+    # instances stays within ~1.5 orders of magnitude (vs >1000x on UNSAT).
+    assert slowest / fastest < 50.0
+
+
+def test_routable_vs_unroutable_asymmetry(benchmark, routable_instances,
+                                          unroutable_instances):
+    """SAT instances are much easier than the UNSAT instances one track
+    below — the asymmetry that motivates the paper's focus on proving
+    unroutability."""
+    strategy = Strategy("ITE-linear-2+muldirect", "s1")
+    label = strategy.label
+
+    def run():
+        sat = sweep(routable_instances, [strategy], expect_satisfiable=True)
+        unsat = sweep(unroutable_instances, [strategy],
+                      expect_satisfiable=False)
+        return sat.totals()[label], unsat.totals()[label]
+
+    sat_total, unsat_total = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish("routable_asymmetry",
+            f"{label}: routable total {sat_total:.2f}s vs "
+            f"unroutable total {unsat_total:.2f}s "
+            f"({unsat_total / sat_total:.1f}x harder)")
+    assert unsat_total > sat_total

@@ -1,0 +1,94 @@
+"""Table 1 — the clause sets of the log / direct / muldirect encodings on
+the worked example: two adjacent CSP variables v, w with domain {0, 1, 2}.
+
+Regenerates the table (and asserts the exact clause sets, so this bench
+doubles as a fidelity check), then times CNF generation per encoding.
+"""
+
+from __future__ import annotations
+
+from repro.bench import render_simple_table
+from repro.coloring import ColoringProblem, Graph
+from repro.core import get_encoding
+from .conftest import publish
+
+
+def _example_problem() -> ColoringProblem:
+    return ColoringProblem(Graph(2, [(0, 1)]), 3)
+
+
+def _clause_inventory(encoding_name: str):
+    encoded = get_encoding(encoding_name).encode(_example_problem())
+    vertex = encoded.vertex_encoding
+    at_least_one = [c for c in vertex.clauses if all(l > 0 for l in c)]
+    others = [c for c in vertex.clauses if not all(l > 0 for l in c)]
+    at_most_one = [c for c in others if len(c) == 2 and encoding_name == "direct"]
+    exclusions = [c for c in others if c not in at_most_one]
+    num_conflicts = encoded.cnf.num_clauses - 2 * len(vertex.clauses)
+    return {
+        "vars/vertex": encoded.vars_per_vertex,
+        "at-least-one": len(at_least_one),
+        "at-most-one": len(at_most_one),
+        "conflict": num_conflicts,
+        "excluded-illegal": len(exclusions),
+        "total clauses": encoded.cnf.num_clauses,
+    }
+
+
+def test_table1_layout(benchmark):
+    rows = []
+    inventories = {}
+
+    def build():
+        for name in ("log", "direct", "muldirect"):
+            inventories[name] = _clause_inventory(name)
+        return inventories
+
+    benchmark.pedantic(build, rounds=3, iterations=1)
+
+    header = ["Encoding", "vars/vertex", "at-least-one", "at-most-one",
+              "conflict", "excluded-illegal", "total clauses"]
+    for name in ("log", "direct", "muldirect"):
+        inv = inventories[name]
+        rows.append([name] + [str(inv[h]) for h in header[1:]])
+    publish("table1", render_simple_table(
+        "Table 1 — clause inventory, 2 adjacent vertices, 3 colors",
+        header, rows))
+
+    # Fidelity assertions against the paper's Table 1.
+    assert inventories["log"] == {"vars/vertex": 2, "at-least-one": 0,
+                                  "at-most-one": 0, "conflict": 3,
+                                  "excluded-illegal": 1, "total clauses": 5}
+    assert inventories["direct"] == {"vars/vertex": 3, "at-least-one": 1,
+                                     "at-most-one": 3, "conflict": 3,
+                                     "excluded-illegal": 0,
+                                     "total clauses": 11}
+    assert inventories["muldirect"] == {"vars/vertex": 3, "at-least-one": 1,
+                                        "at-most-one": 0, "conflict": 3,
+                                        "excluded-illegal": 0,
+                                        "total clauses": 5}
+
+
+def test_table1_exact_clauses(benchmark):
+    """The literal clause sets of Table 1, printed for inspection."""
+    problem = _example_problem()
+
+    def clause_sets():
+        return {name: sorted(tuple(sorted(c)) for c in
+                             get_encoding(name).encode(problem).cnf.clauses)
+                for name in ("log", "direct", "muldirect")}
+
+    sets = benchmark.pedantic(clause_sets, rounds=3, iterations=1)
+    lines = ["Table 1 — exact clauses (v owns vars 1..b, w owns b+1..2b)",
+             "=" * 60]
+    for name, clauses in sets.items():
+        lines.append(f"{name}:")
+        for clause in clauses:
+            lines.append("  (" + " v ".join(
+                (f"x{l}" if l > 0 else f"-x{-l}") for l in clause) + ")")
+    publish("table1_clauses", "\n".join(lines))
+
+    assert sets["muldirect"] == [(-6, -3), (-5, -2), (-4, -1),
+                                 (1, 2, 3), (4, 5, 6)]
+    assert len(sets["direct"]) == 11
+    assert len(sets["log"]) == 5

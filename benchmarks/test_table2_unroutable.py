@@ -1,0 +1,115 @@
+"""Table 2 — the paper's headline experiment.
+
+Total CPU time (graph-coloring generation + CNF translation + SAT
+solving) on the eight challenging **unroutable** configurations, for the
+muldirect baseline (no symmetry / b1 / s1) and the six best new encodings
+(each with b1 and s1), plus the speedup row relative to muldirect without
+symmetry breaking.
+
+Paper numbers for orientation: muldirect/none total 1,531,524 s;
+ITE-linear-2+muldirect/s1 total 1,344 s (1,139×); max individual speedup
+9,499× (vda, ITE-linear-2+direct/s1).  Our substrate is a pure-Python CDCL
+on scaled-down synthetic circuits, so absolute numbers are ~10^3 smaller;
+the claims under test are the *shape*: the baseline loses by orders of
+magnitude, symmetry breaking is a large multiplier, and the hierarchical /
+ITE encodings dominate.
+"""
+
+from __future__ import annotations
+
+from repro.bench import render_simple_table, render_table, sweep
+from repro.core import Strategy, get_encoding
+from .conftest import publish
+
+#: Table 2's strategy columns: muldirect × {-, b1, s1}; best six new
+#: encodings × {b1, s1}.
+TABLE2_STRATEGIES = (
+    [Strategy("muldirect", sym) for sym in ("none", "b1", "s1")]
+    + [Strategy(encoding, sym)
+       for encoding in ("ITE-linear", "ITE-log", "ITE-linear-2+direct",
+                        "ITE-linear-2+muldirect", "muldirect-3+muldirect",
+                        "direct-3+muldirect")
+       for sym in ("b1", "s1")]
+)
+
+REFERENCE = "muldirect"  # muldirect without symmetry breaking
+
+
+def test_table2_total_times(benchmark, unroutable_instances):
+    def run():
+        return sweep(unroutable_instances, TABLE2_STRATEGIES,
+                     expect_satisfiable=False)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    columns = [s.label for s in TABLE2_STRATEGIES]
+    widths = {i.name: i.width for i in unroutable_instances}
+    title = ("Table 2 — total CPU time [s] on unroutable configurations "
+             + str({name: f"W={w}" for name, w in widths.items()}))
+    publish("table2", render_table(
+        title, result.instances, columns, result.time_cells(),
+        reference_column=REFERENCE))
+    from .conftest import RESULTS_DIR
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "table2.json").write_text(result.to_json(),
+                                             encoding="utf-8")
+
+    totals = result.totals()
+    baseline_total = totals[REFERENCE]
+    best_label, best_total = min(
+        ((label, total) for label, total in totals.items()),
+        key=lambda item: item[1])
+
+    # Shape claim 1: the muldirect baseline is the worst column overall.
+    assert baseline_total == max(totals.values())
+    # Shape claim 2: the best strategy wins by a large factor.
+    assert baseline_total / best_total > 5.0
+    # Shape claim 3: symmetry breaking helps the baseline family.
+    assert totals["muldirect/b1"] < baseline_total
+    assert totals["muldirect/s1"] < baseline_total
+
+    # Max individual speedup (the paper's 9,499x analogue).
+    cells = result.time_cells()
+    max_speedup = max(
+        cells[instance][REFERENCE] / cells[instance][label]
+        for instance in result.instances
+        for label in totals if label != REFERENCE
+        if cells[instance][label] > 0)
+    summary = (f"best strategy: {best_label} "
+               f"(total speedup {baseline_total / best_total:.1f}x); "
+               f"max individual speedup {max_speedup:.1f}x")
+    publish("table2_summary", summary)
+    assert max_speedup > 10.0
+
+
+def test_table2_instance_sizes(benchmark, unroutable_instances):
+    """CNF sizes per encoding on the Table-2 instances (the structural
+    side of the comparison: variables and clauses per strategy)."""
+    encodings = ["muldirect", "ITE-linear", "ITE-log",
+                 "ITE-linear-2+muldirect", "muldirect-3+muldirect"]
+
+    def measure():
+        rows = []
+        for instance in unroutable_instances:
+            problem = instance.csp.problem
+            row = [instance.name,
+                   str(problem.num_vertices),
+                   str(problem.graph.num_edges),
+                   str(instance.width)]
+            for name in encodings:
+                cnf = get_encoding(name).encode(problem).cnf
+                row.append(f"{cnf.num_vars}/{cnf.num_clauses}")
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    header = ["circuit", "2-pin nets", "conflicts", "W"] + \
+        [f"{name} (vars/clauses)" for name in encodings]
+    publish("table2_sizes", render_simple_table(
+        "Table 2 instances — CNF sizes per encoding", header, rows))
+
+    # ITE-log always spends the fewest variables; muldirect the most.
+    for row in rows:
+        sizes = [int(cell.split("/")[0]) for cell in row[4:]]
+        assert sizes[2] == min(sizes)
+        assert sizes[0] == max(sizes)

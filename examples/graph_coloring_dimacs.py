@@ -1,0 +1,48 @@
+"""Use the library as a stand-alone graph-coloring-to-SAT tool.
+
+The paper's tool flow deliberately passes through the DIMACS ``.col``
+format so any coloring problem — not just FPGA routing — can ride the
+same encodings.  This example writes a .col file, reads it back, finds
+the chromatic number by SAT search, and shows the symmetry heuristics'
+vertex sequences.
+
+Run:  python examples/graph_coloring_dimacs.py
+"""
+
+import os
+import tempfile
+
+from repro import ColoringProblem, Strategy, minimum_colors, solve_coloring
+from repro.coloring import (parse_col_file, random_graph, write_col_file)
+from repro.core.symmetry import b1_sequence, s1_sequence
+
+# A moderately dense random graph (think: register-conflict graph).
+graph = random_graph(40, 0.25, seed=7)
+print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+# Round-trip through the DIMACS .col format — the paper's intermediate
+# artifact between the routing front-end and the SAT back-end.
+path = os.path.join(tempfile.mkdtemp(), "example.col")
+write_col_file(graph, path, comments=["random G(40, 0.25), seed 7"])
+graph = parse_col_file(path)
+print(f"wrote and re-parsed {path}")
+
+# Chromatic number by SAT binary search with the best paper strategy.
+strategy = Strategy("ITE-linear-2+muldirect", "s1")
+problem = ColoringProblem(graph, 1)
+chi = minimum_colors(problem, strategy)
+print(f"chromatic number: {chi}")
+
+# A certified coloring at chi, and a certified refutation at chi - 1.
+sat = solve_coloring(problem.with_colors(chi), strategy)
+assert sat.satisfiable and problem.with_colors(chi).is_valid_coloring(sat.coloring)
+unsat = solve_coloring(problem.with_colors(chi - 1), strategy)
+assert not unsat.satisfiable
+print(f"verified {chi}-coloring found; {chi - 1} colors proven impossible "
+      f"({int(unsat.solver_stats['conflicts'])} conflicts)")
+
+# The two symmetry-breaking vertex sequences (§5).
+print(f"b1 sequence (max-degree vertex + its neighbours): "
+      f"{b1_sequence(graph, chi)}")
+print(f"s1 sequence (globally highest degrees):           "
+      f"{s1_sequence(graph, chi)}")

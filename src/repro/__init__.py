@@ -1,0 +1,52 @@
+"""repro — SAT encodings for FPGA detailed routing.
+
+Reproduction of Velev & Gao, "Comparison of Boolean Satisfiability
+Encodings on FPGA Detailed Routing Problems" (DATE 2008).
+
+Layer map (each is a subpackage with its own focused API):
+
+* :mod:`repro.sat` — CNF formulas, DIMACS CNF I/O, CDCL/DPLL solvers.
+* :mod:`repro.coloring` — graph-coloring problems, DIMACS ``.col`` I/O.
+* :mod:`repro.core` — the paper's 15 CSP-to-SAT encodings, b1/s1 symmetry
+  breaking, the solving pipeline and strategy portfolios.
+* :mod:`repro.fpga` — island-style FPGA model, global router, the
+  routing-to-coloring reduction, and MCNC-like benchmark profiles.
+* :mod:`repro.bench` — strategy sweeps and paper-style tables.
+
+Quickstart::
+
+    from repro import Strategy, detailed_route, load_routing
+
+    routing = load_routing("alu2")
+    result = detailed_route(routing, width=5,
+                            strategy=Strategy("ITE-linear-2+muldirect", "s1"))
+    if result.routable:
+        print(result.assignment.tracks)
+    else:
+        print("provably unroutable at W=5")
+"""
+
+from .coloring import ColoringProblem, Graph
+from .core import (ALL_ENCODINGS, BEST_SINGLE_STRATEGY, NEW_ENCODINGS,
+                   PORTFOLIO_2, PORTFOLIO_3, PREVIOUS_ENCODINGS,
+                   TABLE2_ENCODINGS, Strategy, encode_coloring, get_encoding,
+                   minimum_colors, run_portfolio, solve_coloring)
+from .fpga import (DetailedRoutingResult, FPGAArchitecture, GlobalRouting,
+                   Net, Netlist, detailed_route, load_netlist, load_routing,
+                   minimum_channel_width)
+from .sat import CNF, SolveResult, solve
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ColoringProblem", "Graph",
+    "ALL_ENCODINGS", "BEST_SINGLE_STRATEGY", "NEW_ENCODINGS", "PORTFOLIO_2",
+    "PORTFOLIO_3", "PREVIOUS_ENCODINGS", "TABLE2_ENCODINGS", "Strategy",
+    "encode_coloring", "get_encoding", "minimum_colors", "run_portfolio",
+    "solve_coloring",
+    "DetailedRoutingResult", "FPGAArchitecture", "GlobalRouting", "Net",
+    "Netlist", "detailed_route", "load_netlist", "load_routing",
+    "minimum_channel_width",
+    "CNF", "SolveResult", "solve",
+    "__version__",
+]

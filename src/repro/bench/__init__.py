@@ -1,0 +1,13 @@
+"""Benchmark harness: sweeps and paper-style tables."""
+
+from .runner import (BenchmarkInstance, SweepResult,
+                     prepare_routable_instance, prepare_unroutable_instance,
+                     sweep)
+from .tables import (format_seconds, format_speedup, render_simple_table,
+                     render_table)
+
+__all__ = [
+    "BenchmarkInstance", "SweepResult", "prepare_routable_instance",
+    "prepare_unroutable_instance", "sweep",
+    "format_seconds", "format_speedup", "render_simple_table", "render_table",
+]

@@ -1,0 +1,150 @@
+"""Timed strategy sweeps over benchmark instances.
+
+The harness that regenerates Table 2: prepares each benchmark's global
+routing once, finds the minimum channel width (so ``W_min - 1`` gives a
+provably unroutable configuration), then times every requested strategy on
+the same instances and renders the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.pipeline import ColoringOutcome, solve_coloring
+from ..core.strategy import Strategy
+from ..fpga.detailed import RoutingCSP, build_routing_csp
+from ..fpga.flow import minimum_channel_width
+from ..fpga.global_route import GlobalRouting
+from ..fpga.mcnc import load_routing
+
+
+@dataclass
+class BenchmarkInstance:
+    """One prepared routing instance at a fixed width."""
+
+    name: str
+    routing: GlobalRouting
+    width: int
+    csp: RoutingCSP
+
+
+@dataclass
+class SweepResult:
+    """All measurements of a strategy sweep."""
+
+    instances: List[str]
+    strategies: List[Strategy]
+    outcomes: Dict[Tuple[str, str], ColoringOutcome] = field(default_factory=dict)
+
+    def outcome(self, instance: str, strategy: Strategy) -> ColoringOutcome:
+        return self.outcomes[(instance, strategy.label)]
+
+    def time_cells(self) -> Dict[str, Dict[str, float]]:
+        """``{instance: {strategy label: total time}}`` for table rendering."""
+        cells: Dict[str, Dict[str, float]] = {}
+        for instance in self.instances:
+            cells[instance] = {
+                strategy.label: self.outcomes[(instance, strategy.label)].total_time
+                for strategy in self.strategies}
+        return cells
+
+    def strategy_times(self) -> Dict[str, Dict[Strategy, float]]:
+        """``{instance: {strategy: total time}}`` for portfolio analysis."""
+        result: Dict[str, Dict[Strategy, float]] = {}
+        for instance in self.instances:
+            result[instance] = {
+                strategy: self.outcomes[(instance, strategy.label)].total_time
+                for strategy in self.strategies}
+        return result
+
+    def totals(self) -> Dict[str, float]:
+        """Total time per strategy label across all instances."""
+        return {strategy.label: sum(
+                    self.outcomes[(instance, strategy.label)].total_time
+                    for instance in self.instances)
+                for strategy in self.strategies}
+
+    def to_json(self) -> str:
+        """Machine-readable dump: per-cell times, sizes and solver stats."""
+        import json
+        payload = {
+            "instances": self.instances,
+            "strategies": [s.label for s in self.strategies],
+            "cells": {
+                f"{instance}|{label}": {
+                    "satisfiable": outcome.satisfiable,
+                    "total_time": outcome.total_time,
+                    "solve_time": outcome.solve_time,
+                    "encode_time": outcome.encode_time,
+                    "num_vars": outcome.num_vars,
+                    "num_clauses": outcome.num_clauses,
+                    "conflicts": int(outcome.solver_stats.get("conflicts", 0)),
+                }
+                for (instance, label), outcome in self.outcomes.items()
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def prepare_unroutable_instance(name: str, scale: float = 1.0,
+                                probe: Optional[Strategy] = None,
+                                ) -> BenchmarkInstance:
+    """Load a benchmark and pin its width to ``W_min - 1`` (provably UNSAT).
+
+    Mirrors the paper's setup: Table 2 reports "challenging unroutable
+    FPGA configurations", i.e. one track fewer than the routable minimum.
+    """
+    probe = probe or Strategy("ITE-linear-2+muldirect", "s1")
+    routing = load_routing(name, scale)
+    width_min = minimum_channel_width(routing, probe)
+    if width_min < 2:
+        raise ValueError(f"benchmark {name!r} is routable at W=1; "
+                         f"no unroutable configuration exists")
+    width = width_min - 1
+    return BenchmarkInstance(name=name, routing=routing, width=width,
+                             csp=build_routing_csp(routing, width))
+
+
+def prepare_routable_instance(name: str, scale: float = 1.0,
+                              slack: int = 0,
+                              probe: Optional[Strategy] = None,
+                              ) -> BenchmarkInstance:
+    """Load a benchmark at its minimum routable width (+ optional slack)."""
+    probe = probe or Strategy("ITE-linear-2+muldirect", "s1")
+    routing = load_routing(name, scale)
+    width = minimum_channel_width(routing, probe) + slack
+    return BenchmarkInstance(name=name, routing=routing, width=width,
+                             csp=build_routing_csp(routing, width))
+
+
+def sweep(instances: Sequence[BenchmarkInstance],
+          strategies: Sequence[Strategy],
+          repeats: int = 1,
+          expect_satisfiable: Optional[bool] = None) -> SweepResult:
+    """Time every strategy on every instance (best of ``repeats`` runs).
+
+    When ``expect_satisfiable`` is set, every outcome is checked against
+    it — a mismatch means an encoding bug and raises immediately.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    result = SweepResult(instances=[i.name for i in instances],
+                         strategies=list(strategies))
+    for instance in instances:
+        for strategy in strategies:
+            best: Optional[ColoringOutcome] = None
+            for _ in range(repeats):
+                outcome = solve_coloring(instance.csp.problem, strategy,
+                                         graph_time=instance.csp.build_time)
+                if expect_satisfiable is not None \
+                        and outcome.satisfiable != expect_satisfiable:
+                    raise AssertionError(
+                        f"{instance.name} @ W={instance.width} with "
+                        f"{strategy.label}: got "
+                        f"{'SAT' if outcome.satisfiable else 'UNSAT'}, "
+                        f"expected {'SAT' if expect_satisfiable else 'UNSAT'}")
+                if best is None or outcome.total_time < best.total_time:
+                    best = outcome
+            result.outcomes[(instance.name, strategy.label)] = best
+    return result

@@ -1,0 +1,112 @@
+"""Paper-style table rendering for the benchmark harness.
+
+Formats results the way Table 2 does: one row per benchmark, one column
+per (encoding, symmetry) strategy, a ``Total`` row, and a ``Speedup wrt
+<reference>`` row, with the per-row minima marked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_seconds(value: float) -> str:
+    """Format a CPU time the way the paper prints them."""
+    if value >= 1000:
+        return f"{value:,.0f}"
+    if value >= 100:
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+def format_speedup(value: float) -> str:
+    if value >= 1000:
+        return f"{value:,.0f}x"
+    if value >= 10:
+        return f"{value:.1f}x"
+    return f"{value:.2f}x"
+
+
+def render_table(title: str,
+                 row_names: Sequence[str],
+                 column_names: Sequence[str],
+                 cells: Mapping[str, Mapping[str, float]],
+                 reference_column: Optional[str] = None,
+                 mark_minimum: bool = True) -> str:
+    """Render a timing table.
+
+    ``cells[row][column]`` is a time in seconds.  When
+    ``reference_column`` is given, a final row reports, per column, the
+    speedup of that column's total over the reference column's total —
+    exactly the paper's "Speedup wrt. muldirect w/o symmetry" row.
+    """
+    for row in row_names:
+        for column in column_names:
+            if column not in cells.get(row, {}):
+                raise ValueError(f"missing cell ({row!r}, {column!r})")
+
+    lines: List[str] = [title, "=" * len(title)]
+    name_width = max(len("Benchmark"), len("Total"), len("Speedup"),
+                     *(len(r) for r in row_names))
+    widths = [max(len(c), 10) for c in column_names]
+
+    def fmt_row(name: str, values: Sequence[str]) -> str:
+        parts = [name.ljust(name_width)]
+        parts += [value.rjust(width) for value, width in zip(values, widths)]
+        return "  ".join(parts)
+
+    lines.append(fmt_row("Benchmark", list(column_names)))
+    lines.append("-" * len(lines[-1]))
+
+    totals: Dict[str, float] = {column: 0.0 for column in column_names}
+    for row in row_names:
+        rendered = []
+        row_cells = {column: cells[row][column] for column in column_names}
+        minimum = min(row_cells.values()) if mark_minimum else None
+        for column in column_names:
+            value = row_cells[column]
+            totals[column] += value
+            text = format_seconds(value)
+            if mark_minimum and value == minimum:
+                text = "*" + text
+            rendered.append(text)
+        lines.append(fmt_row(row, rendered))
+
+    lines.append("-" * len(lines[2]))
+    total_values = [format_seconds(totals[column]) for column in column_names]
+    if mark_minimum:
+        best_total = min(totals.values())
+        total_values = [("*" if totals[c] == best_total else "") +
+                        format_seconds(totals[c]) for c in column_names]
+    lines.append(fmt_row("Total", total_values))
+
+    if reference_column is not None:
+        if reference_column not in column_names:
+            raise ValueError(f"reference column {reference_column!r} absent")
+        reference_total = totals[reference_column]
+        speedups = []
+        for column in column_names:
+            if totals[column] > 0:
+                speedups.append(format_speedup(reference_total / totals[column]))
+            else:
+                speedups.append("inf")
+        lines.append(fmt_row("Speedup", speedups))
+    lines.append("(* = row minimum)")
+    return "\n".join(lines)
+
+
+def render_simple_table(title: str, header: Sequence[str],
+                        rows: Sequence[Sequence[str]]) -> str:
+    """Render a generic left-aligned text table."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        if len(row) != len(header):
+            raise ValueError("row length does not match header")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("-" * len(lines[-1]))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,273 @@
+"""Command-line front-end.
+
+Exposes the paper's two-stage tool flow as composable commands::
+
+    python -m repro benchmarks                       # list circuit profiles
+    python -m repro generate alu2 --out alu2.json    # placed netlist JSON
+    python -m repro width alu2                       # min channel width
+    python -m repro route alu2 --width 7             # tracks or UNSAT proof
+    python -m repro extract alu2 --width 6 --out g.col   # stage 1: .col
+    python -m repro encode g.col --colors 6 \\
+        --encoding ITE-linear-2+muldirect --symmetry s1 --out g.cnf  # stage 2
+    python -m repro solve g.cnf                      # plain CDCL on DIMACS
+
+Every command is deterministic given its inputs, so pipelines are
+reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .coloring import ColoringProblem, parse_col_file, write_col_file
+from .core import Strategy, get_encoding, solve_coloring
+from .core.symmetry import apply_symmetry
+from .fpga import (ALL_BENCHMARKS, benchmark_spec, build_routing_csp,
+                   detailed_route, load_netlist, load_routing,
+                   minimum_channel_width, route_netlist)
+from .fpga.io import assignment_to_json, netlist_to_json, read_netlist
+from .sat import parse_dimacs_file, solve
+from .sat.solver.config import preset
+
+DEFAULT_ENCODING = "ITE-linear-2+muldirect"
+DEFAULT_SYMMETRY = "s1"
+
+
+def _strategy(args) -> Strategy:
+    return Strategy(args.encoding, args.symmetry, solver=args.solver,
+                    seed=args.seed)
+
+
+def _add_strategy_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--encoding", default=DEFAULT_ENCODING,
+                        help=f"CSP-to-SAT encoding (default "
+                             f"{DEFAULT_ENCODING})")
+    parser.add_argument("--symmetry", default=DEFAULT_SYMMETRY,
+                        choices=["none", "b1", "s1", "c1"],
+                        help="symmetry-breaking heuristic (default s1)")
+    parser.add_argument("--solver", default="siege_like",
+                        choices=["siege_like", "minisat_like"],
+                        help="CDCL preset (default siege_like)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="solver seed (default 0)")
+
+
+def _load_routing_arg(circuit: str, scale: float):
+    """A circuit argument is either a benchmark name or a netlist JSON."""
+    if circuit in ALL_BENCHMARKS:
+        return load_routing(circuit, scale=scale)
+    netlist = read_netlist(circuit)
+    return route_netlist(netlist, congestion_penalty=1.0)
+
+
+def cmd_benchmarks(args) -> int:
+    print(f"{'name':12s} {'grid':8s} {'nets':>5s}  suite")
+    for name in ALL_BENCHMARKS:
+        spec = benchmark_spec(name, args.scale)
+        suite = "table2" if name in ALL_BENCHMARKS[:8] else "extra"
+        print(f"{name:12s} {spec.cols}x{spec.rows:<6d} {spec.num_nets:5d}  {suite}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    netlist = load_netlist(args.circuit, scale=args.scale)
+    text = netlist_to_json(netlist)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out} ({netlist.num_nets} nets)")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_width(args) -> int:
+    routing = _load_routing_arg(args.circuit, args.scale)
+    if args.incremental:
+        from .core.incremental import IncrementalColoringSolver
+        problem = build_routing_csp(routing, 1).problem
+        solver = IncrementalColoringSolver(problem, _strategy(args))
+        width = solver.minimum_colors()
+        print(f"{routing.netlist.name}: minimum channel width W = {width} "
+              f"({solver.stats.queries} incremental queries)")
+    else:
+        width = minimum_channel_width(routing, _strategy(args))
+        print(f"{routing.netlist.name}: minimum channel width W = {width}")
+    return 0
+
+
+def cmd_route(args) -> int:
+    routing = _load_routing_arg(args.circuit, args.scale)
+    result = detailed_route(routing, args.width, _strategy(args))
+    outcome = result.outcome
+    print(f"{routing.netlist.name} @ W={args.width}: "
+          f"{'ROUTABLE' if result.routable else 'UNROUTABLE (proven)'}")
+    print(f"  encoding {args.encoding}, symmetry {args.symmetry}, "
+          f"solver {args.solver}")
+    print(f"  {outcome.num_vars} vars, {outcome.num_clauses} clauses, "
+          f"{int(outcome.solver_stats.get('conflicts', 0))} conflicts")
+    print(f"  time: graph {outcome.graph_time:.3f}s + "
+          f"encode {outcome.encode_time:.3f}s + "
+          f"solve {outcome.solve_time:.3f}s = {outcome.total_time:.3f}s")
+    if result.routable and args.tracks_out:
+        with open(args.tracks_out, "w", encoding="utf-8") as handle:
+            handle.write(assignment_to_json(result.assignment))
+        print(f"  wrote track assignment to {args.tracks_out}")
+    if not result.routable and args.certify:
+        from .core.symmetry import apply_symmetry
+        from .sat import check_rup_proof, solve_with_proof
+        csp = build_routing_csp(routing, args.width)
+        encoded = get_encoding(args.encoding).encode(csp.problem)
+        apply_symmetry(encoded, args.symmetry)
+        proof_result, proof = solve_with_proof(
+            encoded.cnf, _strategy(args).solver_config())
+        assert not proof_result.satisfiable
+        steps = check_rup_proof(encoded.cnf, proof)
+        print(f"  certificate: {steps} proof steps, independently "
+              f"verified (RUP)")
+    return 0 if result.routable else 1
+
+
+def cmd_extract(args) -> int:
+    routing = _load_routing_arg(args.circuit, args.scale)
+    csp = build_routing_csp(routing, args.width)
+    write_col_file(csp.problem.graph, args.out,
+                   comments=[f"{routing.netlist.name} @ W={args.width}",
+                             f"{csp.num_two_pin_nets} two-pin nets"])
+    print(f"wrote {args.out}: {csp.problem.num_vertices} vertices, "
+          f"{csp.problem.graph.num_edges} edges (color with K={args.width})")
+    return 0
+
+
+def cmd_encode(args) -> int:
+    graph = parse_col_file(args.col_file)
+    problem = ColoringProblem(graph, args.colors)
+    encoded = get_encoding(args.encoding).encode(problem)
+    added = apply_symmetry(encoded, args.symmetry)
+    comments = [f"{args.col_file} with K={args.colors}",
+                f"encoding {args.encoding}, symmetry {args.symmetry} "
+                f"({added} clauses)"]
+    if args.out:
+        encoded.cnf.write_dimacs_file(args.out, comments=comments)
+        print(f"wrote {args.out}: {encoded.cnf.num_vars} vars, "
+              f"{encoded.cnf.num_clauses} clauses")
+    else:
+        sys.stdout.write(encoded.cnf.to_dimacs(comments=comments))
+    return 0
+
+
+def cmd_color(args) -> int:
+    graph = parse_col_file(args.col_file)
+    problem = ColoringProblem(graph, args.colors)
+    outcome = solve_coloring(problem, _strategy(args))
+    if outcome.satisfiable:
+        print(f"SATISFIABLE: {args.colors}-coloring found")
+        if args.show:
+            for vertex in range(problem.num_vertices):
+                print(f"  vertex {vertex + 1}: color {outcome.coloring[vertex]}")
+        return 0
+    print(f"UNSATISFIABLE: no {args.colors}-coloring exists")
+    return 1
+
+
+def cmd_solve(args) -> int:
+    cnf = parse_dimacs_file(args.cnf_file)
+    result = solve(cnf, preset(args.solver, seed=args.seed))
+    if result.satisfiable:
+        print("SATISFIABLE")
+        if args.show:
+            lits = [v if result.model.value(v) else -v
+                    for v in range(1, cnf.num_vars + 1)]
+            print("v " + " ".join(map(str, lits)) + " 0")
+        return 0
+    print("UNSATISFIABLE")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SAT-based FPGA detailed routing "
+                    "(Velev & Gao, DATE 2008 reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("benchmarks", help="list benchmark circuit profiles")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=cmd_benchmarks)
+
+    p = sub.add_parser("generate", help="emit a placed netlist as JSON")
+    p.add_argument("circuit", help="benchmark name")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--out", help="output path (default: stdout)")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("width", help="minimum channel width by SAT search")
+    p.add_argument("circuit", help="benchmark name or netlist JSON path")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--incremental", action="store_true",
+                   help="reuse one solver across widths (assumptions)")
+    _add_strategy_options(p)
+    p.set_defaults(func=cmd_width)
+
+    p = sub.add_parser("route", help="detailed-route at a fixed width")
+    p.add_argument("circuit", help="benchmark name or netlist JSON path")
+    p.add_argument("--width", type=int, required=True)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--tracks-out", help="write the track assignment JSON here")
+    p.add_argument("--certify", action="store_true",
+                   help="on UNSAT, emit and verify a DRUP certificate")
+    _add_strategy_options(p)
+    p.set_defaults(func=cmd_route)
+
+    p = sub.add_parser("extract",
+                       help="stage 1: routing problem -> DIMACS .col")
+    p.add_argument("circuit", help="benchmark name or netlist JSON path")
+    p.add_argument("--width", type=int, required=True)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--out", required=True, help=".col output path")
+    p.set_defaults(func=cmd_extract)
+
+    p = sub.add_parser("encode", help="stage 2: DIMACS .col -> DIMACS CNF")
+    p.add_argument("col_file")
+    p.add_argument("--colors", type=int, required=True)
+    p.add_argument("--out", help="output path (default: stdout)")
+    _add_strategy_options(p)
+    p.set_defaults(func=cmd_encode)
+
+    p = sub.add_parser("color", help="solve a DIMACS .col coloring problem")
+    p.add_argument("col_file")
+    p.add_argument("--colors", type=int, required=True)
+    p.add_argument("--show", action="store_true",
+                   help="print the coloring on success")
+    _add_strategy_options(p)
+    p.set_defaults(func=cmd_color)
+
+    p = sub.add_parser("solve", help="run the CDCL solver on a DIMACS CNF")
+    p.add_argument("cnf_file")
+    p.add_argument("--show", action="store_true",
+                   help="print the model on success")
+    p.add_argument("--solver", default="siege_like",
+                   choices=["siege_like", "minisat_like"])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_solve)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Graph-coloring substrate: problems, DIMACS .col I/O, bounds, oracle."""
+
+from .brute import chromatic_number, find_coloring, is_colorable
+from .dimacs import (parse_col, parse_col_file, parse_col_string, to_col_string,
+                     write_col, write_col_file)
+from .greedy import (clique_lower_bound, dsatur_coloring, greedy_clique,
+                     greedy_coloring, greedy_num_colors)
+from .problem import (ColoringProblem, Graph, complete_graph, cycle_graph,
+                      random_graph)
+
+__all__ = [
+    "chromatic_number", "find_coloring", "is_colorable",
+    "parse_col", "parse_col_file", "parse_col_string", "to_col_string",
+    "write_col", "write_col_file",
+    "clique_lower_bound", "dsatur_coloring", "greedy_clique",
+    "greedy_coloring", "greedy_num_colors",
+    "ColoringProblem", "Graph", "complete_graph", "cycle_graph", "random_graph",
+]

@@ -1,0 +1,63 @@
+"""Exact (exponential-time) coloring for small graphs — the testing oracle.
+
+The property-based tests certify each SAT encoding against this
+implementation: for random small graphs and every color budget K, the
+encoded CNF must be satisfiable exactly when a K-coloring exists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .problem import Graph
+
+_MAX_BRUTE_VERTICES = 16
+
+
+def find_coloring(graph: Graph, num_colors: int) -> Optional[Dict[int, int]]:
+    """Return a proper ``num_colors``-coloring, or None if none exists.
+
+    Backtracking with symmetry pruning: vertex ``i`` may only use colors
+    ``0..min(i, K-1)`` relative to the colors already introduced, which is
+    sound because color names are interchangeable.
+    """
+    if graph.num_vertices > _MAX_BRUTE_VERTICES:
+        raise ValueError(
+            f"refusing brute-force coloring of {graph.num_vertices} vertices "
+            f"(limit {_MAX_BRUTE_VERTICES})")
+    if num_colors < 1:
+        raise ValueError("num_colors must be at least 1")
+    n = graph.num_vertices
+    assignment: List[int] = [-1] * n
+
+    def backtrack(v: int, used: int) -> bool:
+        if v == n:
+            return True
+        limit = min(used + 1, num_colors)
+        for color in range(limit):
+            if all(assignment[u] != color for u in graph.neighbors(v)
+                   if assignment[u] != -1 and u < v):
+                assignment[v] = color
+                if backtrack(v + 1, max(used, color + 1)):
+                    return True
+                assignment[v] = -1
+        return False
+
+    if not backtrack(0, 0):
+        return None
+    return {v: assignment[v] for v in range(n)}
+
+
+def is_colorable(graph: Graph, num_colors: int) -> bool:
+    """Return True iff a proper ``num_colors``-coloring exists."""
+    return find_coloring(graph, num_colors) is not None
+
+
+def chromatic_number(graph: Graph) -> int:
+    """Exact chromatic number of a small graph (0 for the empty graph)."""
+    if graph.num_vertices == 0:
+        return 0
+    for k in range(1, graph.num_vertices + 1):
+        if is_colorable(graph, k):
+            return k
+    raise AssertionError("unreachable: every graph is n-colorable")

@@ -1,0 +1,88 @@
+"""DIMACS ``.col`` graph format reader/writer.
+
+The paper's tool flow emits the routing-induced coloring problem in the
+DIMACS graph-coloring format so that any coloring-to-SAT translator can be
+applied (§1, contribution 1).  The format:
+
+* ``c <comment>`` lines,
+* one ``p edge <vertices> <edges>`` problem line,
+* ``e <u> <v>`` edge lines with **1-based** vertex ids.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Sequence, TextIO
+
+from .problem import Graph
+
+
+def write_col(graph: Graph, stream: TextIO, comments: Sequence[str] = ()) -> None:
+    """Write ``graph`` to ``stream`` in DIMACS ``.col`` format."""
+    for comment in comments:
+        stream.write(f"c {comment}\n")
+    stream.write(f"p edge {graph.num_vertices} {graph.num_edges}\n")
+    for u, v in graph.edges():
+        stream.write(f"e {u + 1} {v + 1}\n")
+
+
+def to_col_string(graph: Graph, comments: Sequence[str] = ()) -> str:
+    """Return the DIMACS ``.col`` text for ``graph``."""
+    buffer = io.StringIO()
+    write_col(graph, buffer, comments=comments)
+    return buffer.getvalue()
+
+
+def write_col_file(graph: Graph, path: str, comments: Sequence[str] = ()) -> None:
+    """Write ``graph`` to the file at ``path`` in DIMACS ``.col`` format."""
+    with open(path, "w", encoding="ascii") as handle:
+        write_col(graph, handle, comments=comments)
+
+
+def parse_col(stream: TextIO) -> Graph:
+    """Parse a DIMACS ``.col`` graph from a text stream.
+
+    Tolerates duplicate edge lines and edges listed in both directions
+    (both occur in published DIMACS instances); rejects self-loops and
+    out-of-range vertices.
+    """
+    graph = None
+    pending = []
+    for raw_line in stream:
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        fields = line.split()
+        if fields[0] == "p":
+            if len(fields) != 4 or fields[1] not in ("edge", "edges", "col"):
+                raise ValueError(f"malformed DIMACS problem line: {line!r}")
+            if graph is not None:
+                raise ValueError("multiple problem lines")
+            graph = Graph(int(fields[2]))
+            for u, v in pending:
+                graph.add_edge(u, v)
+            pending = []
+        elif fields[0] == "e":
+            if len(fields) != 3:
+                raise ValueError(f"malformed edge line: {line!r}")
+            u, v = int(fields[1]) - 1, int(fields[2]) - 1
+            if graph is None:
+                pending.append((u, v))
+            else:
+                graph.add_edge(u, v)
+        else:
+            raise ValueError(f"unrecognised DIMACS line: {line!r}")
+    if graph is None:
+        raise ValueError("missing DIMACS problem line")
+    return graph
+
+
+def parse_col_string(text: str) -> Graph:
+    """Parse a DIMACS ``.col`` graph from a string."""
+    return parse_col(io.StringIO(text))
+
+
+def parse_col_file(path: str) -> Graph:
+    """Parse a DIMACS ``.col`` graph from the file at ``path``."""
+    with open(path, "r", encoding="ascii") as handle:
+        return parse_col(handle)

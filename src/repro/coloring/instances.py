@@ -1,0 +1,104 @@
+"""Classic graph-coloring instance families.
+
+The paper's stage-2 tooling (coloring → SAT) is deliberately generic, and
+its own §6 cites the graph-coloring literature (Van Gelder's symmetry
+paper, the DIMACS challenge instances).  These generators provide the
+standard families used there:
+
+* **Mycielski graphs** — triangle-free graphs with unboundedly growing
+  chromatic number: the canonical family where the clique bound is
+  maximally misleading, so refutation requires genuine search.
+* **Queen graphs** — the n-queens attack graph; dense, highly symmetric,
+  a staple of the DIMACS coloring benchmarks.
+* **Book/wheel/crown graphs** — small structured families with known
+  chromatic numbers, ideal for exact tests.
+"""
+
+from __future__ import annotations
+
+from .problem import Graph
+
+
+def mycielski_graph(k: int) -> Graph:
+    """The k-th Mycielski graph M_k: chromatic number k, no triangles
+    beyond M_2 (K2=M_2, C5=M_3, Grötzsch graph=M_4, ...)."""
+    if k < 2:
+        raise ValueError("Mycielski construction starts at k = 2 (K2)")
+    graph = Graph(2, [(0, 1)])
+    for _ in range(k - 2):
+        graph = _mycielskian(graph)
+    return graph
+
+
+def _mycielskian(graph: Graph) -> Graph:
+    n = graph.num_vertices
+    # vertices 0..n-1: originals; n..2n-1: shadows; 2n: apex.
+    result = Graph(2 * n + 1)
+    for u, v in graph.edges():
+        result.add_edge(u, v)
+        result.add_edge(u, n + v)
+        result.add_edge(v, n + u)
+    for shadow in range(n, 2 * n):
+        result.add_edge(shadow, 2 * n)
+    return result
+
+
+def queen_graph(n: int) -> Graph:
+    """The n×n queen graph: vertices are board squares, edges join squares
+    a queen moves between.  Chromatic number is n for most n >= 5."""
+    if n < 1:
+        raise ValueError("board size must be positive")
+    graph = Graph(n * n)
+    for row_a in range(n):
+        for col_a in range(n):
+            a = row_a * n + col_a
+            for row_b in range(n):
+                for col_b in range(n):
+                    b = row_b * n + col_b
+                    if b <= a:
+                        continue
+                    same_row = row_a == row_b
+                    same_col = col_a == col_b
+                    same_diag = abs(row_a - row_b) == abs(col_a - col_b)
+                    if same_row or same_col or same_diag:
+                        graph.add_edge(a, b)
+    return graph
+
+
+def wheel_graph(n: int) -> Graph:
+    """W_n: a cycle of n rim vertices plus a hub joined to all of them.
+    Chromatic number 3 for even n, 4 for odd n."""
+    if n < 3:
+        raise ValueError("a wheel needs at least 3 rim vertices")
+    graph = Graph(n + 1)
+    for i in range(n):
+        graph.add_edge(i, (i + 1) % n)
+        graph.add_edge(i, n)
+    return graph
+
+
+def book_graph(pages: int) -> Graph:
+    """The triangular book B_p: p triangles sharing one common edge.
+    Chromatic number 3."""
+    if pages < 1:
+        raise ValueError("a book needs at least one page")
+    graph = Graph(pages + 2)
+    graph.add_edge(0, 1)  # spine
+    for page in range(pages):
+        vertex = page + 2
+        graph.add_edge(0, vertex)
+        graph.add_edge(1, vertex)
+    return graph
+
+
+def crown_graph(n: int) -> Graph:
+    """The crown S_n^0: K_{n,n} minus a perfect matching.  Bipartite
+    (chromatic number 2) yet maximally confusing for greedy orderings."""
+    if n < 3:
+        raise ValueError("crown graphs need n >= 3")
+    graph = Graph(2 * n)
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                graph.add_edge(i, n + j)
+    return graph

@@ -1,0 +1,187 @@
+"""Graph-coloring problems — the CSP intermediate form of the tool flow.
+
+The paper's central methodological point (§1, contribution 1) is a
+*two-stage* tool flow: FPGA detailed routing is first translated to an
+equivalent graph-coloring problem (in the DIMACS ``.col`` format), and only
+then to SAT.  This module is that intermediate representation: an
+undirected graph whose vertices are CSP variables, whose edges are
+disequality constraints, and a number of colors ``K`` (= tracks per
+channel).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+Edge = Tuple[int, int]
+
+
+class Graph:
+    """A simple undirected graph over vertices ``0..num_vertices-1``.
+
+    Self-loops are rejected (a vertex cannot be required to differ from
+    itself — in routing terms, a 2-pin net never conflicts with itself).
+    Parallel edges are collapsed.
+    """
+
+    def __init__(self, num_vertices: int,
+                 edges: Optional[Iterable[Edge]] = None) -> None:
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        self._num_vertices = num_vertices
+        self._adjacency: List[Set[int]] = [set() for _ in range(num_vertices)]
+        self._num_edges = 0
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    @property
+    def num_vertices(self) -> int:
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def add_vertex(self) -> int:
+        """Add a vertex and return its id."""
+        self._adjacency.append(set())
+        self._num_vertices += 1
+        return self._num_vertices - 1
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add the undirected edge (u, v).  Returns False if it existed."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise ValueError(f"self-loop on vertex {u} is not allowed")
+        if v in self._adjacency[u]:
+            return False
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._num_edges += 1
+        return True
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return v in self._adjacency[u]
+
+    def neighbors(self, v: int) -> Set[int]:
+        """Return the neighbour set of ``v`` (shared, do not mutate)."""
+        self._check_vertex(v)
+        return self._adjacency[v]
+
+    def degree(self, v: int) -> int:
+        self._check_vertex(v)
+        return len(self._adjacency[v])
+
+    def edges(self) -> Iterable[Edge]:
+        """Yield each undirected edge once, as (min, max) pairs."""
+        for u in range(self._num_vertices):
+            for v in self._adjacency[u]:
+                if u < v:
+                    yield (u, v)
+
+    def max_degree_vertex(self) -> int:
+        """Return the vertex of maximum degree (smallest id on ties)."""
+        if self._num_vertices == 0:
+            raise ValueError("graph has no vertices")
+        return max(range(self._num_vertices),
+                   key=lambda v: (len(self._adjacency[v]), -v))
+
+    def subgraph_is_clique(self, vertices: Sequence[int]) -> bool:
+        """Return True if the given vertices are pairwise adjacent."""
+        for i, u in enumerate(vertices):
+            for v in vertices[i + 1:]:
+                if not self.has_edge(u, v):
+                    return False
+        return True
+
+    def copy(self) -> "Graph":
+        duplicate = Graph(self._num_vertices)
+        duplicate._adjacency = [set(adj) for adj in self._adjacency]
+        duplicate._num_edges = self._num_edges
+        return duplicate
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self._num_vertices:
+            raise ValueError(f"vertex {v} out of range 0..{self._num_vertices - 1}")
+
+    def __repr__(self) -> str:
+        return f"Graph(num_vertices={self._num_vertices}, num_edges={self._num_edges})"
+
+
+class ColoringProblem:
+    """Color a graph's vertices with ``num_colors`` colors such that
+    adjacent vertices differ.
+
+    In the routing reduction, vertices are 2-pin nets, edges are
+    connection-block exclusivity constraints, and colors are track indices
+    ``0..W-1``.
+    """
+
+    def __init__(self, graph: Graph, num_colors: int,
+                 vertex_names: Optional[Sequence[str]] = None) -> None:
+        if num_colors < 1:
+            raise ValueError("num_colors must be at least 1")
+        if vertex_names is not None and len(vertex_names) != graph.num_vertices:
+            raise ValueError("vertex_names length must match the vertex count")
+        self.graph = graph
+        self.num_colors = num_colors
+        self.vertex_names = list(vertex_names) if vertex_names is not None else None
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    def with_colors(self, num_colors: int) -> "ColoringProblem":
+        """Return the same graph with a different color budget."""
+        return ColoringProblem(self.graph, num_colors, self.vertex_names)
+
+    def is_valid_coloring(self, coloring: Mapping[int, int]) -> bool:
+        """Check a candidate coloring: total, in range, and proper."""
+        for v in range(self.graph.num_vertices):
+            if v not in coloring:
+                return False
+            if not 0 <= coloring[v] < self.num_colors:
+                return False
+        for u, v in self.graph.edges():
+            if coloring[u] == coloring[v]:
+                return False
+        return True
+
+    def violated_edges(self, coloring: Mapping[int, int]) -> List[Edge]:
+        """Return edges whose endpoints share a color (for diagnostics)."""
+        return [(u, v) for u, v in self.graph.edges()
+                if coloring.get(u) == coloring.get(v)]
+
+    def __repr__(self) -> str:
+        return (f"ColoringProblem(vertices={self.graph.num_vertices}, "
+                f"edges={self.graph.num_edges}, colors={self.num_colors})")
+
+
+def complete_graph(n: int) -> Graph:
+    """Return the complete graph K_n."""
+    return Graph(n, [(u, v) for u in range(n) for v in range(u + 1, n)])
+
+
+def cycle_graph(n: int) -> Graph:
+    """Return the cycle C_n (needs n >= 3)."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def random_graph(n: int, edge_probability: float, seed: int = 0) -> Graph:
+    """Return a G(n, p) Erdős–Rényi random graph (seeded)."""
+    import random as _random
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must be in [0, 1]")
+    rng = _random.Random(seed)
+    graph = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < edge_probability:
+                graph.add_edge(u, v)
+    return graph

@@ -1,0 +1,104 @@
+"""Instance and formula analysis.
+
+Structural statistics behind Table 2's behaviour: how big each encoding's
+CNF is, how the conflict graph looks, and where an instance sits between
+its clique lower bound and greedy upper bound (the "hardness window" —
+widths inside it are exactly the ones that need real search).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..coloring.greedy import clique_lower_bound, greedy_num_colors
+from ..coloring.problem import ColoringProblem, Graph
+from ..sat.cnf import CNF
+from .encodings.registry import get_encoding
+
+
+@dataclass
+class FormulaStats:
+    """Size and shape of one CNF formula."""
+
+    num_vars: int
+    num_clauses: int
+    num_literals: int
+    min_clause_len: int
+    max_clause_len: int
+    mean_clause_len: float
+    clause_length_histogram: Dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, cnf: CNF) -> "FormulaStats":
+        lengths = [len(clause) for clause in cnf]
+        histogram: Dict[int, int] = {}
+        for length in lengths:
+            histogram[length] = histogram.get(length, 0) + 1
+        if not lengths:
+            return cls(cnf.num_vars, 0, 0, 0, 0, 0.0, {})
+        return cls(
+            num_vars=cnf.num_vars,
+            num_clauses=len(lengths),
+            num_literals=sum(lengths),
+            min_clause_len=min(lengths),
+            max_clause_len=max(lengths),
+            mean_clause_len=sum(lengths) / len(lengths),
+            clause_length_histogram=histogram,
+        )
+
+
+@dataclass
+class GraphStats:
+    """Shape of a conflict graph."""
+
+    num_vertices: int
+    num_edges: int
+    density: float
+    max_degree: int
+    mean_degree: float
+    clique_lower_bound: int
+    greedy_upper_bound: int
+
+    @classmethod
+    def of(cls, graph: Graph) -> "GraphStats":
+        n = graph.num_vertices
+        degrees = [graph.degree(v) for v in range(n)]
+        possible = n * (n - 1) / 2
+        return cls(
+            num_vertices=n,
+            num_edges=graph.num_edges,
+            density=graph.num_edges / possible if possible else 0.0,
+            max_degree=max(degrees) if degrees else 0,
+            mean_degree=sum(degrees) / n if n else 0.0,
+            clique_lower_bound=clique_lower_bound(graph),
+            greedy_upper_bound=greedy_num_colors(graph),
+        )
+
+    @property
+    def hardness_window(self) -> Tuple[int, int]:
+        """The K range where cheap bounds cannot decide colorability:
+        clique bound < K <= greedy bound needs search to refute, and
+        K in (clique, greedy) needs search either way."""
+        return (self.clique_lower_bound, self.greedy_upper_bound)
+
+
+def compare_encodings(problem: ColoringProblem,
+                      encodings: List[str]) -> Dict[str, FormulaStats]:
+    """CNF statistics of each named encoding on one coloring problem."""
+    return {name: FormulaStats.of(get_encoding(name).encode(problem).cnf)
+            for name in encodings}
+
+
+def encoding_profile(encoding_name: str, num_values: int) -> Dict[str, float]:
+    """Per-vertex structural profile of an encoding at a domain size:
+    variable count, structural clause count, pattern length stats."""
+    vertex = get_encoding(encoding_name).vertex_encoding(num_values)
+    lengths = [len(pattern) for pattern in vertex.patterns]
+    return {
+        "vars_per_vertex": vertex.num_vars,
+        "structural_clauses": len(vertex.clauses),
+        "min_pattern_len": min(lengths),
+        "max_pattern_len": max(lengths),
+        "mean_pattern_len": sum(lengths) / len(lengths),
+    }

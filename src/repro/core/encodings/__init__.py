@@ -1,0 +1,26 @@
+"""CSP-to-SAT encodings: the paper's 15 schemes and their composition."""
+
+from .base import EncodedProblem, Level, LevelScheme, VertexEncoding
+from .hierarchical import build_vertex_encoding, split_sizes
+from .ite import (CustomITEScheme, ITELinearScheme, ITELogScheme, ITENode,
+                  ITETree, ITE_LINEAR, ITE_LOG, balanced_tree, linear_tree)
+from .mixed import build_mixed_vertex_encoding, encode_mixed
+from .registry import (ALL_ENCODINGS, Encoding, EXTENSION_ENCODINGS,
+                       NEW_ENCODINGS, PREVIOUS_ENCODINGS, TABLE2_ENCODINGS,
+                       encode_coloring, get_encoding, parse_encoding)
+from .simple import (DIRECT, DirectScheme, LOG, LogScheme, MULDIRECT,
+                     MuldirectScheme, SEQDIRECT, SeqDirectScheme,
+                     bits_needed)
+
+__all__ = [
+    "EncodedProblem", "Level", "LevelScheme", "VertexEncoding",
+    "build_vertex_encoding", "split_sizes",
+    "CustomITEScheme", "ITELinearScheme", "ITELogScheme", "ITENode",
+    "ITETree", "ITE_LINEAR", "ITE_LOG", "balanced_tree", "linear_tree",
+    "build_mixed_vertex_encoding", "encode_mixed",
+    "ALL_ENCODINGS", "Encoding", "EXTENSION_ENCODINGS", "NEW_ENCODINGS",
+    "PREVIOUS_ENCODINGS", "TABLE2_ENCODINGS", "encode_coloring",
+    "get_encoding", "parse_encoding",
+    "DIRECT", "DirectScheme", "LOG", "LogScheme", "MULDIRECT",
+    "MuldirectScheme", "SEQDIRECT", "SeqDirectScheme", "bits_needed",
+]

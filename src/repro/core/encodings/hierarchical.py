@@ -1,0 +1,115 @@
+"""Hierarchical composition of level schemes (paper §4).
+
+An upper level partitions the domain into subdomains; lower levels select
+within them.  Following the paper:
+
+* subdomains of one level do not overlap and are as equal in size as
+  possible (for a domain of K values split m ways, the first ``K mod m``
+  subdomains get ``⌈K/m⌉`` values and the rest ``⌊K/m⌋`` — with muldirect-n
+  on top, the bottom level therefore uses ``⌈K/n⌉`` variables, the formula
+  given in §4);
+* all subdomains at one level share a single set of Boolean variables;
+* a value's indexing pattern is the conjunction of its subdomain's pattern
+  at every upper level with its position's pattern at the lowest level;
+* undersized subdomains use *smaller versions of the ITE trees* when the
+  level below is an ITE scheme, and otherwise get excluded-illegal-value
+  clauses preventing the selection of non-existent values.
+
+The composition is fully general (any scheme at any level, any depth), as
+the paper emphasises in contrast with Kwon & Klieber's direct-i+direct.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..patterns import negate_pattern, shift_clause, shift_pattern
+from .base import Level, VertexEncoding
+
+
+def split_sizes(total: int, parts: int) -> List[int]:
+    """Split ``total`` values into ``parts`` near-equal subdomain sizes."""
+    if parts < 1:
+        raise ValueError("parts must be at least 1")
+    if total < parts:
+        raise ValueError("cannot split fewer values than parts")
+    base, remainder = divmod(total, parts)
+    return [base + 1 if i < remainder else base for i in range(parts)]
+
+
+def build_vertex_encoding(num_values: int, levels: Sequence[Level]) -> VertexEncoding:
+    """Compose ``levels`` into the encoding of one ``num_values`` domain.
+
+    All levels except the last must carry an explicit ``num_vars``; the
+    last is sized by whatever subdomain size reaches it.
+    """
+    if num_values < 1:
+        raise ValueError("domain must have at least one value")
+    if not levels:
+        raise ValueError("at least one level is required")
+    for level in levels[:-1]:
+        if level.num_vars is None:
+            raise ValueError(
+                f"upper level {level.scheme.name!r} needs an explicit "
+                f"variable count")
+    if levels[-1].num_vars is not None:
+        raise ValueError("the final level must not fix a variable count")
+    return _build(num_values, list(levels))
+
+
+def _build(num_values: int, levels: List[Level]) -> VertexEncoding:
+    if len(levels) == 1:
+        scheme = levels[0].scheme
+        return VertexEncoding(
+            num_values=num_values,
+            num_vars=scheme.num_vars(num_values),
+            patterns=scheme.patterns(num_values),
+            clauses=scheme.structural_clauses(num_values))
+
+    top = levels[0]
+    declared = top.scheme.num_subdomains(top.num_vars)
+    # A domain smaller than the declared fan-out simply uses fewer
+    # subdomains (and thereby fewer top variables).
+    parts = min(declared, num_values)
+    sizes = split_sizes(num_values, parts)
+    max_size = sizes[0]
+    top_patterns = top.scheme.patterns(parts)
+    top_vars = top.scheme.num_vars(parts)
+    clauses = list(top.scheme.structural_clauses(parts))
+
+    rest = levels[1:]
+    bottom_is_single_ite = len(rest) == 1 and rest[0].scheme.is_ite
+
+    patterns = []
+    if bottom_is_single_ite:
+        # Paper §4: "in the case of ITE-tree encodings we can use smaller
+        # versions of the ITE-trees for the smaller domains" — the smaller
+        # tree reuses a prefix of the shared bottom variables and no
+        # exclusion clauses are needed.
+        scheme = rest[0].scheme
+        bottom_vars = scheme.num_vars(max_size)
+        for subdomain, size in enumerate(sizes):
+            for position_pattern in scheme.patterns(size):
+                patterns.append(top_patterns[subdomain]
+                                + shift_pattern(position_pattern, top_vars))
+    else:
+        sub = _build(max_size, rest)
+        bottom_vars = sub.num_vars
+        for clause in sub.clauses:
+            clauses.append(shift_clause(clause, top_vars))
+        for subdomain, size in enumerate(sizes):
+            for position in range(size):
+                patterns.append(top_patterns[subdomain]
+                                + shift_pattern(sub.patterns[position], top_vars))
+            # Excluded-illegal-value clauses: this subdomain must not
+            # select a position beyond its size (paper §4).
+            for position in range(size, max_size):
+                clauses.append(
+                    negate_pattern(top_patterns[subdomain])
+                    + negate_pattern(shift_pattern(sub.patterns[position],
+                                                   top_vars)))
+
+    return VertexEncoding(num_values=num_values,
+                          num_vars=top_vars + bottom_vars,
+                          patterns=patterns,
+                          clauses=clauses)

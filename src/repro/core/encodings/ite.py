@@ -1,0 +1,196 @@
+"""Structural ITE-tree schemes (paper §3).
+
+A CSP variable is represented by a tree of if-then-else operators whose
+leaves are the domain values; an assignment to the *indexing Boolean
+variables* controlling the ITEs selects exactly one leaf, so no
+at-least-one / at-most-one / excluded-value clauses are ever needed — only
+conflict clauses.  Two tree shapes give the two base schemes:
+
+* **ITE-linear** — a chain: value ``i`` is selected by
+  ``¬i₀ ∧ … ∧ ¬i_{k-1} ∧ i_k`` (the last value by all-negative), using
+  ``n - 1`` variables for ``n`` values (Fig. 1.a).
+* **ITE-log** — a balanced tree in which all ITEs at the same depth share
+  one indexing variable, so ``⌈log₂ n⌉`` variables suffice and some values
+  are selected by patterns that omit the last variable — the paper's
+  "variant of the log encoding" that needs no illegal-pattern clauses
+  (Fig. 1.b).
+
+:class:`ITETree` additionally supports arbitrary shapes ("In general, the
+ITE tree for a CSP variable can have any structure"), which the tests use
+to exercise the framework beyond the two named shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from ..patterns import Pattern
+from .base import LevelScheme
+from .simple import bits_needed
+
+
+@dataclass(frozen=True)
+class ITENode:
+    """An internal ITE: if ``var`` then ``then_child`` else ``else_child``.
+
+    ``var`` is a 1-based local variable index.  Children are either nested
+    nodes or integer leaf ids (domain values).
+    """
+
+    var: int
+    then_child: Union["ITENode", int]
+    else_child: Union["ITENode", int]
+
+
+class ITETree:
+    """An ITE tree over leaves ``0..num_leaves-1``.
+
+    Enforces the paper's §3 *restriction*: no indexing variable may appear
+    twice on any root-to-leaf path (sharing across disjoint paths — e.g.
+    per-level variables in the balanced tree — is what makes ITE-log use
+    only ⌈log₂ n⌉ variables).
+    """
+
+    def __init__(self, root: Union[ITENode, int], num_leaves: int) -> None:
+        self.root = root
+        self.num_leaves = num_leaves
+        self._patterns: List[Optional[Pattern]] = [None] * num_leaves
+        self._num_vars = 0
+        self._walk(root, [])
+        missing = [leaf for leaf, p in enumerate(self._patterns) if p is None]
+        if missing:
+            raise ValueError(f"leaves {missing} unreachable in ITE tree")
+
+    def _walk(self, node: Union[ITENode, int], path: List[int]) -> None:
+        if isinstance(node, int):
+            if not 0 <= node < self.num_leaves:
+                raise ValueError(f"leaf id {node} out of range")
+            if self._patterns[node] is not None:
+                raise ValueError(f"leaf {node} appears twice in ITE tree")
+            self._patterns[node] = tuple(path)
+            return
+        if any(abs(lit) == node.var for lit in path):
+            raise ValueError(
+                f"variable {node.var} repeated on a root-to-leaf path")
+        self._num_vars = max(self._num_vars, node.var)
+        self._walk(node.then_child, path + [node.var])
+        self._walk(node.else_child, path + [-node.var])
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    def patterns(self) -> List[Pattern]:
+        """Selection pattern of each leaf (path literals from the root)."""
+        return list(self._patterns)  # all filled after _walk
+
+    def depth(self) -> int:
+        """Longest root-to-leaf path length."""
+        return max(len(p) for p in self._patterns) if self._patterns else 0
+
+
+def linear_tree(n: int) -> Union[ITENode, int]:
+    """The chain of Fig. 1.a: ITE(i₁, v₀, ITE(i₂, v₁, ...))."""
+    if n < 1:
+        raise ValueError("domain must have at least one value")
+    node: Union[ITENode, int] = n - 1
+    for value in range(n - 2, -1, -1):
+        node = ITENode(var=value + 1, then_child=value, else_child=node)
+    return node
+
+
+def balanced_tree(n: int) -> Union[ITENode, int]:
+    """The balanced tree of Fig. 1.b with one shared variable per depth.
+
+    Splits ⌈n/2⌉ / ⌊n/2⌋ recursively; depth is ⌈log₂ n⌉ and every leaf sits
+    at depth ⌈log₂ n⌉ or ⌈log₂ n⌉ - 1.
+    """
+    if n < 1:
+        raise ValueError("domain must have at least one value")
+
+    def build(lo: int, hi: int, depth: int) -> Union[ITENode, int]:
+        if hi - lo == 1:
+            return lo
+        mid = lo + (hi - lo + 1) // 2
+        return ITENode(var=depth + 1,
+                       then_child=build(lo, mid, depth + 1),
+                       else_child=build(mid, hi, depth + 1))
+
+    return build(0, n, 0)
+
+
+class ITELinearScheme(LevelScheme):
+    """Chain-shaped ITE tree (n - 1 variables for n values)."""
+
+    name = "ITE-linear"
+    is_ite = True
+
+    def num_vars(self, n: int) -> int:
+        if n < 1:
+            raise ValueError("domain must have at least one value")
+        return n - 1
+
+    def patterns(self, n: int) -> List[Pattern]:
+        return ITETree(linear_tree(n), n).patterns()
+
+    def structural_clauses(self, n: int) -> List:
+        return []
+
+    def num_subdomains(self, num_level_vars: int) -> int:
+        return num_level_vars + 1
+
+
+class ITELogScheme(LevelScheme):
+    """Balanced ITE tree with per-depth shared variables (⌈log₂ n⌉ vars)."""
+
+    name = "ITE-log"
+    is_ite = True
+
+    def num_vars(self, n: int) -> int:
+        return bits_needed(n)
+
+    def patterns(self, n: int) -> List[Pattern]:
+        return ITETree(balanced_tree(n), n).patterns()
+
+    def structural_clauses(self, n: int) -> List:
+        return []
+
+    def num_subdomains(self, num_level_vars: int) -> int:
+        return 2 ** num_level_vars
+
+
+class CustomITEScheme(LevelScheme):
+    """A scheme built from an arbitrary user-supplied ITE tree factory.
+
+    ``tree_factory(n)`` must return the root of a tree with ``n`` leaves.
+    Exposes the paper's observation that any tree shape yields a valid
+    encoding (with different value-selection probabilities).
+    """
+
+    is_ite = True
+
+    def __init__(self, tree_factory, name: str = "ITE-custom") -> None:
+        self._tree_factory = tree_factory
+        self.name = name
+
+    def _tree(self, n: int) -> ITETree:
+        return ITETree(self._tree_factory(n), n)
+
+    def num_vars(self, n: int) -> int:
+        return self._tree(n).num_vars
+
+    def patterns(self, n: int) -> List[Pattern]:
+        return self._tree(n).patterns()
+
+    def structural_clauses(self, n: int) -> List:
+        return []
+
+    def num_subdomains(self, num_level_vars: int) -> int:
+        raise NotImplementedError(
+            "custom ITE schemes define no canonical subdomain count; "
+            "use them only as the final hierarchy level")
+
+
+ITE_LINEAR = ITELinearScheme()
+ITE_LOG = ITELogScheme()

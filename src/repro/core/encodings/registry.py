@@ -1,0 +1,146 @@
+"""Named encodings: the paper's 2 baselines, the 12 new encodings, and a
+general name grammar for building further hybrids.
+
+A name is one or more level specifications joined by ``+``; each level is a
+scheme name (``log``, ``direct``, ``muldirect``, ``ITE-linear``,
+``ITE-log``) optionally followed by ``-<i>``, the number of indexing
+Boolean variables that level uses (mandatory for every level but the
+last).  Examples: ``muldirect``, ``ITE-log-2+direct``,
+``ITE-linear-2+muldirect``, ``direct-3+muldirect-2+log``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ...coloring.problem import ColoringProblem
+from .base import EncodedProblem, Level, LevelScheme, VertexEncoding
+from .hierarchical import build_vertex_encoding
+from .ite import ITE_LINEAR, ITE_LOG
+from .simple import DIRECT, LOG, MULDIRECT, SEQDIRECT
+
+#: scheme lookup, longest names first so ``ITE-log-2`` parses as the
+#: ``ITE-log`` scheme with parameter 2, not as ``ITE`` + junk.
+_SCHEMES: Dict[str, LevelScheme] = {
+    "ite-linear": ITE_LINEAR,
+    "ite-log": ITE_LOG,
+    "seqdirect": SEQDIRECT,
+    "muldirect": MULDIRECT,
+    "direct": DIRECT,
+    "log": LOG,
+}
+
+
+class Encoding:
+    """A named CSP-to-SAT encoding (a stack of levels)."""
+
+    def __init__(self, name: str, levels: Sequence[Level]) -> None:
+        self.name = name
+        self.levels = list(levels)
+
+    @property
+    def is_hierarchical(self) -> bool:
+        return len(self.levels) > 1
+
+    def vertex_encoding(self, num_values: int) -> VertexEncoding:
+        """Compose the per-vertex encoding for a ``num_values`` domain."""
+        return build_vertex_encoding(num_values, self.levels)
+
+    def encode(self, problem: ColoringProblem) -> EncodedProblem:
+        """Translate a coloring problem to CNF under this encoding."""
+        return EncodedProblem(problem, self.vertex_encoding(problem.num_colors),
+                              self.name)
+
+    def vars_per_vertex(self, num_values: int) -> int:
+        """Boolean variables this encoding spends per CSP variable."""
+        return self.vertex_encoding(num_values).num_vars
+
+    def __repr__(self) -> str:
+        return f"Encoding({self.name!r})"
+
+
+def _parse_level(text: str, is_last: bool) -> Level:
+    lowered = text.lower()
+    for scheme_name in sorted(_SCHEMES, key=len, reverse=True):
+        if lowered == scheme_name:
+            if not is_last:
+                raise ValueError(
+                    f"upper level {text!r} needs an explicit variable count "
+                    f"(e.g. {text}-2)")
+            return Level(_SCHEMES[scheme_name], None)
+        prefix = scheme_name + "-"
+        if lowered.startswith(prefix):
+            suffix = lowered[len(prefix):]
+            if suffix.isdigit():
+                if is_last:
+                    raise ValueError(
+                        f"the final level {text!r} must not fix a variable "
+                        f"count")
+                return Level(_SCHEMES[scheme_name], int(suffix))
+    raise ValueError(f"unrecognised level specification {text!r}")
+
+
+def parse_encoding(name: str) -> Encoding:
+    """Parse an encoding name into an :class:`Encoding`."""
+    parts = [part.strip() for part in name.split("+")]
+    if not parts or any(not part for part in parts):
+        raise ValueError(f"malformed encoding name {name!r}")
+    levels = [_parse_level(part, is_last=(i == len(parts) - 1))
+              for i, part in enumerate(parts)]
+    return Encoding(name, levels)
+
+
+#: The 2 encodings previously used for SAT-based FPGA detailed routing.
+PREVIOUS_ENCODINGS: List[str] = ["log", "muldirect"]
+
+#: The 12 new encodings the paper evaluates (§6).
+NEW_ENCODINGS: List[str] = [
+    "ITE-linear",
+    "ITE-log",
+    "ITE-log-1+ITE-linear",
+    "ITE-log-2+ITE-linear",
+    "ITE-log-2+direct",
+    "ITE-log-2+muldirect",
+    "ITE-linear-2+direct",
+    "ITE-linear-2+muldirect",
+    "direct-3+direct",
+    "direct-3+muldirect",
+    "muldirect-3+direct",
+    "muldirect-3+muldirect",
+]
+
+#: Everything the paper describes (the plain direct encoding is presented
+#: in §2 but dominated by muldirect in the experiments).
+ALL_ENCODINGS: List[str] = PREVIOUS_ENCODINGS + ["direct"] + NEW_ENCODINGS
+
+#: Our extensions beyond the paper's 15 (see each scheme's docstring).
+EXTENSION_ENCODINGS: List[str] = [
+    "seqdirect",
+    "ITE-log-2+seqdirect",
+    "ITE-linear-2+seqdirect",
+]
+
+#: The encoding columns of Table 2 (muldirect baseline + best 6 new ones).
+TABLE2_ENCODINGS: List[str] = [
+    "muldirect",
+    "ITE-linear",
+    "ITE-log",
+    "ITE-linear-2+direct",
+    "ITE-linear-2+muldirect",
+    "muldirect-3+muldirect",
+    "direct-3+muldirect",
+]
+
+_CACHE: Dict[str, Encoding] = {}
+
+
+def get_encoding(name: str) -> Encoding:
+    """Return the encoding named ``name`` (parsed once, then cached)."""
+    if name not in _CACHE:
+        _CACHE[name] = parse_encoding(name)
+    return _CACHE[name]
+
+
+def encode_coloring(problem: ColoringProblem, encoding: str) -> EncodedProblem:
+    """One-call translation: coloring problem + encoding name → CNF."""
+    return get_encoding(encoding).encode(problem)

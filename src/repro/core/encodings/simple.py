@@ -1,0 +1,167 @@
+"""The three "simple" CSP-to-SAT schemes of the paper's §2.
+
+* **log** (Iwama & Miyazaki) — ⌈log₂ n⌉ variables per CSP variable, one
+  conflict clause per adjacent pair per common value, plus clauses
+  excluding bit patterns that denote no legal value.
+* **direct** (de Kleer) — one variable per (CSP variable, value) with
+  at-least-one and pairwise at-most-one clauses.
+* **muldirect** (Selman et al.) — the multivalued direct encoding: direct
+  without the at-most-one clauses; a model may allow several values and any
+  one of them is extracted.
+
+These are both usable stand-alone (the paper's two baselines plus direct)
+and as levels of hierarchical encodings (§4), where ``direct-3`` etc. name
+a level using 3 of these variables.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..patterns import LocalClause, Pattern, negate_pattern
+from .base import LevelScheme
+
+
+def bits_needed(n: int) -> int:
+    """Number of bits needed to distinguish ``n`` values (0 for n == 1)."""
+    if n < 1:
+        raise ValueError("domain must have at least one value")
+    return (n - 1).bit_length()
+
+
+class DirectScheme(LevelScheme):
+    """One Boolean variable per value; at-least-one + at-most-one."""
+
+    name = "direct"
+    is_ite = False
+
+    def num_vars(self, n: int) -> int:
+        if n < 1:
+            raise ValueError("domain must have at least one value")
+        return n
+
+    def patterns(self, n: int) -> List[Pattern]:
+        self.num_vars(n)
+        return [(value + 1,) for value in range(n)]
+
+    def structural_clauses(self, n: int) -> List[LocalClause]:
+        clauses: List[LocalClause] = [tuple(range(1, n + 1))]
+        for i in range(1, n + 1):
+            for j in range(i + 1, n + 1):
+                clauses.append((-i, -j))
+        return clauses
+
+    def num_subdomains(self, num_level_vars: int) -> int:
+        return num_level_vars
+
+
+class MuldirectScheme(LevelScheme):
+    """One Boolean variable per value; at-least-one only (multivalued)."""
+
+    name = "muldirect"
+    is_ite = False
+
+    def num_vars(self, n: int) -> int:
+        if n < 1:
+            raise ValueError("domain must have at least one value")
+        return n
+
+    def patterns(self, n: int) -> List[Pattern]:
+        self.num_vars(n)
+        return [(value + 1,) for value in range(n)]
+
+    def structural_clauses(self, n: int) -> List[LocalClause]:
+        return [tuple(range(1, n + 1))]
+
+    def num_subdomains(self, num_level_vars: int) -> int:
+        return num_level_vars
+
+
+class LogScheme(LevelScheme):
+    """Binary value index; illegal bit patterns are excluded by clauses."""
+
+    name = "log"
+    is_ite = False
+
+    def num_vars(self, n: int) -> int:
+        return bits_needed(n)
+
+    def patterns(self, n: int) -> List[Pattern]:
+        num_bits = bits_needed(n)
+        result: List[Pattern] = []
+        for value in range(n):
+            result.append(self._bit_pattern(value, num_bits))
+        return result
+
+    def structural_clauses(self, n: int) -> List[LocalClause]:
+        num_bits = bits_needed(n)
+        clauses: List[LocalClause] = []
+        for illegal in range(n, 2 ** num_bits):
+            clauses.append(negate_pattern(self._bit_pattern(illegal, num_bits)))
+        return clauses
+
+    def num_subdomains(self, num_level_vars: int) -> int:
+        return 2 ** num_level_vars
+
+    @staticmethod
+    def _bit_pattern(value: int, num_bits: int) -> Pattern:
+        # Bit 0 of the value is local variable 1, etc.  A set bit appears
+        # as a positive literal.
+        return tuple(bit + 1 if (value >> bit) & 1 else -(bit + 1)
+                     for bit in range(num_bits))
+
+
+class SeqDirectScheme(LevelScheme):
+    """Direct encoding with a *sequential* (ladder) at-most-one.
+
+    An extension beyond the paper: the pairwise at-most-one of the direct
+    encoding costs O(n²) clauses, which dominates CNF size at large
+    domains.  The classic sequential encoding (Sinz 2005) spends n-1
+    auxiliary ladder variables ``s_i`` ("some value ≤ i is selected") for
+    a 3(n-1)-clause at-most-one.  Patterns are unchanged — auxiliaries
+    live in the vertex block after the value variables and never appear
+    in patterns — so conflicts, symmetry breaking and hierarchy
+    composition all work untouched, demonstrating that the pattern
+    abstraction accommodates auxiliary-variable schemes.
+    """
+
+    name = "seqdirect"
+    is_ite = False
+
+    def num_vars(self, n: int) -> int:
+        if n < 1:
+            raise ValueError("domain must have at least one value")
+        return n if n <= 2 else 2 * n - 1
+
+    def patterns(self, n: int) -> List[Pattern]:
+        self.num_vars(n)
+        return [(value + 1,) for value in range(n)]
+
+    def structural_clauses(self, n: int) -> List[LocalClause]:
+        clauses: List[LocalClause] = [tuple(range(1, n + 1))]
+        if n <= 1:
+            return clauses
+        if n == 2:
+            clauses.append((-1, -2))
+            return clauses
+        # Ladder variables s_1..s_{n-1} are local vars n+1..2n-1.
+        def ladder(i: int) -> int:
+            return n + i
+        clauses.append((-1, ladder(1)))                    # x1 -> s1
+        for i in range(2, n):
+            clauses.append((-i, ladder(i)))                # xi -> si
+            clauses.append((-ladder(i - 1), ladder(i)))    # s(i-1) -> si
+            clauses.append((-i, -ladder(i - 1)))           # xi -> !s(i-1)
+        clauses.append((-n, -ladder(n - 1)))               # xn -> !s(n-1)
+        return clauses
+
+    def num_subdomains(self, num_level_vars: int) -> int:
+        raise NotImplementedError(
+            "seqdirect uses auxiliary variables and is only meaningful as "
+            "a final hierarchy level")
+
+
+DIRECT = DirectScheme()
+MULDIRECT = MuldirectScheme()
+LOG = LogScheme()
+SEQDIRECT = SeqDirectScheme()

@@ -1,0 +1,89 @@
+"""Indexing Boolean patterns.
+
+The paper (§2) calls the assignment of encoding variables that selects a
+particular domain value the *indexing Boolean pattern* of that value.  We
+represent a pattern as a tuple of **local literals**: nonzero ints whose
+absolute value is a 1-based index into the vertex's private variable block,
+positive for "variable must be true".  A pattern denotes the conjunction of
+its literals; the empty pattern is the constant *true* (the value is always
+selected, which happens for a domain of size one under ITE encodings).
+
+Every clause the encodings emit — at-least-one, at-most-one,
+excluded-illegal-value, conflict, and symmetry-breaking — is derived from
+patterns with the two tiny combinators below, which is what makes the 15
+encodings and the symmetry heuristics orthogonal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+Pattern = Tuple[int, ...]
+LocalClause = Tuple[int, ...]
+
+
+def check_pattern(pattern: Sequence[int], num_vars: int) -> None:
+    """Validate a pattern: nonzero literals within the local block, no
+    variable mentioned twice."""
+    seen = set()
+    for lit in pattern:
+        if lit == 0:
+            raise ValueError("pattern contains literal 0")
+        var = abs(lit)
+        if var > num_vars:
+            raise ValueError(f"pattern literal {lit} exceeds block size {num_vars}")
+        if var in seen:
+            raise ValueError(f"pattern mentions variable {var} twice")
+        seen.add(var)
+
+
+def negate_pattern(pattern: Sequence[int]) -> LocalClause:
+    """De Morgan: the negation of a conjunction is a clause of negations.
+
+    An empty pattern (constant true) negates to the empty clause (constant
+    false) — e.g. the conflict between two adjacent single-value CSP
+    variables is unsatisfiable outright.
+    """
+    return tuple(-lit for lit in pattern)
+
+
+def shift_pattern(pattern: Sequence[int], offset: int) -> Pattern:
+    """Shift a pattern's variables by ``offset`` (hierarchy composition and
+    local-to-global renaming both reduce to this)."""
+    return tuple(lit + offset if lit > 0 else lit - offset for lit in pattern)
+
+
+def shift_clause(clause: Sequence[int], offset: int) -> LocalClause:
+    """Shift a clause's variables by ``offset``."""
+    return shift_pattern(clause, offset)
+
+
+def conflict_clause(pattern_a: Sequence[int], pattern_b: Sequence[int]) -> LocalClause:
+    """Clause forbidding both patterns from holding simultaneously:
+    ``¬(pat_a ∧ pat_b)`` clausified (paper §4's conflict-clause form)."""
+    return negate_pattern(pattern_a) + negate_pattern(pattern_b)
+
+
+def pattern_holds(pattern: Sequence[int], values: Sequence[bool]) -> bool:
+    """Evaluate a pattern against a truth assignment.
+
+    ``values`` is indexed so that ``values[var - 1]`` is the value of local
+    variable ``var`` (or of global variable ``var`` when evaluating shifted
+    patterns against a whole model).
+    """
+    for lit in pattern:
+        value = values[abs(lit) - 1]
+        if value != (lit > 0):
+            return False
+    return True
+
+
+def patterns_are_distinct(patterns: Iterable[Sequence[int]]) -> bool:
+    """True if no two patterns are identical (sanity check used in tests)."""
+    seen = set()
+    for pattern in patterns:
+        key = tuple(sorted(pattern))
+        if key in seen:
+            return False
+        seen.add(key)
+    return True

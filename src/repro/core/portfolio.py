@@ -1,0 +1,110 @@
+"""Portfolios of parallel strategies (paper §6, last paragraphs).
+
+Each strategy — an (encoding, symmetry heuristic) pair — runs on its own
+core; the first to answer wins and the rest are terminated.  Two flavours:
+
+* :func:`run_portfolio` — real ``multiprocessing`` execution, one process
+  per strategy, first answer kills the others.  This is the deployable
+  artifact.
+* :func:`virtual_portfolio_time` — the analytical model: on an ideal
+  multicore machine the portfolio's time on an instance is the *minimum*
+  of the member strategies' times.  The paper's 1.84× / 2.30× figures are
+  exactly this quantity computed from Table 2 measurements, and the
+  benchmark harness reproduces them the same way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..coloring.problem import ColoringProblem
+from .pipeline import ColoringOutcome, solve_coloring
+from .strategy import Strategy
+
+
+@dataclass
+class PortfolioResult:
+    """Outcome of a first-to-finish portfolio run."""
+
+    winner: Strategy
+    outcome: ColoringOutcome
+    wall_time: float
+    num_strategies: int
+
+
+def _worker(problem: ColoringProblem, strategy: Strategy, queue: "mp.Queue") -> None:
+    try:
+        outcome = solve_coloring(problem, strategy)
+        queue.put((strategy, outcome, None))
+    except Exception as error:  # surface failures instead of hanging
+        queue.put((strategy, None, repr(error)))
+
+
+def run_portfolio(problem: ColoringProblem, strategies: Sequence[Strategy],
+                  timeout: Optional[float] = None) -> PortfolioResult:
+    """Run every strategy in parallel; return the first finisher's result.
+
+    Remaining processes are terminated as soon as one answers, matching the
+    paper's proposed deployment on a multicore CPU.
+    """
+    if not strategies:
+        raise ValueError("a portfolio needs at least one strategy")
+    context = mp.get_context("fork" if "fork" in mp.get_all_start_methods()
+                             else "spawn")
+    queue: "mp.Queue" = context.Queue()
+    start = time.perf_counter()
+    processes = [context.Process(target=_worker, args=(problem, strategy, queue),
+                                 daemon=True)
+                 for strategy in strategies]
+    for process in processes:
+        process.start()
+    try:
+        strategy, outcome, error = queue.get(timeout=timeout)
+        wall_time = time.perf_counter() - start
+    finally:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=5)
+    if error is not None:
+        raise RuntimeError(f"portfolio member {strategy.label} failed: {error}")
+    return PortfolioResult(winner=strategy, outcome=outcome,
+                           wall_time=wall_time, num_strategies=len(strategies))
+
+
+def virtual_portfolio_time(
+        times: Mapping[str, Mapping[Strategy, float]],
+        strategies: Sequence[Strategy]) -> Dict[str, float]:
+    """Per-instance portfolio time = min over member strategies.
+
+    ``times`` maps instance name → {strategy: measured time}.  Raises if a
+    member strategy has no measurement for some instance.
+    """
+    result: Dict[str, float] = {}
+    for instance, per_strategy in times.items():
+        member_times = []
+        for strategy in strategies:
+            if strategy not in per_strategy:
+                raise ValueError(
+                    f"no measurement for {strategy.label} on {instance}")
+            member_times.append(per_strategy[strategy])
+        result[instance] = min(member_times)
+    return result
+
+
+def portfolio_speedup(times: Mapping[str, Mapping[Strategy, float]],
+                      portfolio: Sequence[Strategy],
+                      reference: Strategy) -> float:
+    """Total-time speedup of a portfolio over a single reference strategy
+    (how the paper reports 1.84× and 2.30×)."""
+    portfolio_times = virtual_portfolio_time(times, portfolio)
+    reference_total = sum(per_strategy[reference]
+                          for per_strategy in times.values())
+    portfolio_total = sum(portfolio_times.values())
+    if portfolio_total <= 0:
+        raise ValueError("portfolio total time is not positive")
+    return reference_total / portfolio_total

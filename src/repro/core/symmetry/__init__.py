@@ -1,0 +1,11 @@
+"""Symmetry-breaking heuristics b1 and s1 (paper §5)."""
+
+from .clauses import apply_symmetry, symmetry_clauses
+from .heuristics import (HEURISTICS, b1_sequence, c1_sequence, get_heuristic,
+                         no_symmetry_sequence, s1_sequence)
+
+__all__ = [
+    "apply_symmetry", "symmetry_clauses",
+    "HEURISTICS", "b1_sequence", "c1_sequence", "get_heuristic",
+    "no_symmetry_sequence", "s1_sequence",
+]

@@ -1,0 +1,46 @@
+"""Turning a symmetry-breaking vertex sequence into clauses.
+
+For the i-th vertex of the sequence (0-based), colors ``i+1 .. K-1`` are
+forbidden.  Forbidding a color is encoding-independent: it is the negation
+of that color's indexing pattern at that vertex, which
+:class:`~repro.core.encodings.base.EncodedProblem` already knows how to
+produce — so one implementation serves all 15 encodings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..encodings.base import EncodedProblem
+
+
+def symmetry_clauses(encoded: EncodedProblem,
+                     sequence: Sequence[int]) -> List[Tuple[int, ...]]:
+    """Clauses restricting the i-th sequence vertex to colors ``0..i``."""
+    num_colors = encoded.problem.num_colors
+    if len(sequence) > max(0, num_colors - 1):
+        raise ValueError(
+            f"sequence of {len(sequence)} vertices is longer than K-1 = "
+            f"{num_colors - 1}")
+    if len(set(sequence)) != len(sequence):
+        raise ValueError("symmetry sequence repeats a vertex")
+    clauses: List[Tuple[int, ...]] = []
+    for position, vertex in enumerate(sequence):
+        for color in range(position + 1, num_colors):
+            clauses.append(encoded.forbid_color_clause(vertex, color))
+    return clauses
+
+
+def apply_symmetry(encoded: EncodedProblem, heuristic_name: str) -> int:
+    """Generate and add symmetry clauses in place.
+
+    Returns the number of clauses added.  ``heuristic_name`` is one of
+    ``none`` / ``b1`` / ``s1``.
+    """
+    from .heuristics import get_heuristic
+
+    heuristic = get_heuristic(heuristic_name)
+    sequence = heuristic(encoded.problem.graph, encoded.problem.num_colors)
+    clauses = symmetry_clauses(encoded, sequence)
+    encoded.add_symmetry_clauses(clauses)
+    return len(clauses)

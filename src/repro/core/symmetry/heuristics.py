@@ -1,0 +1,94 @@
+"""Symmetry-breaking vertex-sequence heuristics (paper §5).
+
+Color names in a K-coloring are interchangeable: given *any* sequence of
+K-1 vertices, every coloring can be renamed so the i-th sequence vertex
+(0-based) uses a color ≤ i, so constraining it that way preserves
+satisfiability while cutting the color-permutation symmetry (Van Gelder).
+
+Two heuristics choose the sequence:
+
+* **b1** (Van Gelder) — start from the vertex of maximum degree, then its
+  *neighbours* in descending degree order (up to K-2 of them), ties broken
+  by the sum of the neighbours' degrees;
+* **s1** (this paper) — simply the K-1 highest-degree vertices in the whole
+  graph, same ordering key.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ...coloring.problem import Graph
+
+
+def _neighbor_degree_sum(graph: Graph, v: int) -> int:
+    return sum(graph.degree(u) for u in graph.neighbors(v))
+
+
+def _sort_key(graph: Graph):
+    # Descending degree, ties by descending neighbour-degree sum, then by
+    # vertex id for determinism.
+    return lambda v: (-graph.degree(v), -_neighbor_degree_sum(graph, v), v)
+
+
+def b1_sequence(graph: Graph, num_colors: int) -> List[int]:
+    """Van Gelder's b1: the max-degree vertex, then up to K-2 of its
+    neighbours in descending degree order."""
+    if graph.num_vertices == 0 or num_colors < 2:
+        return []
+    key = _sort_key(graph)
+    first = min(range(graph.num_vertices), key=key)
+    neighbors = sorted(graph.neighbors(first), key=key)
+    return [first] + neighbors[:num_colors - 2]
+
+
+def s1_sequence(graph: Graph, num_colors: int) -> List[int]:
+    """The paper's s1: the K-1 globally highest-degree vertices."""
+    if graph.num_vertices == 0 or num_colors < 2:
+        return []
+    ordered = sorted(range(graph.num_vertices), key=_sort_key(graph))
+    return ordered[:num_colors - 1]
+
+
+def c1_sequence(graph: Graph, num_colors: int) -> List[int]:
+    """Clique-seeded sequence (our extension, in the spirit of the
+    clique-based instance-independent symmetry breaking of Ramani et al.,
+    which the paper cites [31]).
+
+    The vertices of a greedily grown clique, ordered by the standard key;
+    position i's "color ≤ i" restriction combines with the clique's
+    pairwise disequalities to pin the clique to colors 0, 1, 2, ...
+    exactly.  Van Gelder's soundness argument is sequence-agnostic, so
+    truncating to K-1 vertices keeps this safe for any K.
+    """
+    if graph.num_vertices == 0 or num_colors < 2:
+        return []
+    from ...coloring.greedy import greedy_clique
+
+    clique = sorted(greedy_clique(graph), key=_sort_key(graph))
+    return clique[:num_colors - 1]
+
+
+def no_symmetry_sequence(graph: Graph, num_colors: int) -> List[int]:
+    """The empty sequence: no symmetry breaking."""
+    return []
+
+
+SequenceHeuristic = Callable[[Graph, int], List[int]]
+
+HEURISTICS: Dict[str, SequenceHeuristic] = {
+    "none": no_symmetry_sequence,
+    "b1": b1_sequence,
+    "s1": s1_sequence,
+    "c1": c1_sequence,
+}
+
+
+def get_heuristic(name: str) -> SequenceHeuristic:
+    """Look up a symmetry-breaking heuristic by name (none / b1 / s1)."""
+    try:
+        return HEURISTICS[name]
+    except KeyError:
+        known = ", ".join(sorted(HEURISTICS))
+        raise ValueError(
+            f"unknown symmetry heuristic {name!r} (known: {known})") from None

@@ -1,0 +1,45 @@
+"""FPGA routing substrate: architecture, netlists, placement, global and
+detailed routing, MCNC-like benchmark profiles, serialisation, rendering,
+and the negotiation-based baseline router."""
+
+from .arch import FPGAArchitecture, Segment
+from .detailed import (RoutingCSP, build_conflict_graph, build_routing_csp,
+                       validate_global_routing)
+from .flow import DetailedRoutingResult, detailed_route, minimum_channel_width
+from .generate import CircuitSpec, generate_netlist
+from .global_route import (GlobalRouter, GlobalRouting, TwoPinNet,
+                           route_netlist)
+from .io import (assignment_from_json, assignment_to_json, netlist_from_json,
+                 netlist_to_json, read_netlist, read_routing,
+                 routing_from_text, routing_to_text, write_netlist,
+                 write_routing)
+from .mcnc import (ALL_BENCHMARKS, EXTRA_BENCHMARKS, TABLE2_BENCHMARKS,
+                   benchmark_names, benchmark_spec, load_netlist, load_routing)
+from .netlist import Net, Netlist
+from .pathfinder import NegotiationResult, PathFinderRouter, negotiate_tracks
+from .placement import (AnnealingPlacer, LogicalNet, LogicalNetlist,
+                        Placement, place_netlist, random_logical_netlist)
+from .render import render_congestion, render_route, render_track_histogram
+from .tracks import (TrackAssignment, assignment_from_coloring, is_legal,
+                     verify_track_assignment)
+
+__all__ = [
+    "FPGAArchitecture", "Segment",
+    "RoutingCSP", "build_conflict_graph", "build_routing_csp",
+    "validate_global_routing",
+    "DetailedRoutingResult", "detailed_route", "minimum_channel_width",
+    "CircuitSpec", "generate_netlist",
+    "GlobalRouter", "GlobalRouting", "TwoPinNet", "route_netlist",
+    "assignment_from_json", "assignment_to_json", "netlist_from_json",
+    "netlist_to_json", "read_netlist", "read_routing", "routing_from_text",
+    "routing_to_text", "write_netlist", "write_routing",
+    "ALL_BENCHMARKS", "EXTRA_BENCHMARKS", "TABLE2_BENCHMARKS",
+    "benchmark_names", "benchmark_spec", "load_netlist", "load_routing",
+    "Net", "Netlist",
+    "NegotiationResult", "PathFinderRouter", "negotiate_tracks",
+    "AnnealingPlacer", "LogicalNet", "LogicalNetlist", "Placement",
+    "place_netlist", "random_logical_netlist",
+    "render_congestion", "render_route", "render_track_histogram",
+    "TrackAssignment", "assignment_from_coloring", "is_legal",
+    "verify_track_assignment",
+]

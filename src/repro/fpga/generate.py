@@ -1,0 +1,96 @@
+"""Synthetic placed-netlist generation.
+
+The paper routes the MCNC benchmark circuits using the global routings
+shipped with SEGA-1.1.  Neither artifact is redistributable here, so this
+generator synthesises placed netlists with the structural properties that
+matter for the routing-to-coloring reduction (see DESIGN.md §2):
+
+* *locality* — sink offsets follow a geometric-ish distance distribution,
+  as placement tools produce, so routes are short and channel congestion
+  is spatially correlated;
+* *fanout distribution* — mostly 1-3 sink nets with a tail of higher
+  fanout, as in technology-mapped MCNC circuits;
+* *determinism* — everything is derived from a seed, so every benchmark
+  instance is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .netlist import Net, Netlist
+
+Position = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """Parameters of one synthetic circuit."""
+
+    name: str
+    cols: int
+    rows: int
+    num_nets: int
+    seed: int
+    max_fanout: int = 4
+    mean_distance: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.num_nets < 1:
+            raise ValueError("a circuit needs at least one net")
+        if self.max_fanout < 1:
+            raise ValueError("max_fanout must be at least 1")
+        if self.mean_distance <= 0:
+            raise ValueError("mean_distance must be positive")
+        if self.cols * self.rows < 2:
+            raise ValueError("the array needs at least two blocks")
+
+
+def _sample_fanout(rng: random.Random, max_fanout: int) -> int:
+    """Mostly small fanouts with a geometric tail, clipped to max_fanout."""
+    fanout = 1
+    while fanout < max_fanout and rng.random() < 0.35:
+        fanout += 1
+    return fanout
+
+
+def _sample_sink(rng: random.Random, spec: CircuitSpec,
+                 source: Position) -> Position:
+    """Sample a sink near the source (truncated geometric Manhattan radius)."""
+    for _ in range(64):
+        dx = round(rng.gauss(0, spec.mean_distance))
+        dy = round(rng.gauss(0, spec.mean_distance))
+        if dx == 0 and dy == 0:
+            continue
+        x, y = source[0] + dx, source[1] + dy
+        if 0 <= x < spec.cols and 0 <= y < spec.rows:
+            return (x, y)
+    # Dense/small arrays: fall back to a uniform distinct block.
+    while True:
+        position = (rng.randrange(spec.cols), rng.randrange(spec.rows))
+        if position != source:
+            return position
+
+
+def generate_netlist(spec: CircuitSpec) -> Netlist:
+    """Generate the placed netlist described by ``spec`` (deterministic)."""
+    rng = random.Random(spec.seed)
+    nets: List[Net] = []
+    for index in range(spec.num_nets):
+        source = (rng.randrange(spec.cols), rng.randrange(spec.rows))
+        fanout = _sample_fanout(rng, spec.max_fanout)
+        sinks: List[Position] = []
+        attempts = 0
+        while len(sinks) < fanout and attempts < 256:
+            attempts += 1
+            sink = _sample_sink(rng, spec, source)
+            if sink != source and sink not in sinks:
+                sinks.append(sink)
+        if not sinks:  # pathological tiny arrays
+            alternatives = [(x, y) for x in range(spec.cols)
+                            for y in range(spec.rows) if (x, y) != source]
+            sinks = [rng.choice(alternatives)]
+        nets.append(Net(name=f"n{index}", source=source, sinks=tuple(sinks)))
+    return Netlist(spec.name, spec.cols, spec.rows, nets)

@@ -1,0 +1,185 @@
+"""Serialisation of netlists, global routings and track assignments.
+
+Two formats:
+
+* **JSON** for placed netlists — the library's interchange format, so
+  benchmark instances and user circuits can be stored, diffed and
+  re-loaded bit-exactly.
+* A **SEGA-flavoured text format** for global routings — one block per
+  2-pin net listing its channel segments — mirroring the role the
+  ``.route`` files shipped with SEGA-1.1 play in the paper's flow (they
+  are the input the SAT stage consumes).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Dict, List, TextIO
+
+from .arch import FPGAArchitecture, Segment
+from .global_route import GlobalRouting, TwoPinNet
+from .netlist import Net, Netlist
+from .tracks import TrackAssignment
+
+_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Netlist JSON
+# ----------------------------------------------------------------------
+
+def netlist_to_json(netlist: Netlist) -> str:
+    """Serialise a placed netlist to a JSON string."""
+    payload = {
+        "format": "repro-netlist",
+        "version": _FORMAT_VERSION,
+        "name": netlist.name,
+        "cols": netlist.cols,
+        "rows": netlist.rows,
+        "nets": [
+            {"name": net.name,
+             "source": list(net.source),
+             "sinks": [list(sink) for sink in net.sinks]}
+            for net in netlist.nets
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def netlist_from_json(text: str) -> Netlist:
+    """Parse a netlist from its JSON form (validating as it builds)."""
+    payload = json.loads(text)
+    if payload.get("format") != "repro-netlist":
+        raise ValueError("not a repro-netlist JSON document")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported netlist format version "
+                         f"{payload.get('version')!r}")
+    nets = [Net(name=entry["name"],
+                source=tuple(entry["source"]),
+                sinks=tuple(tuple(sink) for sink in entry["sinks"]))
+            for entry in payload["nets"]]
+    return Netlist(payload["name"], payload["cols"], payload["rows"], nets)
+
+
+def write_netlist(netlist: Netlist, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(netlist_to_json(netlist))
+
+
+def read_netlist(path: str) -> Netlist:
+    with open(path, "r", encoding="utf-8") as handle:
+        return netlist_from_json(handle.read())
+
+
+# ----------------------------------------------------------------------
+# Global routing text format
+# ----------------------------------------------------------------------
+
+def _segment_token(segment: Segment) -> str:
+    return f"{segment.kind}{segment.x}.{segment.y}"
+
+
+def _parse_segment(token: str) -> Segment:
+    kind = token[0]
+    try:
+        x_text, y_text = token[1:].split(".")
+        return Segment(kind, int(x_text), int(y_text))
+    except (ValueError, IndexError):
+        raise ValueError(f"malformed segment token {token!r}") from None
+
+
+def write_routing(routing: GlobalRouting, stream: TextIO) -> None:
+    """Write a global routing in the SEGA-flavoured text format::
+
+        # comment
+        grid <cols> <rows>
+        net <net_index> <subnet_index> <sx> <sy> <tx> <ty> : h0.1 v1.0 ...
+    """
+    stream.write(f"# global routing of {routing.netlist.name}\n")
+    stream.write(f"grid {routing.arch.cols} {routing.arch.rows}\n")
+    for two_pin in routing.two_pin_nets:
+        segments = " ".join(_segment_token(s) for s in two_pin.segments)
+        stream.write(
+            f"net {two_pin.net_index} {two_pin.subnet_index} "
+            f"{two_pin.source[0]} {two_pin.source[1]} "
+            f"{two_pin.sink[0]} {two_pin.sink[1]} : {segments}\n")
+
+
+def routing_to_text(routing: GlobalRouting) -> str:
+    buffer = io.StringIO()
+    write_routing(routing, buffer)
+    return buffer.getvalue()
+
+
+def read_routing(stream: TextIO, netlist: Netlist) -> GlobalRouting:
+    """Parse a global routing; the netlist provides naming context."""
+    arch = None
+    two_pin_nets: List[TwoPinNet] = []
+    for raw_line in stream:
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        if fields[0] == "grid":
+            if arch is not None:
+                raise ValueError("duplicate grid line")
+            arch = FPGAArchitecture(int(fields[1]), int(fields[2]))
+        elif fields[0] == "net":
+            if arch is None:
+                raise ValueError("net line before grid line")
+            if fields[7] != ":":
+                raise ValueError(f"malformed net line: {line!r}")
+            segments = tuple(_parse_segment(tok) for tok in fields[8:])
+            two_pin_nets.append(TwoPinNet(
+                net_index=int(fields[1]), subnet_index=int(fields[2]),
+                source=(int(fields[3]), int(fields[4])),
+                sink=(int(fields[5]), int(fields[6])),
+                segments=segments))
+        else:
+            raise ValueError(f"unrecognised routing line: {line!r}")
+    if arch is None:
+        raise ValueError("missing grid line")
+    if arch.cols != netlist.cols or arch.rows != netlist.rows:
+        raise ValueError("routing grid does not match the netlist grid")
+    return GlobalRouting(netlist=netlist, arch=arch,
+                         two_pin_nets=two_pin_nets)
+
+
+def routing_from_text(text: str, netlist: Netlist) -> GlobalRouting:
+    return read_routing(io.StringIO(text), netlist)
+
+
+# ----------------------------------------------------------------------
+# Track assignment JSON
+# ----------------------------------------------------------------------
+
+def assignment_to_json(assignment: TrackAssignment) -> str:
+    """Serialise a track assignment (keyed by 2-pin net name)."""
+    names = {}
+    for vertex, track in sorted(assignment.tracks.items()):
+        names[assignment.routing.two_pin_nets[vertex].name] = track
+    payload = {
+        "format": "repro-tracks",
+        "version": _FORMAT_VERSION,
+        "width": assignment.width,
+        "tracks": names,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def assignment_from_json(text: str, routing: GlobalRouting) -> TrackAssignment:
+    """Rebuild a track assignment against its global routing."""
+    payload = json.loads(text)
+    if payload.get("format") != "repro-tracks":
+        raise ValueError("not a repro-tracks JSON document")
+    by_name: Dict[str, int] = {two_pin.name: vertex
+                               for vertex, two_pin
+                               in enumerate(routing.two_pin_nets)}
+    tracks = {}
+    for name, track in payload["tracks"].items():
+        if name not in by_name:
+            raise ValueError(f"unknown two-pin net {name!r}")
+        tracks[by_name[name]] = track
+    return TrackAssignment(routing=routing, width=payload["width"],
+                           tracks=tracks)

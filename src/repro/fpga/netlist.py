@@ -1,0 +1,90 @@
+"""Placed netlists: logic blocks at grid positions and multi-pin nets.
+
+Only what detailed routing needs is modelled: a net has one source block
+and one or more sink blocks, all already placed (the MCNC benchmarks the
+paper uses come placed and globally routed via SEGA; our synthetic
+generator in :mod:`repro.fpga.generate` plays that role).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+Position = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Net:
+    """A multi-pin net: one source, ``len(sinks)`` sinks."""
+
+    name: str
+    source: Position
+    sinks: Tuple[Position, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sinks:
+            raise ValueError(f"net {self.name!r} has no sinks")
+        if self.source in self.sinks:
+            raise ValueError(f"net {self.name!r} lists its source as a sink")
+        if len(set(self.sinks)) != len(self.sinks):
+            raise ValueError(f"net {self.name!r} repeats a sink")
+
+    @property
+    def fanout(self) -> int:
+        return len(self.sinks)
+
+    @property
+    def pins(self) -> List[Position]:
+        return [self.source] + list(self.sinks)
+
+
+class Netlist:
+    """A collection of placed nets on a ``cols × rows`` array."""
+
+    def __init__(self, name: str, cols: int, rows: int,
+                 nets: Iterable[Net] = ()) -> None:
+        if cols < 1 or rows < 1:
+            raise ValueError("the array needs at least one block")
+        self.name = name
+        self.cols = cols
+        self.rows = rows
+        self.nets: List[Net] = []
+        names = set()
+        for net in nets:
+            self.add_net(net, _names=names)
+
+    def add_net(self, net: Net, _names=None) -> None:
+        """Add a net, validating placement and name uniqueness."""
+        for x, y in net.pins:
+            if not (0 <= x < self.cols and 0 <= y < self.rows):
+                raise ValueError(
+                    f"net {net.name!r} pin ({x},{y}) outside the "
+                    f"{self.cols}x{self.rows} array")
+        existing = _names if _names is not None else {n.name for n in self.nets}
+        if net.name in existing:
+            raise ValueError(f"duplicate net name {net.name!r}")
+        if _names is not None:
+            _names.add(net.name)
+        self.nets.append(net)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.nets)
+
+    @property
+    def num_pins(self) -> int:
+        return sum(1 + net.fanout for net in self.nets)
+
+    def total_wirelength_lower_bound(self) -> int:
+        """Sum over nets of the half-perimeter wirelength (HPWL)."""
+        total = 0
+        for net in self.nets:
+            xs = [p[0] for p in net.pins]
+            ys = [p[1] for p in net.pins]
+            total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+        return total
+
+    def __repr__(self) -> str:
+        return (f"Netlist({self.name!r}, {self.cols}x{self.rows}, "
+                f"nets={len(self.nets)})")

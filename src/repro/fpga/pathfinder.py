@@ -1,0 +1,157 @@
+"""A negotiation-based one-net-at-a-time detailed router (baseline).
+
+The paper's §1 contrasts SAT-based detailed routing with "the
+one-net-at-a-time approach used in most non-SAT-based FPGA detailed
+routers": heuristics in the PathFinder family rip up and re-route nets
+under rising congestion costs.  They are fast and usually find a routing
+when one exists, but they can *never prove* that none exists — the
+capability gap the SAT approach fills.
+
+This module implements that baseline over the same track-preservation
+model the SAT reduction uses: each 2-pin net must occupy a single track
+index along its fixed global route, so detailed routing is exactly
+conflict-graph coloring and "re-routing" a net means moving it to another
+track.  Negotiation runs on top: every (segment, track) resource has a
+congestion cost that grows with overuse history, and nets greedily pick
+their cheapest track each iteration until either no resource is overused
+(success, verified) or the iteration budget runs out (failure, *without*
+an unroutability proof).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .detailed import RoutingCSP
+from .global_route import GlobalRouting
+from .tracks import TrackAssignment, verify_track_assignment
+
+
+@dataclass
+class NegotiationResult:
+    """Outcome of a negotiation-based routing attempt.
+
+    Unlike :class:`~repro.fpga.flow.DetailedRoutingResult`, a failure here
+    carries **no proof**: ``assignment`` is None but the configuration may
+    still be routable (the router just did not find it).
+    """
+
+    routing: GlobalRouting
+    width: int
+    success: bool
+    assignment: Optional[TrackAssignment]
+    iterations: int
+    overused_history: List[int] = field(default_factory=list)
+
+    @property
+    def gave_up(self) -> bool:
+        return not self.success
+
+
+class PathFinderRouter:
+    """Negotiated-congestion track assignment.
+
+    Parameters
+    ----------
+    max_iterations:
+        Rip-up/re-route rounds before giving up.
+    present_factor_growth:
+        Multiplier applied to the present-congestion penalty each
+        iteration (PathFinder's ``pres_fac`` schedule).
+    history_gain:
+        Increment to a resource's history cost each iteration it stays
+        overused.
+    """
+
+    def __init__(self, max_iterations: int = 50,
+                 present_factor_growth: float = 1.5,
+                 history_gain: float = 1.0) -> None:
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        if present_factor_growth < 1.0:
+            raise ValueError("present_factor_growth must be >= 1")
+        if history_gain < 0:
+            raise ValueError("history_gain must be non-negative")
+        self.max_iterations = max_iterations
+        self.present_factor_growth = present_factor_growth
+        self.history_gain = history_gain
+
+    def route(self, csp: RoutingCSP) -> NegotiationResult:
+        """Attempt a track assignment for ``csp.routing`` at ``csp.width``."""
+        routing = csp.routing
+        width = csp.width
+        num_nets = routing.num_two_pin_nets
+        graph = csp.problem.graph
+
+        # Resource bookkeeping is per (conflict-graph vertex, track): a
+        # vertex's cost for a track is driven by how many *conflicting*
+        # vertices currently sit on that track, plus accumulated history.
+        tracks: List[int] = [0] * num_nets
+        history: Dict[Tuple[int, int], float] = {}
+        present_factor = 1.0
+
+        order = sorted(range(num_nets),
+                       key=lambda v: -graph.degree(v))  # hardest first
+
+        overused_history: List[int] = []
+        for iteration in range(1, self.max_iterations + 1):
+            # Re-route every net greedily against current occupancy.
+            for vertex in order:
+                tracks[vertex] = self._cheapest_track(
+                    vertex, tracks, graph, width, history, present_factor)
+            conflicts = self._conflicting_vertices(tracks, graph)
+            overused_history.append(len(conflicts))
+            if not conflicts:
+                assignment = TrackAssignment(
+                    routing=routing, width=width,
+                    tracks={v: tracks[v] for v in range(num_nets)})
+                violations = verify_track_assignment(assignment)
+                if violations:  # defensive: negotiation must match verifier
+                    raise AssertionError(
+                        "negotiated assignment failed verification: "
+                        + "; ".join(violations[:3]))
+                return NegotiationResult(routing=routing, width=width,
+                                         success=True, assignment=assignment,
+                                         iterations=iteration,
+                                         overused_history=overused_history)
+            # Charge history on conflicted resources and raise pressure.
+            for vertex in conflicts:
+                key = (vertex, tracks[vertex])
+                history[key] = history.get(key, 0.0) + self.history_gain
+            present_factor *= self.present_factor_growth
+
+        return NegotiationResult(routing=routing, width=width, success=False,
+                                 assignment=None,
+                                 iterations=self.max_iterations,
+                                 overused_history=overused_history)
+
+    @staticmethod
+    def _conflicting_vertices(tracks: List[int], graph) -> List[int]:
+        conflicted = set()
+        for u, v in graph.edges():
+            if tracks[u] == tracks[v]:
+                conflicted.add(u)
+                conflicted.add(v)
+        return sorted(conflicted)
+
+    def _cheapest_track(self, vertex: int, tracks: List[int], graph,
+                        width: int, history, present_factor: float) -> int:
+        neighbor_tracks: Dict[int, int] = {}
+        for neighbor in graph.neighbors(vertex):
+            track = tracks[neighbor]
+            neighbor_tracks[track] = neighbor_tracks.get(track, 0) + 1
+        best_track = 0
+        best_cost = float("inf")
+        for track in range(width):
+            present = neighbor_tracks.get(track, 0) * present_factor
+            cost = 1.0 + present + history.get((vertex, track), 0.0)
+            if cost < best_cost:
+                best_cost = cost
+                best_track = track
+        return best_track
+
+
+def negotiate_tracks(csp: RoutingCSP, max_iterations: int = 50) -> NegotiationResult:
+    """Convenience wrapper around :class:`PathFinderRouter`."""
+    return PathFinderRouter(max_iterations=max_iterations).route(csp)

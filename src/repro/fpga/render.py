@@ -1,0 +1,82 @@
+"""ASCII rendering of arrays, channel congestion and routes.
+
+Terminal-friendly visualisation — no plotting dependencies — used by the
+examples and handy when debugging why a particular configuration is
+unroutable (the hot channels are immediately visible).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .arch import Segment
+from .global_route import GlobalRouting
+
+
+def render_congestion(routing: GlobalRouting,
+                      highlight: Optional[int] = None) -> str:
+    """Draw the array with per-segment distinct-net counts.
+
+    Logic blocks print as ``[]``; each channel segment prints its usage
+    (``.`` when idle).  With ``highlight``, segments used by that 2-pin
+    net index print as ``*`` markers next to their count.
+    """
+    arch = routing.arch
+    usage = routing.segment_usage()
+    highlighted = set()
+    if highlight is not None:
+        if not 0 <= highlight < routing.num_two_pin_nets:
+            raise ValueError(f"two-pin net {highlight} out of range")
+        highlighted = set(routing.two_pin_nets[highlight].segments)
+
+    def cell(segment: Segment) -> str:
+        count = usage.get(segment, 0)
+        text = "." if count == 0 else str(min(count, 9))
+        if segment in highlighted:
+            text = f"*{text}"
+        return text.rjust(3)
+
+    lines: List[str] = []
+    for y in range(arch.rows, -1, -1):
+        # Horizontal channel y: one segment per block column.
+        channel = ["   "]
+        for x in range(arch.cols):
+            channel.append(cell(Segment("h", x, y)))
+            channel.append("    ")
+        lines.append("".join(channel).rstrip())
+        if y == 0:
+            break
+        # Block row y-1, with vertical channel segments between blocks.
+        row = []
+        for x in range(arch.cols + 1):
+            row.append(cell(Segment("v", x, y - 1)))
+            if x < arch.cols:
+                row.append(" [] ")
+        lines.append("".join(row).rstrip())
+    header = (f"{routing.netlist.name}: {arch.cols}x{arch.rows} array, "
+              f"{routing.num_two_pin_nets} two-pin nets, "
+              f"peak segment usage {routing.max_segment_usage()}")
+    return header + "\n" + "\n".join(lines)
+
+
+def render_route(routing: GlobalRouting, vertex: int) -> str:
+    """Describe one 2-pin net's route segment by segment."""
+    if not 0 <= vertex < routing.num_two_pin_nets:
+        raise ValueError(f"two-pin net {vertex} out of range")
+    two_pin = routing.two_pin_nets[vertex]
+    steps = " -> ".join(str(s) for s in two_pin.segments)
+    return (f"{two_pin.name}: {two_pin.source} to {two_pin.sink} "
+            f"via {steps}")
+
+
+def render_track_histogram(usage: Dict[Segment, int], width: int) -> str:
+    """Histogram of segment usage vs the channel width budget."""
+    counts: Dict[int, int] = {}
+    for value in usage.values():
+        counts[value] = counts.get(value, 0) + 1
+    lines = [f"segment usage histogram (W = {width}):"]
+    for value in sorted(counts):
+        bar = "#" * min(counts[value], 60)
+        marker = " <= over budget" if value > width else ""
+        lines.append(f"  {value:3d} nets: {bar} ({counts[value]}){marker}")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Track assignments: decoding colorings back into detailed routes, and
+the independent legality verifier.
+
+The verifier re-checks the *routing-level* property (no two electrically
+distinct nets on one track of one segment) directly against the global
+routing, without going through the conflict graph — so it would catch a
+bug in the reduction as well as one in an encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from .arch import Segment
+from .detailed import RoutingCSP
+from .global_route import GlobalRouting
+
+
+@dataclass
+class TrackAssignment:
+    """A detailed routing: track index per 2-pin net."""
+
+    routing: GlobalRouting
+    width: int
+    tracks: Dict[int, int]  # two-pin-net index -> track in 0..width-1
+
+    def track_of(self, vertex: int) -> int:
+        return self.tracks[vertex]
+
+
+def assignment_from_coloring(csp: RoutingCSP,
+                             coloring: Mapping[int, int]) -> TrackAssignment:
+    """Interpret a conflict-graph coloring as a track assignment."""
+    tracks = {vertex: coloring[vertex]
+              for vertex in range(csp.num_two_pin_nets)}
+    return TrackAssignment(routing=csp.routing, width=csp.width, tracks=tracks)
+
+
+def verify_track_assignment(assignment: TrackAssignment) -> List[str]:
+    """Check detailed-routing legality; returns violations (empty = legal).
+
+    * every 2-pin net has a track in ``0..width-1``;
+    * on every channel segment, 2-pin nets of different multi-pin nets
+      occupy pairwise different tracks (track-preserving switch blocks make
+      this the complete exclusivity condition).
+    """
+    routing = assignment.routing
+    violations: List[str] = []
+    for vertex, two_pin in enumerate(routing.two_pin_nets):
+        if vertex not in assignment.tracks:
+            violations.append(f"{two_pin.name}: no track assigned")
+            continue
+        track = assignment.tracks[vertex]
+        if not 0 <= track < assignment.width:
+            violations.append(
+                f"{two_pin.name}: track {track} outside 0..{assignment.width - 1}")
+
+    occupancy: Dict[Segment, Dict[int, int]] = {}
+    for vertex, two_pin in enumerate(routing.two_pin_nets):
+        track = assignment.tracks.get(vertex)
+        if track is None:
+            continue
+        for segment in two_pin.segments:
+            holders = occupancy.setdefault(segment, {})
+            if track in holders:
+                other = holders[track]
+                if routing.two_pin_nets[other].net_index != two_pin.net_index:
+                    violations.append(
+                        f"segment {segment} track {track}: nets "
+                        f"{routing.two_pin_nets[other].name} and "
+                        f"{two_pin.name} collide")
+            else:
+                holders[track] = vertex
+    return violations
+
+
+def is_legal(assignment: TrackAssignment) -> bool:
+    """True iff the assignment is a legal detailed routing."""
+    return not verify_track_assignment(assignment)

@@ -1,0 +1,183 @@
+"""CNF formula container and DIMACS CNF reader/writer.
+
+The :class:`CNF` class is the hand-off format between the encoding layer
+(:mod:`repro.core.encodings`) and the SAT solvers (:mod:`repro.sat.solver`).
+It stores clauses as tuples of DIMACS literals, tracks the number of
+variables, and can be serialised to and parsed from the standard DIMACS
+``p cnf`` format so instances can be inspected with external tools.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Iterator, List, Optional, Sequence, TextIO, Tuple
+
+from .literals import var_of
+
+Clause = Tuple[int, ...]
+
+
+class CNF:
+    """A propositional formula in conjunctive normal form.
+
+    Parameters
+    ----------
+    clauses:
+        Optional initial clauses; each clause is an iterable of nonzero
+        DIMACS literals.
+    num_vars:
+        Optional explicit variable count.  The count grows automatically as
+        clauses mentioning larger variables are added, but it may be set
+        higher than any mentioned variable (DIMACS allows unused variables,
+        and encodings allocate contiguous per-vertex blocks up front).
+    """
+
+    def __init__(self, clauses: Optional[Iterable[Iterable[int]]] = None,
+                 num_vars: int = 0) -> None:
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        self._clauses: List[Clause] = []
+        self._num_vars = num_vars
+        if clauses is not None:
+            for clause in clauses:
+                self.add_clause(clause)
+
+    @property
+    def num_vars(self) -> int:
+        """Number of variables (the largest variable id in use)."""
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses added so far."""
+        return len(self._clauses)
+
+    @property
+    def clauses(self) -> List[Clause]:
+        """The clause list (shared, do not mutate)."""
+        return self._clauses
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable id."""
+        self._num_vars += 1
+        return self._num_vars
+
+    def new_vars(self, count: int) -> List[int]:
+        """Allocate ``count`` fresh variables and return their ids."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        first = self._num_vars + 1
+        self._num_vars += count
+        return list(range(first, self._num_vars + 1))
+
+    def reserve(self, num_vars: int) -> None:
+        """Ensure the formula has at least ``num_vars`` variables."""
+        if num_vars > self._num_vars:
+            self._num_vars = num_vars
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        """Add a clause given as an iterable of DIMACS literals.
+
+        The empty clause is allowed and makes the formula trivially
+        unsatisfiable.  Literal order is preserved; duplicates are kept
+        (the solver tolerates them), but a ``0`` literal is rejected.
+        """
+        clause = tuple(lits)
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("clause contains the invalid literal 0")
+            v = var_of(lit)
+            if v > self._num_vars:
+                self._num_vars = v
+        self._clauses.append(clause)
+
+    def extend(self, clauses: Iterable[Iterable[int]]) -> None:
+        """Add many clauses at once."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def copy(self) -> "CNF":
+        """Return an independent copy of this formula."""
+        duplicate = CNF(num_vars=self._num_vars)
+        duplicate._clauses = list(self._clauses)
+        return duplicate
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self._clauses)
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __repr__(self) -> str:
+        return f"CNF(num_vars={self._num_vars}, num_clauses={len(self._clauses)})"
+
+    # ------------------------------------------------------------------
+    # DIMACS serialisation
+    # ------------------------------------------------------------------
+
+    def write_dimacs(self, stream: TextIO, comments: Sequence[str] = ()) -> None:
+        """Write the formula to ``stream`` in DIMACS CNF format."""
+        for comment in comments:
+            stream.write(f"c {comment}\n")
+        stream.write(f"p cnf {self._num_vars} {len(self._clauses)}\n")
+        for clause in self._clauses:
+            stream.write(" ".join(str(lit) for lit in clause))
+            stream.write(" 0\n")
+
+    def to_dimacs(self, comments: Sequence[str] = ()) -> str:
+        """Return the DIMACS CNF text for this formula."""
+        buffer = io.StringIO()
+        self.write_dimacs(buffer, comments=comments)
+        return buffer.getvalue()
+
+    def write_dimacs_file(self, path: str, comments: Sequence[str] = ()) -> None:
+        """Write the formula to the file at ``path`` in DIMACS CNF format."""
+        with open(path, "w", encoding="ascii") as handle:
+            self.write_dimacs(handle, comments=comments)
+
+
+def parse_dimacs(stream: TextIO) -> CNF:
+    """Parse a DIMACS CNF formula from a text stream.
+
+    Comment lines (``c ...``) are ignored.  The ``p cnf`` header is
+    optional in practice but, when present, its variable count is honoured
+    even if larger than any literal.  Clauses may span lines; each is
+    terminated by ``0``.
+    """
+    cnf = CNF()
+    declared_vars = 0
+    pending: List[int] = []
+    for raw_line in stream:
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            fields = line.split()
+            if len(fields) != 4 or fields[1] != "cnf":
+                raise ValueError(f"malformed DIMACS problem line: {line!r}")
+            declared_vars = int(fields[2])
+            continue
+        if line.startswith("%"):
+            break
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                pending.append(lit)
+    if pending:
+        cnf.add_clause(pending)
+    cnf.reserve(declared_vars)
+    return cnf
+
+
+def parse_dimacs_string(text: str) -> CNF:
+    """Parse a DIMACS CNF formula from a string."""
+    return parse_dimacs(io.StringIO(text))
+
+
+def parse_dimacs_file(path: str) -> CNF:
+    """Parse a DIMACS CNF formula from the file at ``path``."""
+    with open(path, "r", encoding="ascii") as handle:
+        return parse_dimacs(handle)

@@ -1,0 +1,63 @@
+"""DIMACS-style literal helpers.
+
+Throughout :mod:`repro.sat`, a *literal* is a nonzero Python ``int`` in the
+DIMACS convention: variable ``v`` (1-based) appears positively as ``v`` and
+negatively as ``-v``.  The CDCL solver internally re-encodes literals as
+*codes* (``2*var`` / ``2*var + 1``) so that negation is a cheap XOR and
+literals can index arrays directly; the helpers for that live here too.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def var_of(lit: int) -> int:
+    """Return the (positive) variable of a DIMACS literal."""
+    if lit == 0:
+        raise ValueError("0 is not a valid DIMACS literal")
+    return lit if lit > 0 else -lit
+
+
+def is_positive(lit: int) -> bool:
+    """Return True if the literal is a positive occurrence of its variable."""
+    if lit == 0:
+        raise ValueError("0 is not a valid DIMACS literal")
+    return lit > 0
+
+
+def negate(lit: int) -> int:
+    """Return the negation of a DIMACS literal."""
+    if lit == 0:
+        raise ValueError("0 is not a valid DIMACS literal")
+    return -lit
+
+
+def lit_to_code(lit: int) -> int:
+    """Map a DIMACS literal to its internal code.
+
+    Variable ``v`` maps to ``2*v`` when positive and ``2*v + 1`` when
+    negative, so ``code ^ 1`` is the code of the negated literal and codes
+    can index flat arrays of size ``2 * (num_vars + 1)``.
+    """
+    if lit == 0:
+        raise ValueError("0 is not a valid DIMACS literal")
+    return 2 * lit if lit > 0 else -2 * lit + 1
+
+
+def code_to_lit(code: int) -> int:
+    """Inverse of :func:`lit_to_code`."""
+    if code < 2:
+        raise ValueError(f"invalid literal code {code}")
+    var = code >> 1
+    return -var if code & 1 else var
+
+
+def max_var(lits: Iterable[int]) -> int:
+    """Return the largest variable mentioned in an iterable of literals."""
+    best = 0
+    for lit in lits:
+        v = lit if lit > 0 else -lit
+        if v > best:
+            best = v
+    return best

@@ -1,0 +1,96 @@
+"""Satisfying assignments (models) returned by the SAT solvers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .cnf import CNF
+from .literals import var_of
+
+
+class Model:
+    """A total truth assignment over variables ``1..num_vars``.
+
+    The solvers extend partial satisfying assignments to total ones (unset
+    variables default to False), so downstream decoding never has to deal
+    with "unknown" values.
+    """
+
+    def __init__(self, values: Sequence[bool]) -> None:
+        # values[0] is a placeholder so that values[v] is variable v.
+        self._values: List[bool] = [False] + list(values)
+
+    @classmethod
+    def from_true_vars(cls, true_vars: Iterable[int], num_vars: int) -> "Model":
+        """Build a model from the set of variables assigned True."""
+        values = [False] * num_vars
+        for v in true_vars:
+            if not 1 <= v <= num_vars:
+                raise ValueError(f"variable {v} out of range 1..{num_vars}")
+            values[v - 1] = True
+        return cls(values)
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._values) - 1
+
+    def value(self, var: int) -> bool:
+        """Return the truth value of variable ``var``."""
+        if not 1 <= var <= self.num_vars:
+            raise ValueError(f"variable {var} out of range 1..{self.num_vars}")
+        return self._values[var]
+
+    def satisfies_literal(self, lit: int) -> bool:
+        """Return True if this model makes the literal true."""
+        return self._values[var_of(lit)] == (lit > 0)
+
+    def satisfies_clause(self, clause: Iterable[int]) -> bool:
+        """Return True if this model satisfies the clause."""
+        return any(self.satisfies_literal(lit) for lit in clause)
+
+    def satisfies(self, cnf: CNF) -> bool:
+        """Return True if this model satisfies every clause of ``cnf``."""
+        return all(self.satisfies_clause(clause) for clause in cnf)
+
+    def true_vars(self) -> List[int]:
+        """Return the sorted list of variables assigned True."""
+        return [v for v in range(1, self.num_vars + 1) if self._values[v]]
+
+    def as_dict(self) -> Dict[int, bool]:
+        """Return the assignment as a ``{var: bool}`` dict."""
+        return {v: self._values[v] for v in range(1, self.num_vars + 1)}
+
+    def __getitem__(self, var: int) -> bool:
+        return self.value(var)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Model):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._values))
+
+    def __repr__(self) -> str:
+        return f"Model(num_vars={self.num_vars})"
+
+
+class SolveResult:
+    """Outcome of a solver run: SAT with a model, or UNSAT, plus statistics."""
+
+    def __init__(self, satisfiable: bool, model: Optional[Model] = None,
+                 stats: Optional[Dict[str, float]] = None) -> None:
+        if satisfiable and model is None:
+            raise ValueError("a satisfiable result requires a model")
+        if not satisfiable and model is not None:
+            raise ValueError("an unsatisfiable result cannot carry a model")
+        self.satisfiable = satisfiable
+        self.model = model
+        self.stats: Dict[str, float] = dict(stats or {})
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+    def __repr__(self) -> str:
+        status = "SAT" if self.satisfiable else "UNSAT"
+        return f"SolveResult({status})"

@@ -1,0 +1,220 @@
+"""RUP/DRUP clausal proof checking.
+
+A clausal proof of unsatisfiability is a sequence of clauses ending with
+the empty clause, each of which is *RUP* (Reverse Unit Propagation) with
+respect to the original formula plus the previously derived clauses:
+asserting the negation of all its literals and running unit propagation
+yields a conflict.  CDCL learned clauses have this property, so the
+sequence a solver learns on the way to UNSAT — which
+:class:`~repro.sat.solver.cdcl.CDCLSolver` records when
+``config.proof_log`` is set — is exactly such a proof.
+
+This checker is deliberately independent of the solver: it shares no
+code with the CDCL implementation beyond the literal convention, so a
+solver bug cannot silently certify itself.  For the routing pipeline
+this closes the loop on the paper's headline capability: an
+"unroutable" verdict comes with a certificate a few hundred lines of
+unrelated code can validate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .cnf import CNF
+
+Clause = Tuple[int, ...]
+
+_TRUE = 1
+_FALSE = -1
+_UNDEF = 0
+
+
+class ProofError(Exception):
+    """Raised when a proof step is not RUP (the proof is invalid)."""
+
+
+class _Propagator:
+    """Incremental two-watched-literal unit propagation over a growing
+    clause database, with a permanent (root) trail and temporary
+    assumption levels for RUP checks."""
+
+    def __init__(self, num_vars: int) -> None:
+        self.num_vars = num_vars
+        self._values: List[int] = [_UNDEF] * (2 * num_vars + 2)
+        self._watches: List[List[List[int]]] = \
+            [[] for _ in range(2 * num_vars + 2)]
+        self._trail: List[int] = []
+        self._qhead = 0
+        self.contradiction = False
+
+    @staticmethod
+    def _code(lit: int) -> int:
+        return 2 * lit if lit > 0 else -2 * lit + 1
+
+    def _assign(self, code: int) -> bool:
+        """Assign a literal true; False if it contradicts the assignment."""
+        value = self._values[code]
+        if value == _TRUE:
+            return True
+        if value == _FALSE:
+            return False
+        self._values[code] = _TRUE
+        self._values[code ^ 1] = _FALSE
+        self._trail.append(code)
+        return True
+
+    def add_clause(self, clause: Sequence[int]) -> None:
+        """Add a clause permanently and propagate at the root level."""
+        if self.contradiction:
+            return
+        codes = []
+        seen = set()
+        for lit in clause:
+            code = self._code(lit)
+            if code ^ 1 in seen:
+                return  # tautology: irrelevant for propagation
+            if code not in seen:
+                seen.add(code)
+                codes.append(code)
+        # Move non-false literals to the watch positions.
+        codes.sort(key=lambda c: self._values[c] == _FALSE)
+        if not codes or self._values[codes[0]] == _FALSE:
+            self.contradiction = True
+            return
+        if len(codes) == 1 or self._values[codes[1]] == _FALSE:
+            if not self._assign(codes[0]):
+                self.contradiction = True
+                return
+            if len(codes) > 1:
+                self._watch(codes)
+            self._propagate_root()
+            return
+        self._watch(codes)
+
+    def _watch(self, codes: List[int]) -> None:
+        self._watches[codes[0]].append(codes)
+        self._watches[codes[1]].append(codes)
+
+    def _propagate_root(self) -> None:
+        if self._propagate() is not None:
+            self.contradiction = True
+        self._qhead = len(self._trail)
+
+    def _propagate(self) -> Optional[List[int]]:
+        """Propagate queued assignments; returns a conflicting clause's
+        codes, or None."""
+        values = self._values
+        watches = self._watches
+        while self._qhead < len(self._trail):
+            propagated = self._trail[self._qhead]
+            self._qhead += 1
+            false_code = propagated ^ 1
+            watchers = watches[false_code]
+            i = 0
+            j = 0
+            count = len(watchers)
+            while i < count:
+                codes = watchers[i]
+                i += 1
+                if codes[0] == false_code:
+                    codes[0], codes[1] = codes[1], codes[0]
+                first = codes[0]
+                if values[first] == _TRUE:
+                    watchers[j] = codes
+                    j += 1
+                    continue
+                moved = False
+                for k in range(2, len(codes)):
+                    if values[codes[k]] != _FALSE:
+                        codes[1], codes[k] = codes[k], codes[1]
+                        watches[codes[1]].append(codes)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                watchers[j] = codes
+                j += 1
+                if values[first] == _FALSE:
+                    while i < count:
+                        watchers[j] = watchers[i]
+                        j += 1
+                        i += 1
+                    del watchers[j:]
+                    return codes
+                self._assign(first)
+            del watchers[j:]
+        return None
+
+    def rup_check(self, clause: Sequence[int]) -> bool:
+        """Is the clause RUP with respect to the current database?
+
+        Leaves the permanent state untouched."""
+        if self.contradiction:
+            return True
+        mark = len(self._trail)
+        saved_qhead = self._qhead
+        try:
+            for lit in clause:
+                code = self._code(lit)
+                if self._values[code] == _TRUE:
+                    return True  # negation immediately contradictory
+                if not self._assign(code ^ 1):
+                    return True
+            return self._propagate() is not None
+        finally:
+            for code in self._trail[mark:]:
+                self._values[code] = _UNDEF
+                self._values[code ^ 1] = _UNDEF
+            del self._trail[mark:]
+            self._qhead = min(saved_qhead, mark)
+
+
+def check_rup_proof(cnf: CNF, proof: Iterable[Sequence[int]],
+                    require_empty_clause: bool = True) -> int:
+    """Verify a clausal UNSAT proof against ``cnf``.
+
+    Returns the number of verified steps.  Raises :class:`ProofError` on
+    the first step that is not RUP, or (when ``require_empty_clause``) if
+    the proof does not derive the empty clause.
+    """
+    propagator = _Propagator(cnf.num_vars)
+    for clause in cnf:
+        propagator.add_clause(clause)
+    derived_empty = propagator.contradiction
+    steps = 0
+    for step, clause in enumerate(proof):
+        clause = tuple(clause)
+        for lit in clause:
+            if lit == 0 or abs(lit) > cnf.num_vars:
+                raise ProofError(
+                    f"proof step {step} mentions literal {lit}, outside "
+                    f"the formula's variables 1..{cnf.num_vars}")
+        if not propagator.rup_check(clause):
+            raise ProofError(f"proof step {step} is not RUP: {clause}")
+        propagator.add_clause(clause)
+        steps += 1
+        if not clause or propagator.contradiction:
+            derived_empty = True
+    if require_empty_clause and not derived_empty:
+        raise ProofError("proof does not derive the empty clause")
+    return steps
+
+
+def solve_with_proof(cnf: CNF, config=None):
+    """Solve ``cnf`` with proof logging on; returns (result, proof).
+
+    On UNSAT the proof is a checkable certificate; on SAT it is the
+    (valid but uninteresting) list of clauses learned along the way.
+    """
+    from .solver.cdcl import CDCLSolver
+    from .solver.config import SolverConfig
+    import dataclasses
+
+    if config is None:
+        config = SolverConfig(proof_log=True)
+    elif not config.proof_log:
+        config = dataclasses.replace(config, proof_log=True)
+    solver = CDCLSolver(cnf, config)
+    result = solver.solve()
+    return result, list(solver.proof)

@@ -1,0 +1,207 @@
+"""CNF preprocessing: root unit propagation, pure-literal elimination,
+duplicate/tautology removal, and (bounded) subsumption.
+
+The paper's tool flow generates CNF mechanically from patterns, which
+leaves easy simplifications on the table — e.g. symmetry breaking turns
+pattern clauses into units that fix whole variable blocks.  Preprocessing
+shrinks the formula before the CDCL search without changing
+satisfiability, and remembers enough to extend a model of the simplified
+formula back to the original variable space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .cnf import CNF
+from .model import Model
+
+
+@dataclass
+class Simplification:
+    """A simplified formula plus the bookkeeping to lift models back.
+
+    Attributes
+    ----------
+    cnf:
+        The simplified formula (same variable numbering as the original).
+    forced:
+        Variables fixed by root unit propagation (``{var: bool}``).
+    pure:
+        Variables eliminated as pure literals, with their satisfying
+        polarity.
+    contradiction:
+        True when preprocessing alone refutes the formula.
+    stats:
+        Counters: units propagated, pure literals, clauses removed, ...
+    """
+
+    cnf: CNF
+    forced: Dict[int, bool] = field(default_factory=dict)
+    pure: Dict[int, bool] = field(default_factory=dict)
+    contradiction: bool = False
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def extend_model(self, model: Model) -> Model:
+        """Lift a model of the simplified formula to the original one.
+
+        Forced and pure variables get their recorded values; everything
+        else keeps the model's value.
+        """
+        values = [model.value(v) if v <= model.num_vars else False
+                  for v in range(1, self.cnf.num_vars + 1)]
+        for var, value in self.forced.items():
+            values[var - 1] = value
+        for var, value in self.pure.items():
+            values[var - 1] = value
+        return Model(values)
+
+
+def _propagate_units(clauses: List[Tuple[int, ...]],
+                     forced: Dict[int, bool]) -> Optional[List[Tuple[int, ...]]]:
+    """Fixpoint unit propagation; returns None on contradiction."""
+    changed = True
+    while changed:
+        changed = False
+        remaining: List[Tuple[int, ...]] = []
+        for clause in clauses:
+            literals = []
+            satisfied = False
+            for lit in clause:
+                value = forced.get(abs(lit))
+                if value is None:
+                    literals.append(lit)
+                elif value == (lit > 0):
+                    satisfied = True
+                    break
+            if satisfied:
+                changed = True
+                continue
+            if not literals:
+                return None
+            if len(literals) == 1:
+                lit = literals[0]
+                var = abs(lit)
+                want = lit > 0
+                if forced.get(var, want) != want:
+                    return None
+                if var not in forced:
+                    forced[var] = want
+                    changed = True
+                continue
+            if len(literals) != len(clause):
+                changed = True
+            remaining.append(tuple(literals))
+        clauses = remaining
+    return clauses
+
+
+def _eliminate_pure(clauses: List[Tuple[int, ...]],
+                    pure: Dict[int, bool]) -> List[Tuple[int, ...]]:
+    """Fixpoint pure-literal elimination."""
+    while True:
+        polarity: Dict[int, Set[bool]] = {}
+        for clause in clauses:
+            for lit in clause:
+                polarity.setdefault(abs(lit), set()).add(lit > 0)
+        new_pure = {var: polarities.pop()
+                    for var, polarities in polarity.items()
+                    if len(polarities) == 1}
+        if not new_pure:
+            return clauses
+        pure.update(new_pure)
+        clauses = [clause for clause in clauses
+                   if not any(abs(lit) in new_pure for lit in clause)]
+
+
+def _subsumption(clauses: List[Tuple[int, ...]],
+                 max_clause_len: int = 8) -> Tuple[List[Tuple[int, ...]], int]:
+    """Remove clauses subsumed by a (short) subset clause."""
+    clause_sets = [frozenset(c) for c in clauses]
+    by_literal: Dict[int, List[int]] = {}
+    for index, literals in enumerate(clause_sets):
+        for lit in literals:
+            by_literal.setdefault(lit, []).append(index)
+    removed = [False] * len(clauses)
+    order = sorted(range(len(clauses)), key=lambda i: len(clause_sets[i]))
+    for index in order:
+        if removed[index]:
+            continue
+        literals = clause_sets[index]
+        if not literals or len(literals) > max_clause_len:
+            continue
+        # Candidates must contain the rarest literal of this clause.
+        rarest = min(literals, key=lambda lit: len(by_literal[lit]))
+        for other in by_literal[rarest]:
+            if other == index or removed[other]:
+                continue
+            if len(clause_sets[other]) > len(literals) \
+                    and literals <= clause_sets[other]:
+                removed[other] = True
+    kept = [clauses[i] for i in range(len(clauses)) if not removed[i]]
+    return kept, sum(removed)
+
+
+def simplify(cnf: CNF, subsume: bool = True) -> Simplification:
+    """Preprocess ``cnf``; the result is equisatisfiable and models lift
+    back via :meth:`Simplification.extend_model`."""
+    stats: Dict[str, int] = {"original_clauses": cnf.num_clauses}
+    # Deduplicate and drop tautologies.
+    seen: Set[frozenset] = set()
+    clauses: List[Tuple[int, ...]] = []
+    tautologies = 0
+    duplicates = 0
+    for clause in cnf:
+        literals = frozenset(clause)
+        if any(-lit in literals for lit in literals):
+            tautologies += 1
+            continue
+        if literals in seen:
+            duplicates += 1
+            continue
+        seen.add(literals)
+        clauses.append(tuple(dict.fromkeys(clause)))
+    stats["tautologies"] = tautologies
+    stats["duplicates"] = duplicates
+
+    forced: Dict[int, bool] = {}
+    propagated = _propagate_units(clauses, forced)
+    stats["forced_units"] = len(forced)
+    if propagated is None:
+        stats["final_clauses"] = 0
+        return Simplification(cnf=CNF(num_vars=cnf.num_vars),
+                              forced=forced, contradiction=True, stats=stats)
+
+    pure: Dict[int, bool] = {}
+    clauses = _eliminate_pure(propagated, pure)
+    stats["pure_literals"] = len(pure)
+
+    if subsume:
+        clauses, subsumed = _subsumption(clauses)
+        stats["subsumed"] = subsumed
+
+    simplified = CNF(num_vars=cnf.num_vars)
+    for clause in clauses:
+        simplified.add_clause(clause)
+    stats["final_clauses"] = simplified.num_clauses
+    return Simplification(cnf=simplified, forced=forced, pure=pure,
+                          stats=stats)
+
+
+def solve_simplified(cnf: CNF, config=None):
+    """Preprocess, solve, and lift the model back to the original formula.
+
+    Drop-in alternative to :func:`repro.sat.solver.cdcl.solve`.
+    """
+    from .model import SolveResult
+    from .solver.cdcl import solve as _solve
+
+    simplification = simplify(cnf)
+    if simplification.contradiction:
+        return SolveResult(False, stats={"preprocessed": 1})
+    result = _solve(simplification.cnf, config)
+    if not result.satisfiable:
+        return result
+    model = simplification.extend_model(result.model)
+    return SolveResult(True, model, stats=result.stats)

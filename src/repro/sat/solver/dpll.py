@@ -1,0 +1,107 @@
+"""A plain DPLL solver (no learning) used as a baseline and cross-check.
+
+This mirrors the pre-Chaff generation of SAT solvers the paper's
+introduction contrasts against: chronological backtracking, unit
+propagation and a most-occurrences branching rule.  It is intentionally
+simple; its role in the reproduction is (a) an independent oracle for the
+CDCL solver on small instances and (b) a baseline showing why modern CDCL
+matters for the unroutable (UNSAT) routing formulas.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from ..cnf import CNF
+from ..model import Model, SolveResult
+
+
+class DPLLSolver:
+    """Recursive DPLL over an explicit clause list."""
+
+    def __init__(self, cnf: CNF, max_decisions: Optional[int] = None) -> None:
+        self.num_vars = cnf.num_vars
+        self.max_decisions = max_decisions
+        self._clauses: List[List[int]] = [list(c) for c in cnf]
+        self.stats: Dict[str, float] = {"decisions": 0, "propagations": 0}
+
+    def solve(self) -> SolveResult:
+        """Run the search and return a :class:`SolveResult`."""
+        start = time.perf_counter()
+        assignment: Dict[int, bool] = {}
+        satisfiable = self._search(self._clauses, assignment)
+        self.stats["solve_time"] = time.perf_counter() - start
+        self.stats["solver"] = "dpll"
+        if not satisfiable:
+            return SolveResult(False, stats=self.stats)
+        values = [assignment.get(v, False) for v in range(1, self.num_vars + 1)]
+        return SolveResult(True, Model(values), stats=self.stats)
+
+    def _search(self, clauses: List[List[int]], assignment: Dict[int, bool]) -> bool:
+        clauses = self._unit_propagate(clauses, assignment)
+        if clauses is None:
+            return False
+        if not clauses:
+            return True
+        if self.max_decisions is not None \
+                and self.stats["decisions"] >= self.max_decisions:
+            raise RuntimeError("DPLL decision budget exhausted")
+        self.stats["decisions"] += 1
+        lit = self._choose_literal(clauses)
+        for choice in (lit, -lit):
+            trial = dict(assignment)
+            trial[abs(choice)] = choice > 0
+            reduced = self._assign(clauses, choice)
+            if reduced is not None and self._search(reduced, trial):
+                assignment.clear()
+                assignment.update(trial)
+                return True
+        return False
+
+    def _unit_propagate(self, clauses: List[List[int]],
+                        assignment: Dict[int, bool]) -> Optional[List[List[int]]]:
+        while True:
+            unit = None
+            for clause in clauses:
+                if not clause:
+                    return None
+                if len(clause) == 1:
+                    unit = clause[0]
+                    break
+            if unit is None:
+                return clauses
+            self.stats["propagations"] += 1
+            assignment[abs(unit)] = unit > 0
+            clauses = self._assign(clauses, unit)
+            if clauses is None:
+                return None
+
+    @staticmethod
+    def _assign(clauses: List[List[int]], lit: int) -> Optional[List[List[int]]]:
+        """Simplify ``clauses`` under ``lit := true``; None on empty clause."""
+        result = []
+        for clause in clauses:
+            if lit in clause:
+                continue
+            if -lit in clause:
+                reduced = [x for x in clause if x != -lit]
+                if not reduced:
+                    return None
+                result.append(reduced)
+            else:
+                result.append(clause)
+        return result
+
+    @staticmethod
+    def _choose_literal(clauses: List[List[int]]) -> int:
+        counts: Dict[int, int] = {}
+        for clause in clauses:
+            for lit in clause:
+                counts[lit] = counts.get(lit, 0) + 1
+        return max(counts, key=lambda lit: (counts[lit], -abs(lit)))
+
+
+def solve_dpll(cnf: CNF, max_decisions: Optional[int] = None) -> SolveResult:
+    """Convenience wrapper around :class:`DPLLSolver`."""
+    return DPLLSolver(cnf, max_decisions=max_decisions).solve()

@@ -1,0 +1,50 @@
+"""Brute-force model enumeration — the testing oracle for the real solvers.
+
+Only usable for tiny formulas (the cost is ``O(2**num_vars)``), which is
+exactly what the property-based tests need: an implementation so simple it
+is obviously correct.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator, List
+
+from ..cnf import CNF
+from ..model import Model, SolveResult
+
+_MAX_ENUM_VARS = 24
+
+
+def enumerate_models(cnf: CNF) -> Iterator[Model]:
+    """Yield every satisfying total assignment of ``cnf``.
+
+    Raises ``ValueError`` for formulas with more than 24 variables, where
+    enumeration would be hopeless anyway.
+    """
+    if cnf.num_vars > _MAX_ENUM_VARS:
+        raise ValueError(
+            f"refusing to enumerate {cnf.num_vars} variables "
+            f"(limit {_MAX_ENUM_VARS})")
+    clauses = [list(c) for c in cnf]
+    for bits in product((False, True), repeat=cnf.num_vars):
+        model = Model(list(bits))
+        if all(model.satisfies_clause(c) for c in clauses):
+            yield model
+
+
+def solve_by_enumeration(cnf: CNF) -> SolveResult:
+    """Return SAT with the first model found, or UNSAT."""
+    for model in enumerate_models(cnf):
+        return SolveResult(True, model)
+    return SolveResult(False)
+
+
+def count_models(cnf: CNF) -> int:
+    """Count the satisfying assignments of a tiny formula."""
+    return sum(1 for _ in enumerate_models(cnf))
+
+
+def all_models(cnf: CNF) -> List[Model]:
+    """Return every model of a tiny formula as a list."""
+    return list(enumerate_models(cnf))

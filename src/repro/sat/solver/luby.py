@@ -1,0 +1,34 @@
+"""The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...).
+
+Used by the CDCL solver's ``luby`` restart policy, mirroring MiniSat.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def luby(index: int) -> int:
+    """Return the ``index``-th element (1-based) of the Luby sequence.
+
+    Follows MiniSat's formulation: find the finite subsequence that
+    contains the index, then recurse into it.
+    """
+    if index < 1:
+        raise ValueError("Luby sequence is 1-based")
+    x = index - 1
+    size = 1
+    sequence = 0
+    while size < x + 1:
+        sequence += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        sequence -= 1
+        x = x % size
+    return 2 ** sequence
+
+
+def luby_prefix(count: int) -> List[int]:
+    """Return the first ``count`` elements of the Luby sequence."""
+    return [luby(i) for i in range(1, count + 1)]

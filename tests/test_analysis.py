@@ -1,0 +1,66 @@
+"""Tests for the instance/formula analysis helpers."""
+
+import pytest
+
+from repro.coloring import ColoringProblem, complete_graph, Graph
+from repro.core.analysis import (FormulaStats, GraphStats, compare_encodings,
+                                 encoding_profile)
+from repro.sat import CNF
+
+
+class TestFormulaStats:
+    def test_basic(self):
+        stats = FormulaStats.of(CNF([[1, 2], [3], [1, -2, 3]]))
+        assert stats.num_clauses == 3
+        assert stats.num_literals == 6
+        assert stats.min_clause_len == 1
+        assert stats.max_clause_len == 3
+        assert stats.mean_clause_len == 2.0
+        assert stats.clause_length_histogram == {1: 1, 2: 1, 3: 1}
+
+    def test_empty_formula(self):
+        stats = FormulaStats.of(CNF(num_vars=3))
+        assert stats.num_clauses == 0
+        assert stats.mean_clause_len == 0.0
+
+
+class TestGraphStats:
+    def test_complete_graph(self):
+        stats = GraphStats.of(complete_graph(5))
+        assert stats.density == 1.0
+        assert stats.max_degree == 4
+        assert stats.clique_lower_bound == 5
+        assert stats.greedy_upper_bound == 5
+        assert stats.hardness_window == (5, 5)
+
+    def test_empty_graph(self):
+        stats = GraphStats.of(Graph(0))
+        assert stats.num_vertices == 0
+        assert stats.density == 0.0
+
+    def test_mycielski_window_is_open(self):
+        from repro.coloring.instances import mycielski_graph
+        stats = GraphStats.of(mycielski_graph(4))
+        low, high = stats.hardness_window
+        assert low == 2
+        assert high >= 4
+
+
+class TestEncodingComparison:
+    def test_compare_encodings(self):
+        problem = ColoringProblem(complete_graph(5), 4)
+        stats = compare_encodings(problem, ["muldirect", "log", "ITE-log"])
+        assert stats["log"].num_vars < stats["muldirect"].num_vars
+        assert stats["ITE-log"].num_clauses < stats["muldirect"].num_clauses
+
+    def test_encoding_profile(self):
+        profile = encoding_profile("ITE-linear", 8)
+        assert profile["vars_per_vertex"] == 7
+        assert profile["structural_clauses"] == 0
+        assert profile["max_pattern_len"] == 7
+        assert profile["min_pattern_len"] == 1
+
+    def test_hierarchical_profile(self):
+        profile = encoding_profile("muldirect-3+muldirect", 9)
+        assert profile["vars_per_vertex"] == 6
+        assert profile["mean_pattern_len"] == 2.0

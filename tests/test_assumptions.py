@@ -1,0 +1,167 @@
+"""Tests for assumption-based and incremental CDCL solving."""
+
+import pytest
+
+from repro.sat import CNF, solve_by_enumeration
+from repro.sat.solver.cdcl import CDCLSolver
+from .conftest import make_random_cnf
+
+
+class TestAssumptions:
+    def test_sat_under_assumptions(self):
+        solver = CDCLSolver(CNF([[1, 2], [-1, 2]]))
+        result = solver.solve([1])
+        assert result.satisfiable
+        assert result.model.value(1) is True
+        assert result.model.value(2) is True
+
+    def test_unsat_under_assumptions_but_sat_without(self):
+        solver = CDCLSolver(CNF([[1, 2], [-1, -2]]))
+        assert not solver.solve([1, 2]).satisfiable
+        result = solver.solve()
+        assert result.satisfiable
+
+    def test_assumption_failed_flag(self):
+        solver = CDCLSolver(CNF([[1]]))
+        result = solver.solve([-1])
+        assert not result.satisfiable
+        assert result.stats.get("assumption_failed") == 1
+        # A plain unconditional call clears the flag.
+        result = solver.solve()
+        assert result.satisfiable
+        assert "assumption_failed" not in result.stats
+
+    def test_redundant_assumptions(self):
+        solver = CDCLSolver(CNF([[1], [1, 2]]))
+        result = solver.solve([1, 1, 2])
+        assert result.satisfiable
+
+    def test_out_of_range_assumption_rejected(self):
+        solver = CDCLSolver(CNF([[1]]))
+        with pytest.raises(ValueError):
+            solver.solve([5])
+
+    def test_conflicting_assumptions(self):
+        solver = CDCLSolver(CNF([[1, 2]], num_vars=2))
+        assert not solver.solve([1, -1]).satisfiable
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_matches_unit_augmented_formula(self, seed):
+        """solve(assumptions) must agree with solving cnf + unit clauses."""
+        import random
+        rng = random.Random(seed)
+        cnf = make_random_cnf(num_vars=8, num_clauses=25, seed=seed + 4000)
+        assumptions = [rng.choice([1, -1]) * v
+                       for v in rng.sample(range(1, 9), 3)]
+        augmented = cnf.copy()
+        for lit in assumptions:
+            augmented.add_clause([lit])
+        expected = solve_by_enumeration(augmented).satisfiable
+        solver = CDCLSolver(cnf)
+        result = solver.solve(assumptions)
+        assert result.satisfiable == expected
+        if expected:
+            assert result.model.satisfies(augmented)
+
+
+class TestIncrementalReuse:
+    def test_many_calls_on_one_solver(self):
+        cnf = make_random_cnf(num_vars=10, num_clauses=30, seed=77)
+        solver = CDCLSolver(cnf)
+        baseline = solver.solve().satisfiable
+        for lit in (1, -1, 5, -5):
+            augmented = cnf.copy()
+            augmented.add_clause([lit])
+            expected = solve_by_enumeration(augmented).satisfiable
+            assert solver.solve([lit]).satisfiable == expected
+        # Unconditional answer unchanged after assumption calls.
+        assert solver.solve().satisfiable == baseline
+
+    def test_learned_clauses_persist(self):
+        from .test_cdcl import pigeonhole
+        cnf = pigeonhole(5)
+        solver = CDCLSolver(cnf)
+        assert not solver.solve().satisfiable
+        first_conflicts = solver.stats["conflicts"]
+        # Second unconditional call reuses the learned refutation and
+        # needs (almost) no new conflicts.
+        assert not solver.solve().satisfiable
+        assert solver.stats["conflicts"] - first_conflicts \
+            < first_conflicts / 2 + 10
+
+
+class TestIncrementalColoring:
+    def _problem(self, seed=5, n=9, p=0.5):
+        from .conftest import make_random_graph
+        from repro.coloring import ColoringProblem
+        return ColoringProblem(make_random_graph(n, p, seed), 1)
+
+    def test_matches_oracle(self):
+        from repro.coloring import chromatic_number
+        from repro.core import Strategy
+        from repro.core.incremental import minimum_colors_incremental
+        for seed in range(6):
+            problem = self._problem(seed=seed, n=8)
+            expected = chromatic_number(problem.graph)
+            got = minimum_colors_incremental(
+                problem, Strategy("ITE-linear-2+muldirect", "s1"))
+            assert got == expected
+
+    def test_matches_non_incremental(self):
+        from repro.core import Strategy, minimum_colors
+        from repro.core.incremental import IncrementalColoringSolver
+        strategy = Strategy("muldirect", "b1")
+        problem = self._problem(seed=11, n=10)
+        incremental = IncrementalColoringSolver(problem, strategy)
+        assert incremental.minimum_colors() \
+            == minimum_colors(problem, strategy)
+
+    def test_queries_share_learning(self):
+        """Mycielski-4 has clique bound 2 but chromatic number 4, so the
+        binary search issues several real queries; re-running the
+        decisive UNSAT query afterwards must be (almost) free thanks to
+        the persistent learned clauses."""
+        from repro.coloring import ColoringProblem
+        from repro.coloring.instances import mycielski_graph
+        from repro.core import Strategy
+        from repro.core.incremental import IncrementalColoringSolver
+        problem = ColoringProblem(mycielski_graph(4), 1)
+        solver = IncrementalColoringSolver(problem, Strategy("ITE-log", "s1"))
+        chi = solver.minimum_colors()
+        assert chi == 4
+        assert solver.stats.queries >= 1
+        first_pass = list(solver.stats.conflicts_per_query)
+        assert not solver.is_colorable(3)
+        assert solver.stats.conflicts_per_query[-1] <= max(first_pass)
+
+    def test_coloring_decode(self):
+        from repro.core import Strategy
+        from repro.core.incremental import IncrementalColoringSolver
+        problem = self._problem(seed=9)
+        solver = IncrementalColoringSolver(problem,
+                                           Strategy("direct-3+muldirect", "s1"))
+        chi = solver.minimum_colors()
+        coloring = solver.coloring(chi)
+        assert problem.with_colors(chi).is_valid_coloring(coloring)
+        with pytest.raises(ValueError):
+            solver.coloring(chi - 1) if chi > 1 else None
+
+    def test_bad_query_range(self):
+        from repro.core import Strategy
+        from repro.core.incremental import IncrementalColoringSolver
+        solver = IncrementalColoringSolver(self._problem(),
+                                           Strategy("muldirect"))
+        with pytest.raises(ValueError):
+            solver.is_colorable(0)
+        with pytest.raises(ValueError):
+            solver.is_colorable(solver.max_colors + 1)
+
+    @pytest.mark.parametrize("encoding", ["muldirect", "log", "ITE-linear",
+                                          "ITE-log-2+muldirect"])
+    def test_across_encodings(self, encoding):
+        from repro.coloring import chromatic_number
+        from repro.core import Strategy
+        from repro.core.incremental import minimum_colors_incremental
+        problem = self._problem(seed=21, n=8)
+        assert minimum_colors_incremental(problem, Strategy(encoding, "s1")) \
+            == chromatic_number(problem.graph)

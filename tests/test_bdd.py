@@ -1,0 +1,138 @@
+"""Tests for the BDD baseline engine."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.sat import CNF, solve_by_enumeration
+from repro.sat.bdd import (BDDLimitExceeded, BDDManager, ONE, ZERO,
+                           cnf_to_bdd, solve_bdd)
+from repro.sat.solver.enumerate import count_models
+from .conftest import make_random_cnf, small_cnfs
+
+
+class TestManager:
+    def test_terminals(self):
+        manager = BDDManager(3)
+        assert manager.is_satisfiable(ONE)
+        assert not manager.is_satisfiable(ZERO)
+
+    def test_reduction_rule(self):
+        manager = BDDManager(2)
+        assert manager.make_node(1, ONE, ONE) == ONE
+
+    def test_unique_table(self):
+        manager = BDDManager(2)
+        a = manager.make_node(1, ZERO, ONE)
+        b = manager.make_node(1, ZERO, ONE)
+        assert a == b
+        assert manager.num_nodes == 3
+
+    def test_literal(self):
+        manager = BDDManager(2)
+        positive = manager.literal(1)
+        negative = manager.literal(-1)
+        assert manager.apply_not(positive) == negative
+
+    def test_var_out_of_range(self):
+        with pytest.raises(ValueError):
+            BDDManager(2).make_node(3, ZERO, ONE)
+
+    def test_node_limit(self):
+        manager = BDDManager(10, node_limit=4)
+        with pytest.raises(BDDLimitExceeded):
+            for var in range(1, 11):
+                manager.literal(var)
+
+
+class TestOperations:
+    def test_and_or_not_laws(self):
+        manager = BDDManager(3)
+        x, y = manager.literal(1), manager.literal(2)
+        assert manager.apply_and(x, manager.apply_not(x)) == ZERO
+        assert manager.apply_or(x, manager.apply_not(x)) == ONE
+        # De Morgan
+        left = manager.apply_not(manager.apply_and(x, y))
+        right = manager.apply_or(manager.apply_not(x), manager.apply_not(y))
+        assert left == right
+
+    def test_ite_shortcuts(self):
+        manager = BDDManager(2)
+        x = manager.literal(1)
+        assert manager.ite(ONE, x, ZERO) == x
+        assert manager.ite(ZERO, x, ONE) == ONE
+        assert manager.ite(x, ONE, ZERO) == x
+
+    def test_clause(self):
+        manager = BDDManager(3)
+        clause = manager.clause([1, -2, 3])
+        # Falsified only by x1=0, x2=1, x3=0.
+        assert manager.count_models(clause) == 7
+
+    def test_canonicity_of_equivalent_formulas(self):
+        manager = BDDManager(3)
+        # (x1 & x2) | (x1 & x3) == x1 & (x2 | x3)
+        a = manager.apply_or(
+            manager.apply_and(manager.literal(1), manager.literal(2)),
+            manager.apply_and(manager.literal(1), manager.literal(3)))
+        b = manager.apply_and(
+            manager.literal(1),
+            manager.apply_or(manager.literal(2), manager.literal(3)))
+        assert a == b
+
+
+class TestCounting:
+    def test_terminal_counts(self):
+        manager = BDDManager(3)
+        assert manager.count_models(ONE) == 8
+        assert manager.count_models(ZERO) == 0
+
+    def test_single_literal(self):
+        manager = BDDManager(3)
+        assert manager.count_models(manager.literal(2)) == 4
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_matches_enumeration(self, seed):
+        cnf = make_random_cnf(num_vars=6, num_clauses=12, seed=seed + 500)
+        manager, root = cnf_to_bdd(cnf)
+        assert manager.count_models(root) == count_models(cnf)
+
+
+class TestSolveBDD:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_matches_oracle(self, seed):
+        cnf = make_random_cnf(num_vars=8, num_clauses=25, seed=seed + 600)
+        expected = solve_by_enumeration(cnf).satisfiable
+        result = solve_bdd(cnf)
+        assert result.satisfiable == expected
+        if expected:
+            assert result.model.satisfies(cnf)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_cnfs(max_vars=6, max_clauses=14))
+    def test_property_matches_enumeration(self, cnf):
+        assert (solve_bdd(cnf).satisfiable
+                == solve_by_enumeration(cnf).satisfiable)
+
+    def test_unsat_routing_instance(self):
+        """BDDs decide a small unroutable configuration too — the contrast
+        with CDCL is scale, not capability."""
+        from repro.coloring import ColoringProblem, complete_graph
+        from repro.core import get_encoding
+        problem = ColoringProblem(complete_graph(4), 3)
+        encoded = get_encoding("log").encode(problem)
+        assert not solve_bdd(encoded.cnf).satisfiable
+
+    def test_blowup_on_larger_instance(self):
+        """The Wood & Rutenbar failure mode: a routing formula that CDCL
+        dispatches instantly exhausts a small BDD node budget."""
+        from repro.core import Strategy, solve_coloring
+        from repro.fpga import build_routing_csp, load_routing
+        from repro.core import get_encoding
+        routing = load_routing("alu2", scale=0.8)
+        csp = build_routing_csp(routing, 4)
+        encoded = get_encoding("muldirect").encode(csp.problem)
+        with pytest.raises(BDDLimitExceeded):
+            solve_bdd(encoded.cnf, node_limit=20_000)
+        # CDCL handles the same formula without drama.
+        outcome = solve_coloring(csp.problem, Strategy("muldirect", "s1"))
+        assert outcome.solve_time < 30.0

@@ -1,0 +1,126 @@
+"""Tests for the benchmark harness (tables and sweeps)."""
+
+import pytest
+
+from repro.bench import (format_seconds, format_speedup,
+                         prepare_routable_instance,
+                         prepare_unroutable_instance, render_simple_table,
+                         render_table, sweep)
+from repro.core import Strategy
+
+
+class TestFormatting:
+    def test_seconds(self):
+        assert format_seconds(0.034) == "0.03"
+        assert format_seconds(12.5) == "12.50"
+        assert format_seconds(123.4) == "123.4"
+        assert format_seconds(1531524) == "1,531,524"
+
+    def test_speedup(self):
+        assert format_speedup(1.0) == "1.00x"
+        assert format_speedup(24.91) == "24.9x"
+        assert format_speedup(1139) == "1,139x"
+
+
+class TestRenderTable:
+    def test_structure(self):
+        cells = {"a": {"x": 1.0, "y": 2.0}, "b": {"x": 3.0, "y": 1.0}}
+        text = render_table("T", ["a", "b"], ["x", "y"], cells,
+                            reference_column="x")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Benchmark" in lines[2]
+        assert any(line.startswith("Total") for line in lines)
+        assert any(line.startswith("Speedup") for line in lines)
+
+    def test_minimum_marked(self):
+        cells = {"a": {"x": 5.0, "y": 1.0}}
+        text = render_table("T", ["a"], ["x", "y"], cells)
+        row = [l for l in text.splitlines() if l.startswith("a")][0]
+        assert "*1.00" in row
+        assert "*5.00" not in row
+
+    def test_speedup_row_values(self):
+        cells = {"a": {"x": 10.0, "y": 1.0}}
+        text = render_table("T", ["a"], ["x", "y"], cells,
+                            reference_column="x")
+        speedup_row = [l for l in text.splitlines()
+                       if l.startswith("Speedup")][0]
+        assert "10.0x" in speedup_row
+        assert "1.00x" in speedup_row
+
+    def test_missing_cell_rejected(self):
+        with pytest.raises(ValueError):
+            render_table("T", ["a"], ["x"], {"a": {}})
+
+    def test_unknown_reference_rejected(self):
+        cells = {"a": {"x": 1.0}}
+        with pytest.raises(ValueError):
+            render_table("T", ["a"], ["x"], cells, reference_column="z")
+
+    def test_simple_table(self):
+        text = render_simple_table("S", ["col1", "col2"],
+                                   [["v1", "v2"], ["w1", "w2"]])
+        assert "col1" in text and "w2" in text
+
+    def test_simple_table_bad_row(self):
+        with pytest.raises(ValueError):
+            render_simple_table("S", ["a"], [["1", "2"]])
+
+
+@pytest.fixture(scope="module")
+def tiny_unroutable():
+    return prepare_unroutable_instance("alu2", scale=0.7)
+
+
+class TestPreparation:
+    def test_unroutable_instance(self, tiny_unroutable):
+        from repro.fpga import detailed_route
+        result = detailed_route(tiny_unroutable.routing,
+                                tiny_unroutable.width,
+                                Strategy("ITE-log", "s1"))
+        assert not result.routable
+
+    def test_routable_instance(self):
+        instance = prepare_routable_instance("alu2", scale=0.7)
+        from repro.fpga import detailed_route
+        result = detailed_route(instance.routing, instance.width,
+                                Strategy("ITE-log", "s1"))
+        assert result.routable
+
+
+class TestSweep:
+    def test_times_every_cell(self, tiny_unroutable):
+        strategies = [Strategy("muldirect"), Strategy("ITE-log", "s1")]
+        result = sweep([tiny_unroutable], strategies,
+                       expect_satisfiable=False)
+        assert set(result.totals()) == {"muldirect", "ITE-log/s1"}
+        cells = result.time_cells()
+        assert cells["alu2"]["muldirect"] > 0
+
+    def test_expectation_mismatch_raises(self, tiny_unroutable):
+        with pytest.raises(AssertionError):
+            sweep([tiny_unroutable], [Strategy("muldirect")],
+                  expect_satisfiable=True)
+
+    def test_strategy_times_usable_for_portfolio(self, tiny_unroutable):
+        from repro.core import portfolio_speedup
+        strategies = [Strategy("muldirect", "s1"), Strategy("ITE-log", "s1")]
+        result = sweep([tiny_unroutable], strategies)
+        speedup = portfolio_speedup(result.strategy_times(), strategies,
+                                    strategies[0])
+        assert speedup >= 1.0
+
+    def test_repeats_validated(self, tiny_unroutable):
+        with pytest.raises(ValueError):
+            sweep([tiny_unroutable], [Strategy("muldirect")], repeats=0)
+
+    def test_json_export(self, tiny_unroutable):
+        import json
+        result = sweep([tiny_unroutable], [Strategy("ITE-log", "s1")])
+        payload = json.loads(result.to_json())
+        assert payload["instances"] == ["alu2"]
+        cell = payload["cells"]["alu2|ITE-log/s1"]
+        assert cell["satisfiable"] is False
+        assert cell["num_vars"] > 0
+        assert cell["conflicts"] >= 0

@@ -1,0 +1,129 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestBenchmarks:
+    def test_lists_profiles(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "alu2" in out and "k2" in out and "table2" in out
+
+
+class TestGenerate:
+    def test_to_stdout(self, capsys):
+        assert main(["generate", "alu2", "--scale", "0.5"]) == 0
+        assert '"repro-netlist"' in capsys.readouterr().out
+
+    def test_to_file(self, tmp_path, capsys):
+        path = str(tmp_path / "n.json")
+        assert main(["generate", "alu2", "--scale", "0.5",
+                     "--out", path]) == 0
+        from repro.fpga import read_netlist
+        assert read_netlist(path).num_nets > 0
+
+    def test_unknown_benchmark(self, capsys):
+        assert main(["generate", "nope"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestWidthAndRoute:
+    @pytest.fixture(scope="class")
+    def netlist_path(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("cli") / "alu2.json")
+        assert main(["generate", "alu2", "--scale", "0.55",
+                     "--out", path]) == 0
+        return path
+
+    def test_width(self, netlist_path, capsys):
+        assert main(["width", netlist_path]) == 0
+        out = capsys.readouterr().out
+        assert "minimum channel width" in out
+
+    def test_route_routable_exit_zero(self, netlist_path, capsys):
+        assert main(["route", netlist_path, "--width", "9"]) == 0
+        assert "ROUTABLE" in capsys.readouterr().out
+
+    def test_route_unroutable_exit_one(self, netlist_path, capsys):
+        assert main(["route", netlist_path, "--width", "1"]) == 1
+        assert "UNROUTABLE" in capsys.readouterr().out
+
+    def test_route_writes_tracks(self, netlist_path, tmp_path, capsys):
+        tracks = str(tmp_path / "tracks.json")
+        assert main(["route", netlist_path, "--width", "9",
+                     "--tracks-out", tracks]) == 0
+        import json
+        payload = json.loads(open(tracks).read())
+        assert payload["format"] == "repro-tracks"
+
+    def test_route_benchmark_by_name(self, capsys):
+        code = main(["route", "alu2", "--scale", "0.55", "--width", "9"])
+        assert code == 0
+
+    def test_route_certify_unroutable(self, netlist_path, capsys):
+        code = main(["route", netlist_path, "--width", "2", "--certify",
+                     "--encoding", "ITE-log"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "certificate" in out and "verified" in out
+
+    def test_width_incremental_agrees(self, netlist_path, capsys):
+        assert main(["width", netlist_path]) == 0
+        plain = capsys.readouterr().out
+        assert main(["width", netlist_path, "--incremental"]) == 0
+        incremental = capsys.readouterr().out
+        import re
+        get = lambda text: re.search(r"W = (\d+)", text).group(1)
+        assert get(plain) == get(incremental)
+        assert "incremental queries" in incremental
+
+
+class TestTwoStageFlow:
+    def test_extract_encode_solve(self, tmp_path, capsys):
+        col = str(tmp_path / "g.col")
+        cnf = str(tmp_path / "g.cnf")
+        assert main(["extract", "alu2", "--scale", "0.55",
+                     "--width", "2", "--out", col]) == 0
+        assert main(["encode", col, "--colors", "2", "--out", cnf]) == 0
+        # W=2 is far below minimum: must be UNSAT.
+        assert main(["solve", cnf]) == 1
+        assert "UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_encode_to_stdout(self, tmp_path, capsys):
+        col = str(tmp_path / "g.col")
+        assert main(["extract", "alu2", "--scale", "0.55",
+                     "--width", "3", "--out", col]) == 0
+        capsys.readouterr()
+        assert main(["encode", col, "--colors", "3",
+                     "--encoding", "muldirect"]) == 0
+        assert "p cnf" in capsys.readouterr().out
+
+    def test_color_sat_and_unsat(self, tmp_path, capsys):
+        col = str(tmp_path / "g.col")
+        main(["extract", "alu2", "--scale", "0.55", "--width", "2",
+              "--out", col])
+        assert main(["color", col, "--colors", "20", "--show"]) == 0
+        assert "vertex 1" in capsys.readouterr().out
+        assert main(["color", col, "--colors", "2"]) == 1
+
+    def test_solve_show_model(self, tmp_path, capsys):
+        cnf_path = str(tmp_path / "t.cnf")
+        with open(cnf_path, "w") as handle:
+            handle.write("p cnf 2 2\n1 2 0\n-1 0\n")
+        assert main(["solve", cnf_path, "--show"]) == 0
+        out = capsys.readouterr().out
+        assert "SATISFIABLE" in out and "v " in out
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["solve", "/nonexistent/file.cnf"]) == 2
+
+    def test_bad_encoding_name(self, tmp_path, capsys):
+        col = str(tmp_path / "g.col")
+        with open(col, "w") as handle:
+            handle.write("p edge 2 1\ne 1 2\n")
+        assert main(["color", col, "--colors", "2",
+                     "--encoding", "bogus"]) == 2

@@ -1,0 +1,112 @@
+"""Tests for greedy colorings, clique bounds and the exact oracle."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.coloring import (chromatic_number, clique_lower_bound,
+                            complete_graph, cycle_graph, dsatur_coloring,
+                            find_coloring, greedy_clique, greedy_coloring,
+                            greedy_num_colors, is_colorable, Graph)
+from .conftest import small_graphs
+
+
+class TestGreedyColoring:
+    def test_produces_proper_coloring(self, pentagon):
+        coloring = greedy_coloring(pentagon)
+        for u, v in pentagon.edges():
+            assert coloring[u] != coloring[v]
+
+    def test_respects_custom_order(self):
+        graph = Graph(3, [(0, 1)])
+        coloring = greedy_coloring(graph, order=[2, 1, 0])
+        assert set(coloring) == {0, 1, 2}
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            greedy_coloring(Graph(3), order=[0, 1])
+
+    @given(small_graphs())
+    def test_always_proper(self, graph):
+        coloring = greedy_coloring(graph)
+        for u, v in graph.edges():
+            assert coloring[u] != coloring[v]
+
+
+class TestDsatur:
+    def test_bipartite_uses_two_colors(self, square):
+        assert max(dsatur_coloring(square).values()) + 1 == 2
+
+    def test_complete_graph_uses_n(self):
+        assert greedy_num_colors(complete_graph(5)) == 5
+
+    def test_empty_graph(self):
+        assert greedy_num_colors(Graph(0)) == 0
+        assert greedy_num_colors(Graph(3)) == 1
+
+    @given(small_graphs())
+    def test_proper_and_upper_bounds_chromatic(self, graph):
+        coloring = dsatur_coloring(graph)
+        for u, v in graph.edges():
+            assert coloring[u] != coloring[v]
+        if graph.num_vertices:
+            assert greedy_num_colors(graph) >= chromatic_number(graph)
+
+
+class TestClique:
+    def test_complete_graph(self):
+        assert clique_lower_bound(complete_graph(6)) == 6
+
+    def test_cycle(self, pentagon):
+        assert clique_lower_bound(pentagon) == 2
+
+    @given(small_graphs())
+    def test_clique_is_clique_and_bounds_chromatic(self, graph):
+        clique = greedy_clique(graph)
+        assert graph.subgraph_is_clique(clique)
+        if graph.num_vertices:
+            assert len(clique) <= chromatic_number(graph)
+
+
+class TestExactOracle:
+    def test_triangle(self, triangle):
+        assert chromatic_number(triangle) == 3
+        assert not is_colorable(triangle, 2)
+        assert is_colorable(triangle, 3)
+
+    def test_odd_cycle_needs_three(self, pentagon):
+        assert chromatic_number(pentagon) == 3
+
+    def test_even_cycle_needs_two(self, square):
+        assert chromatic_number(square) == 2
+
+    def test_complete_graph(self):
+        assert chromatic_number(complete_graph(5)) == 5
+
+    def test_empty_and_edgeless(self):
+        assert chromatic_number(Graph(0)) == 0
+        assert chromatic_number(Graph(4)) == 1
+
+    def test_found_coloring_is_proper(self, pentagon):
+        coloring = find_coloring(pentagon, 3)
+        assert coloring is not None
+        for u, v in pentagon.edges():
+            assert coloring[u] != coloring[v]
+
+    def test_infeasible_returns_none(self, triangle):
+        assert find_coloring(triangle, 2) is None
+
+    def test_refuses_large_graphs(self):
+        with pytest.raises(ValueError):
+            find_coloring(Graph(20), 2)
+
+    def test_rejects_zero_colors(self, triangle):
+        with pytest.raises(ValueError):
+            find_coloring(triangle, 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_graphs(max_vertices=7))
+    def test_monotone_in_colors(self, graph):
+        chi = chromatic_number(graph)
+        assert not is_colorable(graph, chi - 1) if chi > 1 else True
+        assert is_colorable(graph, chi)
+        assert is_colorable(graph, chi + 1)

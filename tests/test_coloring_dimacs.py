@@ -1,0 +1,69 @@
+"""Tests for DIMACS .col I/O."""
+
+import pytest
+from hypothesis import given
+
+from repro.coloring import (Graph, parse_col_string, to_col_string,
+                            parse_col_file, write_col_file)
+from .conftest import small_graphs
+
+
+class TestWrite:
+    def test_format(self):
+        graph = Graph(3, [(0, 1), (1, 2)])
+        text = to_col_string(graph, comments=["demo"])
+        assert text == "c demo\np edge 3 2\ne 1 2\ne 2 3\n"
+
+    def test_empty_graph(self):
+        assert to_col_string(Graph(0)) == "p edge 0 0\n"
+
+
+class TestParse:
+    def test_basic(self):
+        graph = parse_col_string("c hi\np edge 3 2\ne 1 2\ne 2 3\n")
+        assert graph.num_vertices == 3
+        assert sorted(graph.edges()) == [(0, 1), (1, 2)]
+
+    def test_duplicate_edges_tolerated(self):
+        graph = parse_col_string("p edge 2 2\ne 1 2\ne 2 1\n")
+        assert graph.num_edges == 1
+
+    def test_edges_before_problem_line(self):
+        graph = parse_col_string("e 1 2\np edge 2 1\n")
+        assert graph.num_edges == 1
+
+    def test_missing_problem_line(self):
+        with pytest.raises(ValueError):
+            parse_col_string("e 1 2\n")
+
+    def test_double_problem_line(self):
+        with pytest.raises(ValueError):
+            parse_col_string("p edge 2 0\np edge 2 0\n")
+
+    def test_malformed_edge(self):
+        with pytest.raises(ValueError):
+            parse_col_string("p edge 2 1\ne 1\n")
+
+    def test_unknown_line(self):
+        with pytest.raises(ValueError):
+            parse_col_string("p edge 2 1\nq 1 2\n")
+
+    def test_out_of_range_vertex(self):
+        with pytest.raises(ValueError):
+            parse_col_string("p edge 2 1\ne 1 3\n")
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        graph = Graph(4, [(0, 1), (2, 3), (0, 3)])
+        path = str(tmp_path / "g.col")
+        write_col_file(graph, path, comments=["x"])
+        parsed = parse_col_file(path)
+        assert parsed.num_vertices == 4
+        assert sorted(parsed.edges()) == sorted(graph.edges())
+
+    @given(small_graphs())
+    def test_round_trip_property(self, graph):
+        parsed = parse_col_string(to_col_string(graph))
+        assert parsed.num_vertices == graph.num_vertices
+        assert sorted(parsed.edges()) == sorted(graph.edges())

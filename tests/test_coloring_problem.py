@@ -1,0 +1,147 @@
+"""Tests for graphs and coloring problems."""
+
+import pytest
+from hypothesis import given
+
+from repro.coloring import (ColoringProblem, Graph, complete_graph,
+                            cycle_graph, random_graph)
+from .conftest import small_graphs
+
+
+class TestGraph:
+    def test_empty(self):
+        graph = Graph(0)
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+        assert list(graph.edges()) == []
+
+    def test_add_edge(self):
+        graph = Graph(3)
+        assert graph.add_edge(0, 1)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+        assert not graph.has_edge(0, 2)
+        assert graph.num_edges == 1
+
+    def test_parallel_edges_collapse(self):
+        graph = Graph(2)
+        assert graph.add_edge(0, 1)
+        assert not graph.add_edge(1, 0)
+        assert graph.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(2).add_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(2).add_edge(0, 2)
+        with pytest.raises(ValueError):
+            Graph(2).degree(-1)
+
+    def test_add_vertex(self):
+        graph = Graph(1)
+        assert graph.add_vertex() == 1
+        graph.add_edge(0, 1)
+        assert graph.num_vertices == 2
+
+    def test_neighbors_and_degree(self):
+        graph = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert graph.neighbors(0) == {1, 2, 3}
+        assert graph.degree(0) == 3
+        assert graph.degree(1) == 1
+
+    def test_edges_listed_once(self):
+        graph = Graph(3, [(0, 1), (1, 2)])
+        assert sorted(graph.edges()) == [(0, 1), (1, 2)]
+
+    def test_max_degree_vertex(self):
+        graph = Graph(4, [(0, 1), (1, 2), (1, 3)])
+        assert graph.max_degree_vertex() == 1
+
+    def test_max_degree_vertex_empty_graph(self):
+        with pytest.raises(ValueError):
+            Graph(0).max_degree_vertex()
+
+    def test_subgraph_is_clique(self):
+        graph = complete_graph(4)
+        assert graph.subgraph_is_clique([0, 1, 2, 3])
+        graph2 = cycle_graph(4)
+        assert not graph2.subgraph_is_clique([0, 1, 2])
+        assert graph2.subgraph_is_clique([0, 1])
+
+    def test_copy_is_independent(self):
+        graph = Graph(3, [(0, 1)])
+        duplicate = graph.copy()
+        duplicate.add_edge(1, 2)
+        assert graph.num_edges == 1
+        assert duplicate.num_edges == 2
+
+    @given(small_graphs())
+    def test_handshake_lemma(self, graph):
+        assert sum(graph.degree(v) for v in range(graph.num_vertices)) \
+            == 2 * graph.num_edges
+
+
+class TestBuilders:
+    def test_complete_graph(self):
+        graph = complete_graph(5)
+        assert graph.num_edges == 10
+
+    def test_cycle_graph(self):
+        graph = cycle_graph(5)
+        assert graph.num_edges == 5
+        assert all(graph.degree(v) == 2 for v in range(5))
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_random_graph_seeded(self):
+        a = random_graph(10, 0.5, seed=1)
+        b = random_graph(10, 0.5, seed=1)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_random_graph_probability_extremes(self):
+        assert random_graph(6, 0.0, seed=0).num_edges == 0
+        assert random_graph(6, 1.0, seed=0).num_edges == 15
+
+    def test_random_graph_bad_probability(self):
+        with pytest.raises(ValueError):
+            random_graph(3, 1.5, seed=0)
+
+
+class TestColoringProblem:
+    def test_valid_coloring(self, triangle):
+        problem = ColoringProblem(triangle, 3)
+        assert problem.is_valid_coloring({0: 0, 1: 1, 2: 2})
+
+    def test_adjacent_same_color_invalid(self, triangle):
+        problem = ColoringProblem(triangle, 3)
+        assert not problem.is_valid_coloring({0: 0, 1: 0, 2: 1})
+
+    def test_partial_coloring_invalid(self, triangle):
+        problem = ColoringProblem(triangle, 3)
+        assert not problem.is_valid_coloring({0: 0, 1: 1})
+
+    def test_out_of_range_color_invalid(self, triangle):
+        problem = ColoringProblem(triangle, 2)
+        assert not problem.is_valid_coloring({0: 0, 1: 1, 2: 2})
+
+    def test_violated_edges(self, square):
+        problem = ColoringProblem(square, 2)
+        assert problem.violated_edges({0: 0, 1: 0, 2: 0, 3: 1}) == [(0, 1), (1, 2)]
+
+    def test_with_colors(self, triangle):
+        problem = ColoringProblem(triangle, 3)
+        narrowed = problem.with_colors(2)
+        assert narrowed.num_colors == 2
+        assert narrowed.graph is problem.graph
+
+    def test_needs_positive_colors(self, triangle):
+        with pytest.raises(ValueError):
+            ColoringProblem(triangle, 0)
+
+    def test_vertex_names_length_checked(self, triangle):
+        with pytest.raises(ValueError):
+            ColoringProblem(triangle, 2, vertex_names=["a"])

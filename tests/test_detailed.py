@@ -1,0 +1,82 @@
+"""Tests for the routing-to-coloring reduction (conflict graph)."""
+
+import pytest
+
+from repro.coloring import parse_col_string
+from repro.fpga import (CircuitSpec, Net, Netlist, build_conflict_graph,
+                        build_routing_csp, generate_netlist, route_netlist)
+
+
+def contended_netlist():
+    """Three nets forced through the same 1-wide corridor."""
+    nets = [Net(f"n{i}", (0, 0), ((3, 0),)) for i in range(3)]
+    return Netlist("t", 4, 1, nets)
+
+
+class TestConflictGraph:
+    def test_conflicting_nets_get_edges(self):
+        routing = route_netlist(contended_netlist(), congestion_penalty=0.0)
+        graph = build_conflict_graph(routing)
+        # All three 2-pin nets share the straight-line channel.
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 3
+
+    def test_same_parent_net_never_conflicts(self):
+        # One net with two sinks along the same channel.
+        netlist = Netlist("t", 5, 1, [Net("a", (0, 0), ((2, 0), (4, 0)))])
+        routing = route_netlist(netlist, congestion_penalty=0.0)
+        graph = build_conflict_graph(routing)
+        assert graph.num_vertices == 2
+        assert graph.num_edges == 0
+
+    def test_disjoint_routes_never_conflict(self):
+        netlist = Netlist("t", 4, 4, [
+            Net("a", (0, 0), ((1, 0),)),
+            Net("b", (0, 3), ((1, 3),)),
+        ])
+        routing = route_netlist(netlist)
+        assert build_conflict_graph(routing).num_edges == 0
+
+    def test_edge_imposed_once_despite_long_overlap(self):
+        # Two nets sharing a multi-segment corridor still get one edge.
+        netlist = Netlist("t", 6, 1, [
+            Net("a", (0, 0), ((5, 0),)),
+            Net("b", (0, 0), ((5, 0),)),
+        ])
+        routing = route_netlist(netlist, congestion_penalty=0.0)
+        graph = build_conflict_graph(routing)
+        assert graph.num_edges == 1
+
+    def test_random_circuit_vertex_count(self):
+        netlist = generate_netlist(CircuitSpec("c", 8, 8, 50, seed=31))
+        routing = route_netlist(netlist)
+        graph = build_conflict_graph(routing)
+        assert graph.num_vertices == routing.num_two_pin_nets
+
+
+class TestRoutingCSP:
+    def test_build(self):
+        routing = route_netlist(contended_netlist(), congestion_penalty=0.0)
+        csp = build_routing_csp(routing, 3)
+        assert csp.width == 3
+        assert csp.problem.num_colors == 3
+        assert csp.num_two_pin_nets == 3
+        assert csp.build_time >= 0
+        assert csp.two_pin(0).net_index == 0
+
+    def test_width_validation(self):
+        routing = route_netlist(contended_netlist())
+        with pytest.raises(ValueError):
+            build_routing_csp(routing, 0)
+
+    def test_dimacs_col_round_trips(self):
+        routing = route_netlist(contended_netlist(), congestion_penalty=0.0)
+        csp = build_routing_csp(routing, 3)
+        parsed = parse_col_string(csp.to_dimacs_col())
+        assert parsed.num_vertices == csp.problem.graph.num_vertices
+        assert sorted(parsed.edges()) == sorted(csp.problem.graph.edges())
+
+    def test_vertex_names_follow_two_pin_nets(self):
+        routing = route_netlist(contended_netlist(), congestion_penalty=0.0)
+        csp = build_routing_csp(routing, 2)
+        assert csp.problem.vertex_names == ["net0.0", "net1.0", "net2.0"]

@@ -1,0 +1,72 @@
+"""DPLL baseline solver tests."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.sat import CNF, solve_dpll, solve_by_enumeration
+from .conftest import make_random_cnf, small_cnfs
+
+
+class TestDPLL:
+    def test_empty_formula(self):
+        assert solve_dpll(CNF()).satisfiable
+
+    def test_empty_clause(self):
+        assert not solve_dpll(CNF([[]]))
+
+    def test_unit_chain(self):
+        result = solve_dpll(CNF([[1], [-1, 2], [-2, 3]]))
+        assert result.satisfiable
+        assert result.model.value(3) is True
+
+    def test_unsat_core(self):
+        assert not solve_dpll(CNF([[1, 2], [1, -2], [-1, 2], [-1, -2]]))
+
+    def test_model_extends_to_all_vars(self):
+        cnf = CNF([[2]], num_vars=4)
+        result = solve_dpll(cnf)
+        assert result.model.num_vars == 4
+        assert result.model.satisfies(cnf)
+
+    def test_decision_budget(self):
+        from .test_cdcl import pigeonhole
+        with pytest.raises(RuntimeError):
+            solve_dpll(pigeonhole(6), max_decisions=2)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_matches_enumeration(self, seed):
+        cnf = make_random_cnf(num_vars=8, num_clauses=25, seed=seed + 1000)
+        expected = solve_by_enumeration(cnf).satisfiable
+        result = solve_dpll(cnf)
+        assert result.satisfiable == expected
+        if expected:
+            assert result.model.satisfies(cnf)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_cnfs(max_vars=6, max_clauses=15))
+    def test_property_matches_enumeration(self, cnf):
+        assert (solve_dpll(cnf).satisfiable
+                == solve_by_enumeration(cnf).satisfiable)
+
+
+class TestEnumeration:
+    def test_counts_models(self):
+        from repro.sat.solver import count_models
+        # x1 ∨ x2 has 3 models over 2 vars.
+        assert count_models(CNF([[1, 2]])) == 3
+
+    def test_all_models_satisfy(self):
+        from repro.sat.solver import all_models
+        cnf = CNF([[1, -2], [2, 3]])
+        models = all_models(cnf)
+        assert models
+        assert all(m.satisfies(cnf) for m in models)
+
+    def test_refuses_large_formulas(self):
+        from repro.sat.solver import enumerate_models
+        with pytest.raises(ValueError):
+            list(enumerate_models(CNF(num_vars=30)))
+
+    def test_unsat_enumeration(self):
+        from repro.sat.solver import solve_by_enumeration
+        assert not solve_by_enumeration(CNF([[1], [-1]]))

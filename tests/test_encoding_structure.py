@@ -1,0 +1,145 @@
+"""Structural invariants of every encoding, plus grammar fuzzing.
+
+These tests don't solve anything: they certify the *shape* of what each
+encoding generates, across domain sizes — the properties the paper's §2-§4
+state in prose.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coloring import ColoringProblem, complete_graph, is_colorable
+from repro.core.encodings import (ALL_ENCODINGS, get_encoding,
+                                  parse_encoding)
+from repro.core.patterns import pattern_holds, patterns_are_distinct
+from repro.sat import solve
+from .conftest import make_random_graph
+
+DOMAIN_SIZES = [1, 2, 3, 4, 5, 7, 8, 9, 13, 16]
+
+
+@pytest.mark.parametrize("name", ALL_ENCODINGS)
+class TestInvariants:
+    def test_one_pattern_per_value(self, name):
+        encoding = get_encoding(name)
+        for k in DOMAIN_SIZES:
+            vertex = encoding.vertex_encoding(k)
+            assert len(vertex.patterns) == k
+            assert vertex.num_values == k
+
+    def test_patterns_distinct(self, name):
+        encoding = get_encoding(name)
+        for k in DOMAIN_SIZES:
+            assert patterns_are_distinct(encoding.vertex_encoding(k).patterns)
+
+    def test_patterns_fit_variable_block(self, name):
+        from repro.core.patterns import check_pattern
+        encoding = get_encoding(name)
+        for k in DOMAIN_SIZES:
+            vertex = encoding.vertex_encoding(k)
+            for pattern in vertex.patterns:
+                check_pattern(pattern, vertex.num_vars)
+
+    def test_structural_clauses_fit_block(self, name):
+        encoding = get_encoding(name)
+        for k in DOMAIN_SIZES:
+            vertex = encoding.vertex_encoding(k)
+            for clause in vertex.clauses:
+                assert all(1 <= abs(lit) <= vertex.num_vars for lit in clause)
+
+    def test_every_assignment_selects_at_most_needed(self, name):
+        """Exhaustively (for small blocks): every total assignment that
+        satisfies the structural clauses selects at least one value."""
+        encoding = get_encoding(name)
+        for k in (2, 3, 5):
+            vertex = encoding.vertex_encoding(k)
+            if vertex.num_vars > 10:
+                continue
+            for bits in range(2 ** vertex.num_vars):
+                values = [(bits >> i) & 1 == 1
+                          for i in range(vertex.num_vars)]
+                satisfies_structure = all(
+                    any(values[abs(l) - 1] == (l > 0) for l in clause)
+                    for clause in vertex.clauses)
+                if not satisfies_structure:
+                    continue
+                selected = [v for v, p in enumerate(vertex.patterns)
+                            if pattern_holds(p, values)]
+                assert selected, (
+                    f"{name}: structure-satisfying assignment selects "
+                    f"no value (k={k}, bits={bits:b})")
+
+    def test_vars_grow_monotonically(self, name):
+        encoding = get_encoding(name)
+        counts = [encoding.vars_per_vertex(k) for k in range(1, 20)]
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+
+
+class TestKnownVariableCounts:
+    @pytest.mark.parametrize("name,k,expected", [
+        ("direct", 13, 13),
+        ("muldirect", 13, 13),
+        ("log", 13, 4),
+        ("ITE-linear", 13, 12),
+        ("ITE-log", 13, 4),
+        ("ITE-log-1+ITE-linear", 13, 7),
+        ("ITE-log-2+ITE-linear", 13, 5),
+        ("ITE-log-2+direct", 13, 6),
+        ("ITE-log-2+muldirect", 13, 6),
+        ("ITE-linear-2+direct", 13, 7),
+        ("ITE-linear-2+muldirect", 13, 7),
+        ("direct-3+direct", 13, 8),
+        ("direct-3+muldirect", 13, 8),
+        ("muldirect-3+direct", 13, 8),
+        ("muldirect-3+muldirect", 13, 8),
+    ])
+    def test_figure1_domain(self, name, k, expected):
+        assert get_encoding(name).vars_per_vertex(k) == expected
+
+
+def _fuzzed_names(draw):
+    schemes = ["log", "direct", "muldirect", "ITE-linear", "ITE-log"]
+    depth = draw(st.integers(min_value=1, max_value=3))
+    parts = []
+    for level in range(depth - 1):
+        scheme = draw(st.sampled_from(schemes))
+        param = draw(st.integers(min_value=1, max_value=3))
+        parts.append(f"{scheme}-{param}")
+    parts.append(draw(st.sampled_from(schemes)))
+    return "+".join(parts)
+
+
+fuzzed_names = st.composite(_fuzzed_names)()
+
+
+class TestGrammarFuzz:
+    @settings(max_examples=40, deadline=None)
+    @given(name=fuzzed_names, k=st.integers(min_value=1, max_value=9))
+    def test_any_grammatical_encoding_is_wellformed(self, name, k):
+        encoding = parse_encoding(name)
+        vertex = encoding.vertex_encoding(k)
+        assert len(vertex.patterns) == k
+        assert patterns_are_distinct(vertex.patterns)
+
+    @settings(max_examples=25, deadline=None)
+    @given(name=fuzzed_names,
+           k=st.integers(min_value=1, max_value=5),
+           seed=st.integers(min_value=0, max_value=50))
+    def test_any_grammatical_encoding_is_equisatisfiable(self, name, k, seed):
+        graph = make_random_graph(6, 0.5, seed=seed)
+        problem = ColoringProblem(graph, k)
+        encoded = parse_encoding(name).encode(problem)
+        result = solve(encoded.cnf)
+        assert result.satisfiable == is_colorable(graph, k)
+        if result.satisfiable:
+            assert problem.is_valid_coloring(encoded.decode(result.model))
+
+
+class TestConflictClauseCounts:
+    def test_one_clause_per_edge_per_color(self):
+        for name in ("muldirect", "ITE-log", "direct-3+muldirect"):
+            problem = ColoringProblem(complete_graph(4), 5)
+            encoded = get_encoding(name).encode(problem)
+            structural = len(encoded.vertex_encoding.clauses) * 4
+            conflicts = encoded.cnf.num_clauses - structural
+            assert conflicts == 6 * 5  # |E| * K

@@ -1,0 +1,82 @@
+"""The central correctness property of the whole encoding layer:
+
+for every one of the paper's 15 encodings, the generated CNF is
+satisfiable **iff** the coloring problem is solvable, and every decoded
+model is a proper coloring.  The oracle is brute-force backtracking.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coloring import (ColoringProblem, Graph, complete_graph,
+                            cycle_graph, is_colorable)
+from repro.core.encodings import ALL_ENCODINGS, get_encoding
+from repro.sat import solve
+from .conftest import make_random_graph, small_graphs
+
+
+def check_encoding(graph, num_colors, name):
+    problem = ColoringProblem(graph, num_colors)
+    encoded = get_encoding(name).encode(problem)
+    result = solve(encoded.cnf)
+    expected = is_colorable(graph, num_colors)
+    assert result.satisfiable == expected, (
+        f"{name}: SAT={result.satisfiable} but colorable={expected} "
+        f"(n={graph.num_vertices}, K={num_colors})")
+    if result.satisfiable:
+        coloring = encoded.decode(result.model)
+        assert problem.is_valid_coloring(coloring), (
+            f"{name}: decoded coloring invalid")
+
+
+@pytest.mark.parametrize("name", ALL_ENCODINGS)
+class TestCraftedGraphs:
+    def test_triangle_2_colors_unsat(self, name):
+        check_encoding(complete_graph(3), 2, name)
+
+    def test_triangle_3_colors_sat(self, name):
+        check_encoding(complete_graph(3), 3, name)
+
+    def test_k5_boundary(self, name):
+        check_encoding(complete_graph(5), 4, name)
+        check_encoding(complete_graph(5), 5, name)
+
+    def test_odd_cycle_needs_three(self, name):
+        check_encoding(cycle_graph(7), 2, name)
+        check_encoding(cycle_graph(7), 3, name)
+
+    def test_even_cycle_two_colors(self, name):
+        check_encoding(cycle_graph(6), 2, name)
+
+    def test_edgeless_one_color(self, name):
+        check_encoding(Graph(4), 1, name)
+
+    def test_single_edge_one_color_unsat(self, name):
+        check_encoding(Graph(2, [(0, 1)]), 1, name)
+
+    def test_single_vertex(self, name):
+        check_encoding(Graph(1), 1, name)
+        check_encoding(Graph(1), 3, name)
+
+    def test_colors_exceed_vertices(self, name):
+        check_encoding(complete_graph(3), 7, name)
+
+    def test_disconnected_components(self, name):
+        graph = Graph(6, [(0, 1), (1, 2), (0, 2), (3, 4)])
+        check_encoding(graph, 3, name)
+
+
+@pytest.mark.parametrize("name", ALL_ENCODINGS)
+@pytest.mark.parametrize("seed", range(6))
+def test_random_graphs_all_color_counts(name, seed):
+    graph = make_random_graph(7, 0.5, seed=seed)
+    for num_colors in range(1, 6):
+        check_encoding(graph, num_colors, name)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=small_graphs(max_vertices=7),
+       num_colors=st.integers(min_value=1, max_value=5),
+       name=st.sampled_from(ALL_ENCODINGS))
+def test_equisatisfiability_property(graph, num_colors, name):
+    check_encoding(graph, num_colors, name)

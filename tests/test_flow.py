@@ -1,0 +1,67 @@
+"""End-to-end detailed-routing flow tests (scaled-down benchmarks)."""
+
+import pytest
+
+from repro.core import Strategy
+from repro.fpga import (detailed_route, is_legal, load_routing,
+                        minimum_channel_width)
+
+STRATEGY = Strategy("ITE-linear-2+muldirect", "s1")
+
+
+@pytest.fixture(scope="module")
+def alu2_routing():
+    return load_routing("alu2", scale=0.7)
+
+
+@pytest.fixture(scope="module")
+def alu2_width(alu2_routing):
+    return minimum_channel_width(alu2_routing, STRATEGY)
+
+
+class TestDetailedRoute:
+    def test_routable_at_minimum_width(self, alu2_routing, alu2_width):
+        result = detailed_route(alu2_routing, alu2_width, STRATEGY)
+        assert result.routable
+        assert result.assignment is not None
+        assert is_legal(result.assignment)
+        assert result.width == alu2_width
+        assert result.total_time > 0
+
+    def test_unroutable_below_minimum(self, alu2_routing, alu2_width):
+        assert alu2_width >= 2
+        result = detailed_route(alu2_routing, alu2_width - 1, STRATEGY)
+        assert not result.routable
+        assert result.assignment is None
+
+    def test_routable_with_slack(self, alu2_routing, alu2_width):
+        result = detailed_route(alu2_routing, alu2_width + 2, STRATEGY)
+        assert result.routable
+
+    @pytest.mark.parametrize("encoding", ["muldirect", "log", "ITE-log",
+                                          "direct-3+muldirect"])
+    def test_width_agrees_across_encodings(self, alu2_routing, alu2_width,
+                                           encoding):
+        """The minimum width is a property of the problem, not the
+        encoding: every encoding must agree at the boundary."""
+        strategy = Strategy(encoding, "b1")
+        assert not detailed_route(alu2_routing, alu2_width - 1,
+                                  strategy).routable
+        assert detailed_route(alu2_routing, alu2_width, strategy).routable
+
+
+class TestMinimumWidth:
+    def test_consistent_with_bounds(self, alu2_routing, alu2_width):
+        from repro.coloring import clique_lower_bound, greedy_num_colors
+        from repro.fpga import build_routing_csp
+        graph = build_routing_csp(alu2_routing, 1).problem.graph
+        assert clique_lower_bound(graph) <= alu2_width
+        assert alu2_width <= greedy_num_colors(graph)
+
+    def test_at_least_max_segment_usage(self, alu2_routing, alu2_width):
+        assert alu2_width >= alu2_routing.max_segment_usage()
+
+    def test_explicit_bracket(self, alu2_routing, alu2_width):
+        narrowed = minimum_channel_width(alu2_routing, STRATEGY,
+                                         lower=alu2_width, upper=alu2_width)
+        assert narrowed == alu2_width

@@ -1,0 +1,107 @@
+"""Tests for netlist/routing/track-assignment serialisation."""
+
+import pytest
+
+from repro.fpga import (Net, Netlist, assignment_from_coloring,
+                        assignment_from_json, assignment_to_json,
+                        build_routing_csp, load_netlist, netlist_from_json,
+                        netlist_to_json, route_netlist, routing_from_text,
+                        routing_to_text, validate_global_routing)
+
+
+@pytest.fixture
+def netlist():
+    return Netlist("demo", 4, 3, [
+        Net("a", (0, 0), ((3, 2),)),
+        Net("b", (1, 1), ((2, 0), (0, 2))),
+    ])
+
+
+class TestNetlistJson:
+    def test_round_trip(self, netlist):
+        parsed = netlist_from_json(netlist_to_json(netlist))
+        assert parsed.name == netlist.name
+        assert parsed.cols == netlist.cols and parsed.rows == netlist.rows
+        assert [(n.name, n.source, n.sinks) for n in parsed.nets] \
+            == [(n.name, n.source, n.sinks) for n in netlist.nets]
+
+    def test_benchmark_round_trip(self):
+        netlist = load_netlist("alu2", scale=0.6)
+        parsed = netlist_from_json(netlist_to_json(netlist))
+        assert parsed.num_nets == netlist.num_nets
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            netlist_from_json('{"format": "something-else"}')
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValueError):
+            netlist_from_json(
+                '{"format": "repro-netlist", "version": 99}')
+
+    def test_file_round_trip(self, netlist, tmp_path):
+        from repro.fpga import read_netlist, write_netlist
+        path = str(tmp_path / "n.json")
+        write_netlist(netlist, path)
+        assert read_netlist(path).num_nets == netlist.num_nets
+
+
+class TestRoutingText:
+    def test_round_trip(self, netlist):
+        routing = route_netlist(netlist)
+        parsed = routing_from_text(routing_to_text(routing), netlist)
+        assert parsed.num_two_pin_nets == routing.num_two_pin_nets
+        assert [t.segments for t in parsed.two_pin_nets] \
+            == [t.segments for t in routing.two_pin_nets]
+        assert validate_global_routing(parsed) == []
+
+    def test_grid_mismatch_rejected(self, netlist):
+        routing = route_netlist(netlist)
+        other = Netlist("other", 5, 5, [Net("a", (0, 0), ((1, 1),))])
+        with pytest.raises(ValueError):
+            routing_from_text(routing_to_text(routing), other)
+
+    def test_missing_grid_rejected(self, netlist):
+        with pytest.raises(ValueError):
+            routing_from_text("net 0 0 0 0 1 1 : h0.0\n", netlist)
+
+    def test_net_before_grid_rejected(self, netlist):
+        text = "net 0 0 0 0 1 1 : h0.0\ngrid 4 3\n"
+        with pytest.raises(ValueError):
+            routing_from_text(text, netlist)
+
+    def test_malformed_segment_rejected(self, netlist):
+        text = "grid 4 3\nnet 0 0 0 0 1 1 : hXY\n"
+        with pytest.raises(ValueError):
+            routing_from_text(text, netlist)
+
+    def test_comments_ignored(self, netlist):
+        routing = route_netlist(netlist)
+        text = "# hello\n" + routing_to_text(routing)
+        parsed = routing_from_text(text, netlist)
+        assert parsed.num_two_pin_nets == routing.num_two_pin_nets
+
+
+class TestAssignmentJson:
+    def test_round_trip(self, netlist):
+        routing = route_netlist(netlist)
+        csp = build_routing_csp(routing, 3)
+        from repro.core import Strategy, solve_coloring
+        outcome = solve_coloring(csp.problem, Strategy("ITE-log", "s1"))
+        assert outcome.satisfiable
+        assignment = assignment_from_coloring(csp, outcome.coloring)
+        parsed = assignment_from_json(assignment_to_json(assignment), routing)
+        assert parsed.tracks == assignment.tracks
+        assert parsed.width == assignment.width
+
+    def test_unknown_net_rejected(self, netlist):
+        routing = route_netlist(netlist)
+        text = ('{"format": "repro-tracks", "version": 1, "width": 2, '
+                '"tracks": {"bogus.0": 1}}')
+        with pytest.raises(ValueError):
+            assignment_from_json(text, routing)
+
+    def test_wrong_format_rejected(self, netlist):
+        routing = route_netlist(netlist)
+        with pytest.raises(ValueError):
+            assignment_from_json('{"format": "x"}', routing)

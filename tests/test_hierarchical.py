@@ -1,0 +1,166 @@
+"""Tests for hierarchical encoding composition, anchored on the paper's
+§4 worked example (Fig. 1.c/1.d) and its ⌈K/n⌉ variable-count formula."""
+
+import pytest
+
+from repro.core.encodings import (Level, build_vertex_encoding, get_encoding,
+                                  split_sizes, ITE_LINEAR, ITE_LOG, MULDIRECT,
+                                  DIRECT)
+from repro.core.patterns import pattern_holds, patterns_are_distinct
+
+
+class TestSplitSizes:
+    def test_even(self):
+        assert split_sizes(12, 4) == [3, 3, 3, 3]
+
+    def test_remainder_goes_first(self):
+        assert split_sizes(13, 4) == [4, 3, 3, 3]
+
+    def test_single_part(self):
+        assert split_sizes(5, 1) == [5]
+
+    def test_rejects_more_parts_than_values(self):
+        with pytest.raises(ValueError):
+            split_sizes(2, 3)
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(ValueError):
+            split_sizes(2, 0)
+
+
+class TestValidation:
+    def test_upper_level_needs_var_count(self):
+        with pytest.raises(ValueError):
+            build_vertex_encoding(6, [Level(ITE_LOG, None), Level(MULDIRECT)])
+
+    def test_final_level_must_not_fix_vars(self):
+        with pytest.raises(ValueError):
+            build_vertex_encoding(6, [Level(ITE_LOG, 2), Level(MULDIRECT, 2)])
+
+    def test_needs_at_least_one_level(self):
+        with pytest.raises(ValueError):
+            build_vertex_encoding(6, [])
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            build_vertex_encoding(0, [Level(MULDIRECT)])
+
+
+class TestFigure1d:
+    """ITE-log-2+ITE-linear on 13 values (paper Fig. 1.d and §4 text)."""
+
+    def setup_method(self):
+        self.encoding = build_vertex_encoding(
+            13, [Level(ITE_LOG, 2), Level(ITE_LINEAR)])
+
+    def test_variable_count(self):
+        # 2 top variables + 3 chain variables for the largest subdomain (4).
+        assert self.encoding.num_vars == 5
+
+    def test_subdomain_sizes_are_4_3_3_3(self):
+        # Values 0-3 share top pattern (i0, i1); 4-6 get (i0, -i1), etc.
+        patterns = self.encoding.patterns
+        assert patterns[0][:2] == (1, 2)
+        assert patterns[4][:2] == (1, -2)
+        assert patterns[7][:2] == (-1, 2)
+        assert patterns[10][:2] == (-1, -2)
+
+    def test_paper_example_patterns(self):
+        """§4: v4 ↔ i0·¬i1·i2; v5 ↔ i0·¬i1·¬i2·i3; v6 ↔ i0·¬i1·¬i2·¬i3."""
+        patterns = self.encoding.patterns
+        assert patterns[4] == (1, -2, 3)
+        assert patterns[5] == (1, -2, -3, 4)
+        assert patterns[6] == (1, -2, -3, -4)
+
+    def test_smaller_trees_mean_no_structural_clauses(self):
+        assert self.encoding.clauses == []
+
+    def test_exactly_one_value_per_assignment(self):
+        for bits in range(2 ** self.encoding.num_vars):
+            values = [(bits >> i) & 1 == 1 for i in range(self.encoding.num_vars)]
+            selected = [v for v, p in enumerate(self.encoding.patterns)
+                        if pattern_holds(p, values)]
+            assert len(selected) == 1
+
+    def test_paper_conflict_clause_example(self):
+        """§4's worked conflict clause for v4 between two adjacent CSP
+        variables: (¬i0 ∨ i1 ∨ ¬i2 ∨ ¬j0 ∨ j1 ∨ ¬j2)."""
+        from repro.coloring import ColoringProblem, Graph
+        problem = ColoringProblem(Graph(2, [(0, 1)]), 13)
+        encoded = get_encoding("ITE-log-2+ITE-linear").encode(problem)
+        # Vertex w's block starts at offset 5, so j0=6, j1=7, j2=8.
+        expected = (-1, 2, -3, -6, 7, -8)
+        assert expected in {tuple(c) for c in encoded.cnf.clauses}
+
+
+class TestFigure1c:
+    """ITE-log-1+ITE-linear on 13 values (Fig. 1.c): one top variable
+    splitting into subdomains of 7 and 6."""
+
+    def setup_method(self):
+        self.encoding = build_vertex_encoding(
+            13, [Level(ITE_LOG, 1), Level(ITE_LINEAR)])
+
+    def test_variable_count(self):
+        assert self.encoding.num_vars == 1 + 6  # chain for 7 values
+
+    def test_subdomain_boundary(self):
+        patterns = self.encoding.patterns
+        assert patterns[0][0] == 1       # first subdomain under i0
+        assert patterns[6][0] == 1
+        assert patterns[7][0] == -1      # second subdomain under ¬i0
+        # second subdomain has 6 values and reuses chain vars 2..6
+        assert patterns[7][1:] == (2,)
+        assert patterns[12][1:] == (-2, -3, -4, -5, -6)
+
+
+class TestVariableCountFormula:
+    def test_muldirect_top_formula(self):
+        """§4: with muldirect-n on top of K values, the second-level
+        muldirect uses ⌈K/n⌉ variables."""
+        for total, top in [(13, 3), (12, 3), (9, 3), (10, 2), (7, 3)]:
+            encoding = build_vertex_encoding(
+                total, [Level(MULDIRECT, top), Level(MULDIRECT)])
+            expected_bottom = -(-total // top)  # ceil
+            assert encoding.num_vars == top + expected_bottom
+
+    def test_exclusion_clauses_for_small_subdomains(self):
+        # 13 = 5+4+4: subdomains 1 and 2 must not select position 4.
+        encoding = build_vertex_encoding(
+            13, [Level(MULDIRECT, 3), Level(MULDIRECT)])
+        # structural: two ALO clauses + 2 exclusion clauses
+        alo = [c for c in encoding.clauses if all(l > 0 for l in c)]
+        exclusions = [c for c in encoding.clauses if all(l < 0 for l in c)]
+        assert len(alo) == 2
+        assert sorted(exclusions) == [(-3, -8), (-2, -8)] or \
+            sorted(exclusions) == [(-2, -8), (-3, -8)]
+
+    def test_no_exclusions_when_division_is_exact(self):
+        encoding = build_vertex_encoding(
+            12, [Level(MULDIRECT, 3), Level(MULDIRECT)])
+        exclusions = [c for c in encoding.clauses if all(l < 0 for l in c)]
+        assert exclusions == []
+
+
+class TestDegenerateDomains:
+    def test_domain_smaller_than_fanout(self):
+        # 2 values under a 3-way top level: collapses to 2 subdomains.
+        encoding = build_vertex_encoding(
+            2, [Level(DIRECT, 3), Level(MULDIRECT)])
+        assert encoding.num_values == 2
+        assert len(encoding.patterns) == 2
+        assert patterns_are_distinct(encoding.patterns)
+
+    def test_single_value_domain(self):
+        encoding = build_vertex_encoding(
+            1, [Level(ITE_LOG, 2), Level(ITE_LINEAR)])
+        assert len(encoding.patterns) == 1
+
+    def test_three_level_hierarchy(self):
+        # Not used in the paper's experiments but supported by the general
+        # construction: muldirect-2 + muldirect-2 + muldirect.
+        encoding = build_vertex_encoding(
+            12, [Level(MULDIRECT, 2), Level(MULDIRECT, 2), Level(MULDIRECT)])
+        assert len(encoding.patterns) == 12
+        assert patterns_are_distinct(encoding.patterns)
+        assert encoding.num_vars == 2 + 2 + 3

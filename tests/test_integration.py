@@ -1,0 +1,72 @@
+"""Full-stack integration tests: netlist → global route → .col → CNF →
+CDCL → tracks, plus cross-layer consistency checks."""
+
+import pytest
+
+from repro import (Strategy, detailed_route, load_routing,
+                   minimum_channel_width, solve_coloring)
+from repro.coloring import parse_col_string
+from repro.core.encodings import TABLE2_ENCODINGS
+from repro.fpga import build_routing_csp, is_legal
+from repro.sat import parse_dimacs_string
+
+
+@pytest.fixture(scope="module")
+def routing():
+    return load_routing("9symml", scale=0.8)
+
+
+@pytest.fixture(scope="module")
+def width(routing):
+    return minimum_channel_width(routing, Strategy("ITE-log", "s1"))
+
+
+class TestToolFlowArtifacts:
+    def test_col_artifact_feeds_second_stage(self, routing, width):
+        """The two-stage flow: write .col, re-parse it, color it, and get
+        the same satisfiability answer as the direct path."""
+        from repro.coloring import ColoringProblem
+        csp = build_routing_csp(routing, width)
+        reparsed = parse_col_string(csp.to_dimacs_col())
+        problem = ColoringProblem(reparsed, width)
+        outcome = solve_coloring(problem, Strategy("muldirect", "b1"))
+        assert outcome.satisfiable
+
+    def test_cnf_artifact_round_trips(self, routing, width):
+        from repro.core import get_encoding
+        from repro.sat import solve
+        csp = build_routing_csp(routing, width - 1)
+        encoded = get_encoding("ITE-log").encode(csp.problem)
+        reparsed = parse_dimacs_string(encoded.cnf.to_dimacs())
+        assert not solve(reparsed).satisfiable
+
+
+class TestCrossEncodingAgreement:
+    @pytest.mark.parametrize("encoding", TABLE2_ENCODINGS)
+    def test_all_encodings_agree_on_unroutability(self, routing, width,
+                                                  encoding):
+        result = detailed_route(routing, width - 1, Strategy(encoding, "s1"))
+        assert not result.routable
+
+    @pytest.mark.parametrize("encoding", TABLE2_ENCODINGS)
+    def test_all_encodings_find_legal_routings(self, routing, width,
+                                               encoding):
+        result = detailed_route(routing, width, Strategy(encoding, "b1"))
+        assert result.routable
+        assert is_legal(result.assignment)
+
+
+class TestSolverAgreement:
+    def test_presets_agree_on_boundary(self, routing, width):
+        for solver in ("minisat_like", "siege_like"):
+            strategy = Strategy("ITE-linear-2+muldirect", "s1", solver=solver)
+            assert detailed_route(routing, width, strategy).routable
+            assert not detailed_route(routing, width - 1, strategy).routable
+
+
+class TestPortfolioOnRouting:
+    def test_portfolio_proves_unroutability(self, routing, width):
+        from repro.core import PORTFOLIO_3, run_portfolio
+        csp = build_routing_csp(routing, width - 1)
+        result = run_portfolio(csp.problem, list(PORTFOLIO_3))
+        assert not result.outcome.satisfiable

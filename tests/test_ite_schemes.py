@@ -1,0 +1,158 @@
+"""Tests for ITE trees and the ITE-linear / ITE-log schemes, anchored on
+the paper's Figure 1 (13-value domain)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.encodings import (CustomITEScheme, ITE_LINEAR, ITE_LOG,
+                                  ITENode, ITETree, balanced_tree,
+                                  linear_tree)
+from repro.core.patterns import pattern_holds, patterns_are_distinct
+
+
+def exhaustive_selection_counts(patterns, num_vars):
+    """For each total assignment, which values hold?  Returns a list of
+    selected-value lists, one per assignment."""
+    selections = []
+    for bits in range(2 ** num_vars):
+        values = [(bits >> i) & 1 == 1 for i in range(num_vars)]
+        selections.append([v for v, p in enumerate(patterns)
+                           if pattern_holds(p, values)])
+    return selections
+
+
+class TestITETree:
+    def test_single_leaf(self):
+        tree = ITETree(0, 1)
+        assert tree.num_vars == 0
+        assert tree.patterns() == [()]
+
+    def test_simple_node(self):
+        tree = ITETree(ITENode(1, 0, 1), 2)
+        assert tree.patterns() == [(1,), (-1,)]
+
+    def test_unreachable_leaf_rejected(self):
+        with pytest.raises(ValueError):
+            ITETree(ITENode(1, 0, 0), 2)
+
+    def test_duplicate_leaf_rejected(self):
+        with pytest.raises(ValueError):
+            ITETree(ITENode(1, 0, 0), 1)
+
+    def test_leaf_out_of_range(self):
+        with pytest.raises(ValueError):
+            ITETree(ITENode(1, 0, 5), 2)
+
+    def test_repeated_variable_on_path_rejected(self):
+        # var 1 guards both the root and a nested ITE on the same path.
+        bad = ITENode(1, ITENode(1, 0, 1), 2)
+        with pytest.raises(ValueError):
+            ITETree(bad, 3)
+
+    def test_shared_variable_across_branches_allowed(self):
+        # ITE-log-style sharing: var 2 on both sides of the root.
+        root = ITENode(1, ITENode(2, 0, 1), ITENode(2, 2, 3))
+        tree = ITETree(root, 4)
+        assert tree.num_vars == 2
+        assert tree.depth() == 2
+
+
+class TestLinearScheme:
+    def test_figure_1a_shape(self):
+        """Fig. 1.a: 13 values selected by 12 indexing variables."""
+        patterns = ITE_LINEAR.patterns(13)
+        assert ITE_LINEAR.num_vars(13) == 12
+        assert patterns[0] == (1,)
+        assert patterns[1] == (-1, 2)
+        assert patterns[11] == (-1, -2, -3, -4, -5, -6, -7, -8, -9, -10, -11, 12)
+        assert patterns[12] == (-1, -2, -3, -4, -5, -6, -7, -8, -9, -10, -11, -12)
+
+    def test_no_structural_clauses(self):
+        assert ITE_LINEAR.structural_clauses(7) == []
+
+    def test_exactly_one_value_selected(self):
+        for n in (1, 2, 3, 5, 8):
+            patterns = ITE_LINEAR.patterns(n)
+            for selected in exhaustive_selection_counts(patterns,
+                                                        ITE_LINEAR.num_vars(n)):
+                assert len(selected) == 1
+
+    def test_subdomains(self):
+        # ITE-linear with i variables distinguishes i+1 subdomains.
+        assert ITE_LINEAR.num_subdomains(2) == 3
+
+
+class TestLogScheme:
+    def test_figure_1b_variable_count(self):
+        """Fig. 1.b: 13 values need ceil(log2 13) = 4 shared variables."""
+        assert ITE_LOG.num_vars(13) == 4
+
+    def test_depth_is_log_bounded(self):
+        for n in range(1, 40):
+            tree = ITETree(balanced_tree(n), n)
+            expected = math.ceil(math.log2(n)) if n > 1 else 0
+            assert tree.depth() == expected
+            lengths = {len(p) for p in tree.patterns()}
+            assert lengths <= {expected, max(expected - 1, 0)}
+
+    def test_no_structural_clauses(self):
+        assert ITE_LOG.structural_clauses(13) == []
+
+    def test_exactly_one_value_selected(self):
+        for n in (1, 2, 3, 5, 6, 13):
+            patterns = ITE_LOG.patterns(n)
+            for selected in exhaustive_selection_counts(patterns,
+                                                        ITE_LOG.num_vars(n)):
+                assert len(selected) == 1
+
+    def test_power_of_two_matches_binary_codes(self):
+        # With n a power of two the tree patterns all have full depth.
+        patterns = ITE_LOG.patterns(8)
+        assert all(len(p) == 3 for p in patterns)
+        assert patterns_are_distinct(patterns)
+
+    def test_subdomains(self):
+        assert ITE_LOG.num_subdomains(2) == 4
+
+
+class TestCustomScheme:
+    def test_skewed_tree(self):
+        # A right-comb built manually must behave like ITE-linear.
+        scheme = CustomITEScheme(linear_tree, name="comb")
+        assert scheme.patterns(5) == ITE_LINEAR.patterns(5)
+        assert scheme.num_vars(5) == 4
+        assert scheme.structural_clauses(5) == []
+
+    def test_cannot_be_hierarchy_top(self):
+        scheme = CustomITEScheme(balanced_tree)
+        with pytest.raises(NotImplementedError):
+            scheme.num_subdomains(2)
+
+    def test_arbitrary_shape_selects_exactly_one(self):
+        def lopsided(n):
+            if n == 5:
+                return ITENode(1,
+                               ITENode(2, 0, 1),
+                               ITENode(2, 2, ITENode(3, 3, 4)))
+            return balanced_tree(n)
+
+        scheme = CustomITEScheme(lopsided)
+        patterns = scheme.patterns(5)
+        for selected in exhaustive_selection_counts(patterns, scheme.num_vars(5)):
+            assert len(selected) == 1
+
+
+@given(st.integers(min_value=1, max_value=32))
+def test_both_shapes_partition_assignment_space(n):
+    """Every assignment to the indexing variables selects exactly one leaf,
+    for both tree shapes (the paper's multiplexor property)."""
+    for scheme in (ITE_LINEAR, ITE_LOG):
+        num_vars = scheme.num_vars(n)
+        if num_vars > 12:
+            continue  # keep the exhaustive walk small
+        patterns = scheme.patterns(n)
+        assert patterns_are_distinct(patterns)
+        for selected in exhaustive_selection_counts(patterns, num_vars):
+            assert len(selected) == 1

@@ -1,0 +1,77 @@
+"""Unit tests for DIMACS literal helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sat.literals import (code_to_lit, is_positive, lit_to_code,
+                                max_var, negate, var_of)
+
+nonzero_lits = st.integers(min_value=1, max_value=10**6).flatmap(
+    lambda v: st.sampled_from([v, -v]))
+
+
+class TestVarOf:
+    def test_positive(self):
+        assert var_of(5) == 5
+
+    def test_negative(self):
+        assert var_of(-7) == 7
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            var_of(0)
+
+
+class TestNegate:
+    def test_round_trip(self):
+        assert negate(negate(3)) == 3
+
+    def test_sign_flip(self):
+        assert negate(4) == -4
+        assert negate(-4) == 4
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            negate(0)
+
+
+class TestIsPositive:
+    def test_polarity(self):
+        assert is_positive(1)
+        assert not is_positive(-1)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            is_positive(0)
+
+
+class TestCodes:
+    def test_known_values(self):
+        assert lit_to_code(1) == 2
+        assert lit_to_code(-1) == 3
+        assert lit_to_code(2) == 4
+        assert lit_to_code(-2) == 5
+
+    def test_negation_is_xor(self):
+        for lit in (1, -1, 9, -9, 100):
+            assert lit_to_code(negate(lit)) == lit_to_code(lit) ^ 1
+
+    @given(nonzero_lits)
+    def test_round_trip(self, lit):
+        assert code_to_lit(lit_to_code(lit)) == lit
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            lit_to_code(0)
+
+    def test_bad_code_rejected(self):
+        with pytest.raises(ValueError):
+            code_to_lit(1)
+
+
+class TestMaxVar:
+    def test_empty(self):
+        assert max_var([]) == 0
+
+    def test_mixed(self):
+        assert max_var([3, -7, 2]) == 7

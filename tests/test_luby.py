@@ -1,0 +1,28 @@
+"""Tests for the Luby restart sequence."""
+
+import pytest
+
+from repro.sat.solver import luby, luby_prefix
+
+
+class TestLuby:
+    def test_known_prefix(self):
+        assert luby_prefix(15) == [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+
+    def test_powers_at_boundaries(self):
+        # Element 2^k - 1 is 2^(k-1).
+        for k in range(1, 8):
+            assert luby(2 ** k - 1) == 2 ** (k - 1)
+
+    def test_self_similarity(self):
+        # After position 2^k - 1 the sequence restarts.
+        prefix = luby_prefix(63)
+        assert prefix[31:62] == prefix[:31]
+
+    def test_one_based(self):
+        with pytest.raises(ValueError):
+            luby(0)
+
+    def test_all_values_are_powers_of_two(self):
+        for value in luby_prefix(100):
+            assert value & (value - 1) == 0

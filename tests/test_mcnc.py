@@ -1,0 +1,68 @@
+"""Tests for the MCNC-like benchmark profiles."""
+
+import pytest
+
+from repro.fpga import (ALL_BENCHMARKS, EXTRA_BENCHMARKS, TABLE2_BENCHMARKS,
+                        benchmark_names, benchmark_spec, load_netlist,
+                        load_routing, validate_global_routing)
+
+
+class TestInventory:
+    def test_table2_circuits(self):
+        assert TABLE2_BENCHMARKS == ["alu2", "too_large", "alu4", "C880",
+                                     "apex7", "C1355", "vda", "k2"]
+
+    def test_names_cover_both_suites(self):
+        names = benchmark_names()
+        assert names[:8] == TABLE2_BENCHMARKS
+        assert set(EXTRA_BENCHMARKS) <= set(names)
+        assert len(names) == len(set(names))
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            benchmark_spec("unknown_circuit")
+
+
+class TestSpecs:
+    def test_every_benchmark_has_a_spec(self):
+        for name in ALL_BENCHMARKS:
+            spec = benchmark_spec(name)
+            assert spec.name == name
+            assert spec.num_nets > 0
+
+    def test_difficulty_ramps_with_position(self):
+        # Later Table-2 circuits are at least as large.
+        sizes = [benchmark_spec(n).cols * benchmark_spec(n).rows
+                 for n in TABLE2_BENCHMARKS]
+        assert sizes[0] == min(sizes)
+        assert sizes[-1] == max(sizes)
+
+    def test_scaling(self):
+        full = benchmark_spec("k2")
+        half = benchmark_spec("k2", scale=0.5)
+        assert half.cols == round(full.cols * 0.5)
+        assert half.num_nets == round(full.num_nets * 0.5)
+        assert half.seed == full.seed
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            benchmark_spec("alu2", scale=0)
+
+
+class TestLoading:
+    def test_netlist_deterministic(self):
+        a = load_netlist("alu2")
+        b = load_netlist("alu2")
+        assert [(n.source, n.sinks) for n in a.nets] \
+            == [(n.source, n.sinks) for n in b.nets]
+
+    def test_scaled_netlist_is_smaller(self):
+        full = load_netlist("alu2")
+        half = load_netlist("alu2", scale=0.5)
+        assert half.num_nets < full.num_nets
+
+    @pytest.mark.parametrize("name", ["alu2", "9symml"])
+    def test_routing_is_valid(self, name):
+        routing = load_routing(name, scale=0.6)
+        assert validate_global_routing(routing) == []
+        assert routing.num_two_pin_nets >= routing.netlist.num_nets

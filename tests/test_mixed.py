@@ -1,0 +1,90 @@
+"""Tests for mixed-scheme hierarchy levels (paper §4's general form)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coloring import ColoringProblem, is_colorable
+from repro.core.encodings import (DIRECT, ITE_LINEAR, ITE_LOG, Level,
+                                  MULDIRECT, LOG, build_mixed_vertex_encoding,
+                                  encode_mixed)
+from repro.core.patterns import patterns_are_distinct
+from repro.sat import solve
+from .conftest import make_random_graph, small_graphs
+
+SCHEMES = [DIRECT, MULDIRECT, LOG, ITE_LINEAR, ITE_LOG]
+
+
+class TestConstruction:
+    def test_subdomain_count_must_match(self):
+        with pytest.raises(ValueError):
+            build_mixed_vertex_encoding(9, Level(ITE_LOG, 2), [DIRECT])
+
+    def test_top_needs_var_count(self):
+        with pytest.raises(ValueError):
+            build_mixed_vertex_encoding(9, Level(ITE_LOG, None),
+                                        [DIRECT] * 4)
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            build_mixed_vertex_encoding(0, Level(ITE_LOG, 1), [DIRECT] * 2)
+
+    def test_pattern_count_and_distinctness(self):
+        vertex = build_mixed_vertex_encoding(
+            11, Level(ITE_LOG, 2), [DIRECT, MULDIRECT, ITE_LINEAR, LOG])
+        assert vertex.num_values == 11
+        assert len(vertex.patterns) == 11
+        assert patterns_are_distinct(vertex.patterns)
+
+    def test_same_scheme_shares_block(self):
+        # Both subdomains direct -> shared block == plain direct-?+direct.
+        uniform = build_mixed_vertex_encoding(
+            10, Level(ITE_LOG, 1), [DIRECT, DIRECT])
+        assert uniform.num_vars == 1 + 5
+
+    def test_distinct_schemes_get_distinct_blocks(self):
+        mixed = build_mixed_vertex_encoding(
+            10, Level(ITE_LOG, 1), [DIRECT, LOG])
+        # 1 top var + direct block of 5 + log block of ceil(log2 5) = 3.
+        assert mixed.num_vars == 1 + 5 + 3
+
+    def test_ite_bottoms_add_no_structural_clauses(self):
+        vertex = build_mixed_vertex_encoding(
+            9, Level(ITE_LOG, 1), [ITE_LINEAR, ITE_LOG])
+        assert vertex.clauses == []
+
+
+class TestEquisatisfiability:
+    def _check(self, graph, num_colors, bottoms, top=None):
+        top = top or Level(ITE_LOG, 1)
+        problem = ColoringProblem(graph, num_colors)
+        declared = top.scheme.num_subdomains(top.num_vars)
+        parts = min(declared, num_colors)
+        encoded = encode_mixed(problem, top, bottoms[:parts])
+        result = solve(encoded.cnf)
+        expected = is_colorable(graph, num_colors)
+        assert result.satisfiable == expected
+        if result.satisfiable:
+            assert problem.is_valid_coloring(encoded.decode(result.model))
+
+    @pytest.mark.parametrize("bottom_a", SCHEMES, ids=lambda s: s.name)
+    @pytest.mark.parametrize("bottom_b", SCHEMES, ids=lambda s: s.name)
+    def test_all_scheme_pairs(self, bottom_a, bottom_b):
+        graph = make_random_graph(6, 0.5, seed=13)
+        for num_colors in (2, 3, 5):
+            self._check(graph, num_colors, [bottom_a, bottom_b])
+
+    def test_muldirect_top_with_mixed_bottoms(self):
+        graph = make_random_graph(6, 0.6, seed=17)
+        for num_colors in (3, 4, 6):
+            self._check(graph, num_colors, [DIRECT, LOG, ITE_LINEAR],
+                        top=Level(MULDIRECT, 3))
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=small_graphs(max_vertices=6),
+           num_colors=st.integers(min_value=2, max_value=5),
+           pick=st.tuples(st.sampled_from(SCHEMES),
+                          st.sampled_from(SCHEMES),
+                          st.sampled_from(SCHEMES),
+                          st.sampled_from(SCHEMES)))
+    def test_property(self, graph, num_colors, pick):
+        self._check(graph, num_colors, list(pick), top=Level(ITE_LOG, 2))

@@ -1,0 +1,97 @@
+"""Tests for nets, netlists and the synthetic generator."""
+
+import pytest
+
+from repro.fpga import CircuitSpec, Net, Netlist, generate_netlist
+
+
+class TestNet:
+    def test_basic(self):
+        net = Net("a", (0, 0), ((1, 1), (2, 2)))
+        assert net.fanout == 2
+        assert net.pins == [(0, 0), (1, 1), (2, 2)]
+
+    def test_no_sinks_rejected(self):
+        with pytest.raises(ValueError):
+            Net("a", (0, 0), ())
+
+    def test_source_as_sink_rejected(self):
+        with pytest.raises(ValueError):
+            Net("a", (0, 0), ((0, 0),))
+
+    def test_duplicate_sink_rejected(self):
+        with pytest.raises(ValueError):
+            Net("a", (0, 0), ((1, 1), (1, 1)))
+
+
+class TestNetlist:
+    def test_construction(self):
+        netlist = Netlist("t", 3, 3, [Net("a", (0, 0), ((1, 1),))])
+        assert netlist.num_nets == 1
+        assert netlist.num_pins == 2
+
+    def test_pin_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Netlist("t", 2, 2, [Net("a", (0, 0), ((2, 0),))])
+
+    def test_duplicate_names_rejected(self):
+        nets = [Net("a", (0, 0), ((1, 1),)), Net("a", (1, 0), ((0, 1),))]
+        with pytest.raises(ValueError):
+            Netlist("t", 2, 2, nets)
+
+    def test_hpwl(self):
+        netlist = Netlist("t", 4, 4, [Net("a", (0, 0), ((3, 2),)),
+                                      Net("b", (1, 1), ((1, 3),))])
+        assert netlist.total_wirelength_lower_bound() == 5 + 2
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            Netlist("t", 0, 3)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        spec = CircuitSpec("c", 6, 6, 30, seed=11)
+        a = generate_netlist(spec)
+        b = generate_netlist(spec)
+        assert [(n.source, n.sinks) for n in a.nets] \
+            == [(n.source, n.sinks) for n in b.nets]
+
+    def test_different_seeds_differ(self):
+        a = generate_netlist(CircuitSpec("c", 6, 6, 30, seed=1))
+        b = generate_netlist(CircuitSpec("c", 6, 6, 30, seed=2))
+        assert [(n.source, n.sinks) for n in a.nets] \
+            != [(n.source, n.sinks) for n in b.nets]
+
+    def test_net_count_and_validity(self):
+        netlist = generate_netlist(CircuitSpec("c", 5, 7, 40, seed=3))
+        assert netlist.num_nets == 40
+        assert netlist.cols == 5 and netlist.rows == 7
+        # Netlist constructor has already validated pin bounds and names.
+
+    def test_fanout_respects_max(self):
+        netlist = generate_netlist(
+            CircuitSpec("c", 8, 8, 60, seed=4, max_fanout=3))
+        assert all(1 <= net.fanout <= 3 for net in netlist.nets)
+
+    def test_locality(self):
+        # With a small mean distance, most sinks land near their source.
+        netlist = generate_netlist(
+            CircuitSpec("c", 20, 20, 100, seed=5, mean_distance=1.5))
+        distances = [abs(s[0] - net.source[0]) + abs(s[1] - net.source[1])
+                     for net in netlist.nets for s in net.sinks]
+        assert sum(distances) / len(distances) < 5.0
+
+    def test_tiny_array(self):
+        netlist = generate_netlist(CircuitSpec("c", 2, 1, 5, seed=6))
+        assert netlist.num_nets == 5
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            CircuitSpec("c", 3, 3, 0, seed=0)
+        with pytest.raises(ValueError):
+            CircuitSpec("c", 3, 3, 5, seed=0, max_fanout=0)
+        with pytest.raises(ValueError):
+            CircuitSpec("c", 3, 3, 5, seed=0, mean_distance=0)
+        with pytest.raises(ValueError):
+            CircuitSpec("c", 1, 1, 5, seed=0)

@@ -1,0 +1,81 @@
+"""Tests for the negotiation-based (PathFinder-style) baseline router."""
+
+import pytest
+
+from repro.core import Strategy
+from repro.fpga import (Net, Netlist, PathFinderRouter, build_routing_csp,
+                        detailed_route, is_legal, load_routing,
+                        minimum_channel_width, negotiate_tracks,
+                        route_netlist)
+
+
+def contended_csp(width):
+    nets = [Net(f"n{i}", (0, 0), ((3, 0),)) for i in range(3)]
+    routing = route_netlist(Netlist("t", 4, 1, nets), congestion_penalty=0.0)
+    return build_routing_csp(routing, width)
+
+
+class TestNegotiation:
+    def test_succeeds_with_enough_tracks(self):
+        result = negotiate_tracks(contended_csp(3))
+        assert result.success
+        assert is_legal(result.assignment)
+        assert result.iterations >= 1
+
+    def test_gives_up_without_enough_tracks(self):
+        result = negotiate_tracks(contended_csp(2), max_iterations=10)
+        assert not result.success
+        assert result.gave_up
+        assert result.assignment is None
+        assert result.iterations == 10
+        # ...but this is NOT a proof: the SAT path gives one.
+        sat_result = detailed_route(contended_csp(2).routing, 2,
+                                    Strategy("ITE-log", "s1"))
+        assert not sat_result.routable
+
+    def test_overuse_history_recorded(self):
+        result = negotiate_tracks(contended_csp(3))
+        assert len(result.overused_history) == result.iterations
+        assert result.overused_history[-1] == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PathFinderRouter(max_iterations=0)
+        with pytest.raises(ValueError):
+            PathFinderRouter(present_factor_growth=0.5)
+        with pytest.raises(ValueError):
+            PathFinderRouter(history_gain=-1)
+
+
+class TestAgainstSAT:
+    """On routable instances negotiation should usually succeed; on
+    instances SAT proves unroutable it must never 'succeed'."""
+
+    @pytest.fixture(scope="class")
+    def instance(self):
+        routing = load_routing("alu2", scale=0.7)
+        width = minimum_channel_width(routing,
+                                      Strategy("ITE-linear-2+muldirect", "s1"))
+        return routing, width
+
+    def test_succeeds_at_sat_minimum_plus_one(self, instance):
+        routing, width = instance
+        result = negotiate_tracks(build_routing_csp(routing, width + 1),
+                                  max_iterations=200)
+        assert result.success
+        assert is_legal(result.assignment)
+
+    def test_never_succeeds_below_sat_minimum(self, instance):
+        routing, width = instance
+        result = negotiate_tracks(build_routing_csp(routing, width - 1),
+                                  max_iterations=30)
+        assert not result.success
+
+    def test_verified_when_successful(self, instance):
+        routing, width = instance
+        result = negotiate_tracks(build_routing_csp(routing, width + 2),
+                                  max_iterations=200)
+        if result.success:  # negotiation is heuristic; success expected here
+            assert is_legal(result.assignment)
+            assert set(result.assignment.tracks) == \
+                set(range(routing.num_two_pin_nets))

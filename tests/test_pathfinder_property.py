@@ -1,0 +1,75 @@
+"""Property-based tests for the negotiation router against the exact
+coloring oracle."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.coloring import ColoringProblem, chromatic_number
+from repro.fpga import is_legal, negotiate_tracks
+from repro.fpga.detailed import RoutingCSP
+from repro.fpga.global_route import GlobalRouting
+from repro.fpga.arch import FPGAArchitecture, Segment
+from repro.fpga.netlist import Net, Netlist
+from repro.fpga.global_route import TwoPinNet
+
+
+def _csp_from_graph(graph, width):
+    """Wrap a bare conflict graph in a RoutingCSP (synthetic two-pin
+    nets, each on its own fake segment, edges realised via a shared
+    segment per edge)."""
+    # Build a routing whose conflict graph *is* the given graph: give
+    # every vertex a private segment plus one shared segment per edge.
+    n = graph.num_vertices
+    cols = max(2, n + 1)
+    arch = FPGAArchitecture(cols, 2)
+    nets = [Net(f"n{v}", (0, 0), ((1, 0),)) for v in range(n)]
+    netlist = Netlist("synthetic", cols, 2, nets)
+    edge_list = list(graph.edges())
+    two_pin = []
+    for v in range(n):
+        segments = [Segment("h", v, 0)]
+        for index, (a, b) in enumerate(edge_list):
+            if v in (a, b):
+                segments.append(Segment("h", index, 1))
+        two_pin.append(TwoPinNet(net_index=v, subnet_index=0,
+                                 source=(0, 0), sink=(1, 0),
+                                 segments=tuple(segments)))
+    routing = GlobalRouting(netlist=netlist, arch=arch, two_pin_nets=two_pin)
+    problem = ColoringProblem(graph, width)
+    return RoutingCSP(routing=routing, width=width, problem=problem,
+                      build_time=0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_negotiation_soundness_property(data):
+    """When negotiation claims success, the assignment is legal; it never
+    'succeeds' below the chromatic number."""
+    from .conftest import make_random_graph
+    n = data.draw(st.integers(min_value=2, max_value=8))
+    seed = data.draw(st.integers(min_value=0, max_value=100))
+    graph = make_random_graph(n, 0.5, seed)
+    chi = chromatic_number(graph)
+    width = data.draw(st.integers(min_value=1, max_value=chi + 2))
+    result = negotiate_tracks(_csp_from_graph(graph, width),
+                              max_iterations=60)
+    if result.success:
+        assert width >= chi
+        assert is_legal(result.assignment)
+    elif width >= chi + 1:
+        # Generous widths should rarely defeat negotiation; with slack 1+
+        # the greedy scheme always converges on these tiny graphs.
+        assert width <= chi + 1 or not result.success
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=50))
+def test_negotiation_completeness_with_slack(seed):
+    """With one extra track over chi, negotiation converges on small
+    graphs."""
+    from .conftest import make_random_graph
+    graph = make_random_graph(7, 0.4, seed)
+    chi = chromatic_number(graph)
+    result = negotiate_tracks(_csp_from_graph(graph, chi + 1),
+                              max_iterations=300)
+    assert result.success
+    assert is_legal(result.assignment)

@@ -1,0 +1,75 @@
+"""Tests for pattern combinators."""
+
+import pytest
+
+from repro.core.patterns import (check_pattern, conflict_clause,
+                                 negate_pattern, pattern_holds,
+                                 patterns_are_distinct, shift_clause,
+                                 shift_pattern)
+
+
+class TestCheckPattern:
+    def test_valid(self):
+        check_pattern((1, -2, 3), num_vars=3)
+
+    def test_zero_literal(self):
+        with pytest.raises(ValueError):
+            check_pattern((1, 0), num_vars=2)
+
+    def test_out_of_block(self):
+        with pytest.raises(ValueError):
+            check_pattern((4,), num_vars=3)
+
+    def test_repeated_variable(self):
+        with pytest.raises(ValueError):
+            check_pattern((1, -1), num_vars=2)
+
+    def test_empty_pattern_is_valid(self):
+        check_pattern((), num_vars=0)
+
+
+class TestNegate:
+    def test_de_morgan(self):
+        assert negate_pattern((1, -2, 3)) == (-1, 2, -3)
+
+    def test_empty_pattern_negates_to_empty_clause(self):
+        assert negate_pattern(()) == ()
+
+
+class TestShift:
+    def test_positive_and_negative(self):
+        assert shift_pattern((1, -2), 10) == (11, -12)
+
+    def test_zero_offset(self):
+        assert shift_pattern((3, -4), 0) == (3, -4)
+
+    def test_clause_alias(self):
+        assert shift_clause((-1, 2), 5) == (-6, 7)
+
+
+class TestConflictClause:
+    def test_combines_negations(self):
+        assert conflict_clause((1, -2), (3,)) == (-1, 2, -3)
+
+    def test_both_empty_gives_empty_clause(self):
+        # Two adjacent single-value CSP variables are unsatisfiable.
+        assert conflict_clause((), ()) == ()
+
+
+class TestPatternHolds:
+    def test_positive_and_negative(self):
+        values = [True, False, True]
+        assert pattern_holds((1, -2, 3), values)
+        assert not pattern_holds((2,), values)
+        assert not pattern_holds((-1,), values)
+
+    def test_empty_pattern_always_holds(self):
+        assert pattern_holds((), [])
+
+
+class TestDistinct:
+    def test_distinct(self):
+        assert patterns_are_distinct([(1,), (-1,), (1, 2)])
+
+    def test_duplicate_up_to_order(self):
+        assert not patterns_are_distinct([(1, -2), (-2, 1)])

@@ -1,0 +1,117 @@
+"""Tests for logical netlists and the annealing placer."""
+
+import pytest
+
+from repro.fpga import (AnnealingPlacer, LogicalNet, LogicalNetlist,
+                        Placement, place_netlist, random_logical_netlist,
+                        route_netlist, validate_global_routing)
+
+
+class TestLogicalNet:
+    def test_valid(self):
+        net = LogicalNet("a", 0, (1, 2))
+        assert net.blocks == [0, 1, 2]
+
+    def test_no_sinks(self):
+        with pytest.raises(ValueError):
+            LogicalNet("a", 0, ())
+
+    def test_source_as_sink(self):
+        with pytest.raises(ValueError):
+            LogicalNet("a", 0, (0,))
+
+    def test_duplicate_sink(self):
+        with pytest.raises(ValueError):
+            LogicalNet("a", 0, (1, 1))
+
+
+class TestLogicalNetlist:
+    def test_block_range_checked(self):
+        with pytest.raises(ValueError):
+            LogicalNetlist("t", 2, [LogicalNet("a", 0, (2,))])
+
+    def test_random_generator_deterministic(self):
+        a = random_logical_netlist(10, 20, seed=4)
+        b = random_logical_netlist(10, 20, seed=4)
+        assert [(n.source, n.sinks) for n in a.nets] \
+            == [(n.source, n.sinks) for n in b.nets]
+
+    def test_random_generator_bounds(self):
+        netlist = random_logical_netlist(6, 15, seed=1, max_fanout=2)
+        assert all(1 <= n.fanout if hasattr(n, "fanout") else True
+                   for n in netlist.nets)
+        assert all(len(n.sinks) <= 2 for n in netlist.nets)
+
+
+class TestPlacement:
+    def test_duplicate_position_rejected(self):
+        with pytest.raises(ValueError):
+            Placement(2, 2, {0: (0, 0), 1: (0, 0)})
+
+    def test_off_grid_rejected(self):
+        with pytest.raises(ValueError):
+            Placement(2, 2, {0: (2, 0)})
+
+    def test_wirelength(self):
+        netlist = LogicalNetlist("t", 3, [LogicalNet("a", 0, (1, 2))])
+        placement = Placement(3, 3, {0: (0, 0), 1: (2, 0), 2: (0, 2)})
+        assert placement.wirelength(netlist) == 4
+
+    def test_to_netlist(self):
+        netlist = LogicalNetlist("t", 2, [LogicalNet("a", 0, (1,))])
+        placement = Placement(2, 1, {0: (0, 0), 1: (1, 0)})
+        placed = placement.to_netlist(netlist)
+        assert placed.nets[0].source == (0, 0)
+        assert placed.nets[0].sinks == ((1, 0),)
+
+
+class TestAnnealer:
+    def test_too_many_blocks_rejected(self):
+        placer = AnnealingPlacer(2, 2)
+        with pytest.raises(ValueError):
+            placer.place(random_logical_netlist(5, 3, seed=0))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AnnealingPlacer(0, 2)
+        with pytest.raises(ValueError):
+            AnnealingPlacer(2, 2, cooling=1.0)
+
+    def test_deterministic_per_seed(self):
+        netlist = random_logical_netlist(12, 25, seed=2)
+        a = AnnealingPlacer(4, 4, seed=7).place(netlist)
+        b = AnnealingPlacer(4, 4, seed=7).place(netlist)
+        assert a.positions == b.positions
+
+    def test_improves_over_random(self):
+        netlist = random_logical_netlist(16, 40, seed=3)
+        placer = AnnealingPlacer(5, 5, seed=1)
+        import random as _random
+        rng = _random.Random(99)
+        cells = [(x, y) for x in range(5) for y in range(5)]
+        rng.shuffle(cells)
+        random_placement = Placement(5, 5, {b: cells[b] for b in range(16)})
+        annealed = placer.place(netlist)
+        assert annealed.wirelength(netlist) \
+            <= random_placement.wirelength(netlist)
+
+    def test_clustered_nets_placed_near_each_other(self):
+        # Two tight 4-cliques of nets should not be interleaved: the
+        # annealed wirelength must be near the lower bound.
+        nets = []
+        for base, prefix in ((0, "a"), (4, "b")):
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    nets.append(LogicalNet(f"{prefix}{i}{j}",
+                                           base + i, (base + j,)))
+        netlist = LogicalNetlist("clusters", 8, nets)
+        placement = AnnealingPlacer(4, 2, seed=0).place(netlist)
+        # Lower bound: each clique fits a 2x2 square; 6 intra-clique nets
+        # have wirelength >= 1, several >= 2.
+        assert placement.wirelength(netlist) <= 20
+
+    def test_placed_netlist_routes(self):
+        netlist = random_logical_netlist(12, 30, seed=5)
+        placed = place_netlist(netlist, 4, 4, seed=2)
+        routing = route_netlist(placed)
+        assert validate_global_routing(routing) == []

@@ -1,0 +1,77 @@
+"""Tests for portfolio execution and the virtual-portfolio model."""
+
+import pytest
+
+from repro.coloring import ColoringProblem, complete_graph, cycle_graph
+from repro.core import (PORTFOLIO_2, PORTFOLIO_3, Strategy,
+                        portfolio_speedup, run_portfolio,
+                        virtual_portfolio_time)
+
+
+class TestPaperPortfolios:
+    def test_members(self):
+        assert len(PORTFOLIO_2) == 2
+        assert len(PORTFOLIO_3) == 3
+        assert PORTFOLIO_2[0].label == "ITE-linear-2+muldirect/s1"
+        assert PORTFOLIO_3[2].label == "ITE-linear-2+direct/s1#2"
+        assert all(s.symmetry == "s1" for s in PORTFOLIO_3)
+        # Members carry distinct seeds (search-trajectory diversity).
+        assert len({s.seed for s in PORTFOLIO_3}) == 3
+
+    def test_labels_unique_across_solver_and_seed(self):
+        a = Strategy("muldirect", "s1", solver="siege_like")
+        b = Strategy("muldirect", "s1", solver="minisat_like")
+        c = Strategy("muldirect", "s1", seed=3)
+        assert len({a.label, b.label, c.label}) == 3
+
+
+class TestRunPortfolio:
+    def test_sat_instance(self):
+        problem = ColoringProblem(cycle_graph(9), 3)
+        result = run_portfolio(problem, list(PORTFOLIO_3))
+        assert result.outcome.satisfiable
+        assert result.num_strategies == 3
+        assert result.winner in PORTFOLIO_3
+        assert problem.is_valid_coloring(result.outcome.coloring)
+
+    def test_unsat_instance(self):
+        problem = ColoringProblem(complete_graph(5), 4)
+        result = run_portfolio(problem, list(PORTFOLIO_2))
+        assert not result.outcome.satisfiable
+
+    def test_single_strategy_portfolio(self):
+        problem = ColoringProblem(cycle_graph(5), 3)
+        strategy = Strategy("muldirect", "s1")
+        result = run_portfolio(problem, [strategy])
+        assert result.winner == strategy
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValueError):
+            run_portfolio(ColoringProblem(cycle_graph(5), 3), [])
+
+
+class TestVirtualPortfolio:
+    def setup_method(self):
+        self.a = Strategy("muldirect", "s1")
+        self.b = Strategy("ITE-log", "s1")
+        self.times = {
+            "x": {self.a: 10.0, self.b: 2.0},
+            "y": {self.a: 1.0, self.b: 5.0},
+        }
+
+    def test_takes_minimum_per_instance(self):
+        result = virtual_portfolio_time(self.times, [self.a, self.b])
+        assert result == {"x": 2.0, "y": 1.0}
+
+    def test_missing_measurement_rejected(self):
+        with pytest.raises(ValueError):
+            virtual_portfolio_time({"x": {self.a: 1.0}}, [self.a, self.b])
+
+    def test_speedup(self):
+        # reference a: total 11; portfolio total 3 -> 11/3
+        speedup = portfolio_speedup(self.times, [self.a, self.b], self.a)
+        assert speedup == pytest.approx(11.0 / 3.0)
+
+    def test_portfolio_never_slower_than_member(self):
+        speedup = portfolio_speedup(self.times, [self.a, self.b], self.b)
+        assert speedup >= 1.0

@@ -1,0 +1,133 @@
+"""Tests for DRUP-style proof logging and the independent RUP checker."""
+
+import pytest
+
+from repro.sat import (CNF, ProofError, SolverConfig, check_rup_proof,
+                       solve_by_enumeration, solve_with_proof)
+from repro.sat.solver.cdcl import CDCLSolver
+from .conftest import make_random_cnf
+from .test_cdcl import pigeonhole
+
+
+class TestProofLogging:
+    def test_disabled_by_default(self):
+        solver = CDCLSolver(pigeonhole(4))
+        solver.solve()
+        assert solver.proof == []
+
+    def test_unsat_proof_ends_with_empty_clause(self):
+        result, proof = solve_with_proof(pigeonhole(4))
+        assert not result.satisfiable
+        assert proof[-1] == ()
+        assert len(proof) >= 2
+
+    def test_sat_run_logs_no_empty_clause(self):
+        result, proof = solve_with_proof(CNF([[1, 2], [-1, 2]]))
+        assert result.satisfiable
+        assert () not in proof
+
+    def test_root_level_unsat_has_trivial_proof(self):
+        result, proof = solve_with_proof(CNF([[1], [-1]]))
+        assert not result.satisfiable
+        assert proof == [()]
+
+    def test_respects_existing_config(self):
+        from repro.sat import siege_like
+        result, proof = solve_with_proof(pigeonhole(4), siege_like())
+        assert not result.satisfiable
+        assert proof[-1] == ()
+
+
+class TestProofChecking:
+    @pytest.mark.parametrize("holes", [3, 4, 5])
+    def test_pigeonhole_proofs_verify(self, holes):
+        cnf = pigeonhole(holes)
+        result, proof = solve_with_proof(cnf)
+        assert not result.satisfiable
+        assert check_rup_proof(cnf, proof) == len(proof)
+
+    def test_both_solver_presets_produce_checkable_proofs(self):
+        from repro.sat import minisat_like, siege_like
+        cnf = pigeonhole(5)
+        for preset in (minisat_like(), siege_like()):
+            result, proof = solve_with_proof(cnf, preset)
+            assert not result.satisfiable
+            check_rup_proof(cnf, proof)
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_unsat_proofs_verify(self, seed):
+        cnf = make_random_cnf(num_vars=8, num_clauses=35, seed=seed + 7000)
+        if solve_by_enumeration(cnf).satisfiable:
+            pytest.skip("instance is satisfiable")
+        result, proof = solve_with_proof(cnf)
+        assert not result.satisfiable
+        check_rup_proof(cnf, proof)
+
+    def test_clause_db_reduction_does_not_break_proofs(self):
+        config = SolverConfig(proof_log=True, max_learnts_factor=0.01,
+                              max_learnts_growth=1.0)
+        cnf = pigeonhole(5)
+        solver = CDCLSolver(cnf, config)
+        assert not solver.solve().satisfiable
+        assert solver.stats["deleted_clauses"] > 0
+        check_rup_proof(cnf, solver.proof)
+
+
+class TestProofRejection:
+    def _unsat_cnf(self):
+        return CNF([[1, 2], [-1, 2], [-2, 1], [-1, -2]])
+
+    def test_non_rup_step_rejected(self):
+        with pytest.raises(ProofError, match="not RUP"):
+            check_rup_proof(self._unsat_cnf(), [()])
+
+    def test_out_of_range_literal_rejected(self):
+        with pytest.raises(ProofError, match="outside"):
+            check_rup_proof(self._unsat_cnf(), [(5,), ()])
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ProofError, match="outside"):
+            check_rup_proof(self._unsat_cnf(), [(0,)])
+
+    def test_missing_empty_clause_rejected(self):
+        cnf = CNF([[1, 2], [-1, 2]])  # satisfiable: nothing derives ()
+        with pytest.raises(ProofError, match="empty clause"):
+            check_rup_proof(cnf, [(2,)])
+
+    def test_missing_empty_clause_allowed_when_optional(self):
+        cnf = CNF([[1, 2], [-1, 2]])
+        assert check_rup_proof(cnf, [(2,)], require_empty_clause=False) == 1
+
+    def test_valid_manual_proof(self):
+        # (2) is RUP; adding it propagates to a root contradiction.
+        assert check_rup_proof(self._unsat_cnf(), [(2,), ()]) == 2
+
+    def test_unit_that_collapses_formula_is_complete_proof(self):
+        # Adding (1) and propagating reaches the root conflict, so the
+        # empty clause is derived implicitly.
+        assert check_rup_proof(self._unsat_cnf(), [(1,)]) == 1
+
+    def test_tautology_step_is_harmless(self):
+        assert check_rup_proof(self._unsat_cnf(),
+                               [(1, -1), (2,), ()]) == 3
+
+
+class TestEndToEndRoutingCertificate:
+    def test_unroutability_certificate(self):
+        """The paper's headline capability with a checkable artifact: an
+        UNSAT answer for a routing instance verifies independently."""
+        from repro.core import get_encoding
+        from repro.core.symmetry import apply_symmetry
+        from repro.fpga import build_routing_csp, load_routing
+        from repro.fpga.flow import minimum_channel_width
+        from repro.core import Strategy
+
+        routing = load_routing("alu2", scale=0.6)
+        width = minimum_channel_width(
+            routing, Strategy("ITE-linear-2+muldirect", "s1"))
+        csp = build_routing_csp(routing, width - 1)
+        encoded = get_encoding("ITE-log").encode(csp.problem)
+        apply_symmetry(encoded, "s1")
+        result, proof = solve_with_proof(encoded.cnf)
+        assert not result.satisfiable
+        assert check_rup_proof(encoded.cnf, proof) == len(proof)

@@ -1,0 +1,112 @@
+"""Tests for encoding name parsing and the registry."""
+
+import pytest
+
+from repro.core.encodings import (ALL_ENCODINGS, NEW_ENCODINGS,
+                                  PREVIOUS_ENCODINGS, TABLE2_ENCODINGS,
+                                  get_encoding, parse_encoding)
+
+
+class TestNameParsing:
+    def test_simple_names(self):
+        for name in ("log", "direct", "muldirect", "ITE-linear", "ITE-log"):
+            encoding = parse_encoding(name)
+            assert not encoding.is_hierarchical
+            assert encoding.levels[0].num_vars is None
+
+    def test_hierarchical_names(self):
+        encoding = parse_encoding("ITE-linear-2+muldirect")
+        assert encoding.is_hierarchical
+        assert len(encoding.levels) == 2
+        assert encoding.levels[0].scheme.name == "ITE-linear"
+        assert encoding.levels[0].num_vars == 2
+        assert encoding.levels[1].scheme.name == "muldirect"
+
+    def test_ite_log_suffix_not_confused_with_param(self):
+        encoding = parse_encoding("ITE-log-2+direct")
+        assert encoding.levels[0].scheme.name == "ITE-log"
+        assert encoding.levels[0].num_vars == 2
+
+    def test_case_insensitive(self):
+        assert parse_encoding("MULDIRECT").levels[0].scheme.name == "muldirect"
+        assert parse_encoding("ite-LOG").levels[0].scheme.name == "ITE-log"
+
+    def test_three_level_name(self):
+        encoding = parse_encoding("direct-2+muldirect-2+log")
+        assert len(encoding.levels) == 3
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            parse_encoding("gray")
+
+    def test_param_on_final_level_rejected(self):
+        with pytest.raises(ValueError):
+            parse_encoding("muldirect-3")
+
+    def test_missing_param_on_upper_level_rejected(self):
+        with pytest.raises(ValueError):
+            parse_encoding("muldirect+muldirect")
+
+    def test_empty_level_rejected(self):
+        with pytest.raises(ValueError):
+            parse_encoding("direct-3+")
+
+    def test_zero_param_rejected(self):
+        with pytest.raises(ValueError):
+            parse_encoding("direct-0+muldirect")
+
+
+class TestRegistry:
+    def test_paper_inventory(self):
+        assert len(PREVIOUS_ENCODINGS) == 2
+        assert len(NEW_ENCODINGS) == 12
+        assert len(ALL_ENCODINGS) == 15
+        assert len(TABLE2_ENCODINGS) == 7
+        assert set(TABLE2_ENCODINGS) <= set(ALL_ENCODINGS)
+
+    def test_every_paper_encoding_parses(self):
+        for name in ALL_ENCODINGS:
+            encoding = get_encoding(name)
+            assert encoding.name == name
+
+    def test_cache_returns_same_object(self):
+        assert get_encoding("log") is get_encoding("log")
+
+    def test_vars_per_vertex(self):
+        assert get_encoding("direct").vars_per_vertex(7) == 7
+        assert get_encoding("log").vars_per_vertex(7) == 3
+        assert get_encoding("ITE-linear").vars_per_vertex(7) == 6
+        assert get_encoding("ITE-log").vars_per_vertex(7) == 3
+        # 7 = 3+2+2 under a 3-way top: 3 + 3 bottom vars
+        assert get_encoding("muldirect-3+muldirect").vars_per_vertex(7) == 6
+        # ITE-linear-2 -> 3 subdomains of (3,2,2): 2 + 3 bottom vars
+        assert get_encoding("ITE-linear-2+direct").vars_per_vertex(7) == 5
+
+
+class TestEncodingSizes:
+    """Structural expectations about CNF sizes (§2/§3 trade-offs)."""
+
+    def _encode(self, name, num_vertices=6, num_colors=5):
+        from repro.coloring import ColoringProblem, complete_graph
+        problem = ColoringProblem(complete_graph(num_vertices), num_colors)
+        return get_encoding(name).encode(problem)
+
+    def test_log_uses_fewest_vars(self):
+        log_vars = self._encode("log").cnf.num_vars
+        direct_vars = self._encode("direct").cnf.num_vars
+        assert log_vars < direct_vars
+
+    def test_muldirect_has_fewer_clauses_than_direct(self):
+        assert (self._encode("muldirect").cnf.num_clauses
+                < self._encode("direct").cnf.num_clauses)
+
+    def test_ite_encodings_add_no_structural_clauses(self):
+        # Same conflict clause count as muldirect minus its ALO clauses.
+        ite = self._encode("ITE-linear")
+        muldirect = self._encode("muldirect")
+        assert ite.cnf.num_clauses == muldirect.cnf.num_clauses - 6
+
+    def test_hierarchical_reduces_vars_vs_direct(self):
+        hier = self._encode("muldirect-3+muldirect", num_colors=9)
+        direct = self._encode("direct", num_colors=9)
+        assert hier.cnf.num_vars < direct.cnf.num_vars

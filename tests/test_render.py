@@ -1,0 +1,64 @@
+"""Tests for ASCII rendering."""
+
+import pytest
+
+from repro.fpga import (Net, Netlist, render_congestion, render_route,
+                        render_track_histogram, route_netlist)
+
+
+@pytest.fixture
+def routing():
+    return route_netlist(Netlist("t", 3, 2, [
+        Net("a", (0, 0), ((2, 0),)),
+        Net("b", (0, 1), ((2, 1),)),
+    ]), congestion_penalty=0.0)
+
+
+class TestCongestion:
+    def test_contains_header_and_blocks(self, routing):
+        text = render_congestion(routing)
+        assert "3x2 array" in text
+        assert "[]" in text
+        assert "peak segment usage" in text
+
+    def test_hot_segments_rendered_as_counts(self, routing):
+        text = render_congestion(routing)
+        assert "1" in text  # at least one used segment
+
+    def test_highlight_marks_route(self, routing):
+        text = render_congestion(routing, highlight=0)
+        assert "*" in text
+
+    def test_highlight_range_checked(self, routing):
+        with pytest.raises(ValueError):
+            render_congestion(routing, highlight=99)
+
+    def test_line_count_matches_grid(self, routing):
+        body = render_congestion(routing).splitlines()[1:]
+        # rows+1 channel lines + rows block lines
+        assert len(body) == (2 + 1) + 2
+
+
+class TestRoute:
+    def test_describes_endpoints_and_segments(self, routing):
+        text = render_route(routing, 0)
+        assert "net0.0" in text
+        assert "(0, 0)" in text and "(2, 0)" in text
+        assert "->" in text or "via" in text
+
+    def test_range_checked(self, routing):
+        with pytest.raises(ValueError):
+            render_route(routing, 5)
+
+
+class TestHistogram:
+    def test_flags_over_budget(self, routing):
+        usage = routing.segment_usage()
+        text = render_track_histogram(usage, width=0)
+        assert "over budget" in text
+
+    def test_within_budget(self, routing):
+        usage = routing.segment_usage()
+        text = render_track_histogram(usage, width=9)
+        assert "over budget" not in text
+        assert "#" in text

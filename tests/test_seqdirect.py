@@ -1,0 +1,84 @@
+"""Tests for the sequential-AMO direct scheme (extension encoding)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coloring import ColoringProblem, complete_graph, is_colorable
+from repro.core.encodings import (EXTENSION_ENCODINGS, SEQDIRECT,
+                                  get_encoding)
+from repro.sat import solve
+from repro.sat.solver.enumerate import enumerate_models
+from repro.sat.cnf import CNF
+from .conftest import make_random_graph, small_graphs
+
+
+class TestScheme:
+    def test_variable_counts(self):
+        assert SEQDIRECT.num_vars(1) == 1
+        assert SEQDIRECT.num_vars(2) == 2
+        assert SEQDIRECT.num_vars(5) == 9   # 5 values + 4 ladder vars
+
+    def test_patterns_ignore_auxiliaries(self):
+        assert SEQDIRECT.patterns(4) == [(1,), (2,), (3,), (4,)]
+
+    def test_clause_count_is_linear(self):
+        # 1 ALO + 3(n-1) ladder clauses, vs direct's 1 + n(n-1)/2.
+        for n in (3, 6, 12, 20):
+            assert len(SEQDIRECT.structural_clauses(n)) == 1 + 3 * (n - 1) - 1
+
+    def test_small_domains(self):
+        assert SEQDIRECT.structural_clauses(1) == [(1,)]
+        assert set(SEQDIRECT.structural_clauses(2)) == {(1, 2), (-1, -2)}
+
+    def test_cannot_be_hierarchy_top(self):
+        with pytest.raises(NotImplementedError):
+            SEQDIRECT.num_subdomains(3)
+
+    def test_exactly_one_value_in_every_model(self):
+        """The ladder enforces genuine at-most-one: every model of the
+        structural clauses selects exactly one value variable."""
+        n = 5
+        cnf = CNF(num_vars=SEQDIRECT.num_vars(n))
+        for clause in SEQDIRECT.structural_clauses(n):
+            cnf.add_clause(clause)
+        for model in enumerate_models(cnf):
+            assert sum(model.value(v) for v in range(1, n + 1)) == 1
+
+
+class TestEquisatisfiability:
+    @pytest.mark.parametrize("name", EXTENSION_ENCODINGS)
+    def test_crafted(self, name):
+        for k in (2, 3, 4, 6):
+            problem = ColoringProblem(complete_graph(4), k)
+            encoded = get_encoding(name).encode(problem)
+            result = solve(encoded.cnf)
+            assert result.satisfiable == (k >= 4)
+            if result.satisfiable:
+                assert problem.is_valid_coloring(encoded.decode(result.model))
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=small_graphs(max_vertices=6),
+           k=st.integers(min_value=1, max_value=5),
+           name=st.sampled_from(EXTENSION_ENCODINGS))
+    def test_property(self, graph, k, name):
+        problem = ColoringProblem(graph, k)
+        encoded = get_encoding(name).encode(problem)
+        assert solve(encoded.cnf).satisfiable == is_colorable(graph, k)
+
+    def test_symmetry_composes(self):
+        from repro.core import Strategy, solve_coloring
+        graph = make_random_graph(7, 0.6, seed=2)
+        for sym in ("b1", "s1", "c1"):
+            problem = ColoringProblem(graph, 3)
+            outcome = solve_coloring(problem, Strategy("seqdirect", sym))
+            assert outcome.satisfiable == is_colorable(graph, 3)
+
+
+class TestSizeAdvantage:
+    def test_smaller_than_direct_at_scale(self):
+        problem = ColoringProblem(complete_graph(4), 30)
+        seq = get_encoding("seqdirect").encode(problem)
+        plain = get_encoding("direct").encode(problem)
+        assert seq.cnf.num_clauses < plain.cnf.num_clauses
+        # ... at the cost of more variables (the ladder).
+        assert seq.cnf.num_vars > plain.cnf.num_vars

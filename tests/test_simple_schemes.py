@@ -1,0 +1,120 @@
+"""Tests for the log / direct / muldirect level schemes, including the
+paper's Table 1 clause sets."""
+
+import pytest
+
+from repro.coloring import ColoringProblem, Graph
+from repro.core.encodings import DIRECT, LOG, MULDIRECT, bits_needed, get_encoding
+
+
+class TestBitsNeeded:
+    @pytest.mark.parametrize("n,expected", [
+        (1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (16, 4),
+    ])
+    def test_values(self, n, expected):
+        assert bits_needed(n) == expected
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            bits_needed(0)
+
+
+class TestDirectScheme:
+    def test_vars_and_patterns(self):
+        assert DIRECT.num_vars(4) == 4
+        assert DIRECT.patterns(4) == [(1,), (2,), (3,), (4,)]
+
+    def test_structural_clauses(self):
+        clauses = DIRECT.structural_clauses(3)
+        assert (1, 2, 3) in clauses                      # at-least-one
+        assert {(-1, -2), (-1, -3), (-2, -3)} <= set(clauses)  # at-most-one
+        assert len(clauses) == 4
+
+    def test_single_value_domain(self):
+        assert DIRECT.patterns(1) == [(1,)]
+        assert DIRECT.structural_clauses(1) == [(1,)]
+
+    def test_subdomains(self):
+        assert DIRECT.num_subdomains(3) == 3
+
+
+class TestMuldirectScheme:
+    def test_no_at_most_one(self):
+        assert MULDIRECT.structural_clauses(3) == [(1, 2, 3)]
+
+    def test_patterns_match_direct(self):
+        assert MULDIRECT.patterns(5) == DIRECT.patterns(5)
+
+    def test_subdomains(self):
+        assert MULDIRECT.num_subdomains(3) == 3
+
+
+class TestLogScheme:
+    def test_vars(self):
+        assert LOG.num_vars(3) == 2
+        assert LOG.num_vars(4) == 2
+        assert LOG.num_vars(5) == 3
+
+    def test_patterns_are_binary(self):
+        # value 0 -> 00, 1 -> 01 (bit0 set), 2 -> 10 (bit1 set)
+        assert LOG.patterns(3) == [(-1, -2), (1, -2), (-1, 2)]
+
+    def test_exclusion_clauses(self):
+        # 3 values over 2 bits: pattern 11 is illegal.
+        assert LOG.structural_clauses(3) == [(-1, -2)]
+
+    def test_power_of_two_needs_no_exclusions(self):
+        assert LOG.structural_clauses(4) == []
+
+    def test_single_value_domain(self):
+        assert LOG.num_vars(1) == 0
+        assert LOG.patterns(1) == [()]
+        assert LOG.structural_clauses(1) == []
+
+    def test_subdomains(self):
+        assert LOG.num_subdomains(2) == 4
+
+
+class TestPaperTable1:
+    """The exact clause sets of Table 1: two adjacent vertices v and w,
+    domain {0, 1, 2}.  Vertex v owns variables 1..b, w owns b+1..2b."""
+
+    def _clauses(self, encoding_name):
+        problem = ColoringProblem(Graph(2, [(0, 1)]), 3)
+        encoded = get_encoding(encoding_name).encode(problem)
+        return {tuple(sorted(c)) for c in encoded.cnf.clauses}
+
+    def test_log_clauses(self):
+        # l_v1 = var1 (bit0), l_v2 = var2 (bit1), same for w (vars 3, 4).
+        expected = {
+            # conflict clauses, one per common value
+            (1, 2, 3, 4),            # value 0 (00 vs 00)
+            (-1, 2, -3, 4),          # value 1 (01 vs 01)
+            (1, -2, 3, -4),          # value 2 (10 vs 10)
+            # excluded illegal value 11 for each vertex
+            (-2, -1), (-4, -3),
+        }
+        assert self._clauses("log") == {tuple(sorted(c)) for c in expected}
+
+    def test_direct_clauses(self):
+        expected = {
+            (1, 2, 3), (4, 5, 6),                     # at-least-one
+            (-2, -1), (-3, -1), (-3, -2),             # at-most-one v
+            (-5, -4), (-6, -4), (-6, -5),             # at-most-one w
+            (-4, -1), (-5, -2), (-6, -3),             # conflicts
+        }
+        assert self._clauses("direct") == {tuple(sorted(c)) for c in expected}
+
+    def test_muldirect_clauses(self):
+        expected = {
+            (1, 2, 3), (4, 5, 6),
+            (-4, -1), (-5, -2), (-6, -3),
+        }
+        assert self._clauses("muldirect") == {tuple(sorted(c)) for c in expected}
+
+    def test_muldirect_is_direct_minus_at_most_one(self):
+        direct = self._clauses("direct")
+        muldirect = self._clauses("muldirect")
+        assert muldirect < direct
+        assert direct - muldirect == {(-2, -1), (-3, -1), (-3, -2),
+                                      (-5, -4), (-6, -4), (-6, -5)}

@@ -1,0 +1,123 @@
+"""Tests for the CNF preprocessor."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.sat import CNF, solve, solve_by_enumeration
+from repro.sat.simplify import simplify, solve_simplified
+from .conftest import make_random_cnf, small_cnfs
+
+
+class TestUnits:
+    def test_unit_chain_collapses(self):
+        cnf = CNF([[1], [-1, 2], [-2, 3], [3, 4]])
+        result = simplify(cnf)
+        assert result.forced == {1: True, 2: True, 3: True}
+        assert result.cnf.num_clauses == 0
+
+    def test_contradiction_detected(self):
+        result = simplify(CNF([[1], [-1, 2], [-2]]))
+        assert result.contradiction
+
+    def test_empty_clause_detected(self):
+        assert simplify(CNF([[]])).contradiction
+
+
+class TestPure:
+    def test_pure_literal_removed(self):
+        # Variable 3 only occurs positively.
+        cnf = CNF([[1, 3], [-1, 3], [1, -2], [-1, 2]])
+        result = simplify(cnf)
+        assert result.pure.get(3) is True
+        assert all(3 not in map(abs, c) for c in result.cnf)
+
+    def test_cascading_purity(self):
+        # Eliminating 3 makes 2 pure in turn.
+        cnf = CNF([[3, 2], [3, -1], [-2, 1], [1, -2]])
+        result = simplify(cnf)
+        assert 3 in result.pure
+        assert result.cnf.num_clauses == 0 or 2 in result.pure
+
+
+class TestDedup:
+    def test_tautologies_dropped(self):
+        result = simplify(CNF([[1, -1, 2], [2, 3]]))
+        assert result.stats["tautologies"] == 1
+
+    def test_duplicates_dropped(self):
+        result = simplify(CNF([[1, 2], [2, 1], [1, 2, 2]]))
+        assert result.stats["duplicates"] == 2
+
+
+class TestSubsumption:
+    def test_superset_removed(self):
+        # Every variable occurs in both polarities so purity cannot fire.
+        cnf = CNF([[1, 2], [1, 2, 3], [1, 2, -3], [-1, -2], [-1, 3], [-2, -3]])
+        result = simplify(cnf)
+        assert result.stats["subsumed"] == 2
+        clause_sets = {frozenset(c) for c in result.cnf}
+        assert frozenset((1, 2)) in clause_sets
+        assert frozenset((1, 2, 3)) not in clause_sets
+        assert frozenset((1, 2, -3)) not in clause_sets
+
+    def test_subsumption_optional(self):
+        cnf = CNF([[1, 2], [1, 2, 3], [-1, -2], [-3, -1], [3, 2], [-2, 1]])
+        result = simplify(cnf, subsume=False)
+        assert "subsumed" not in result.stats
+        assert frozenset((1, 2, 3)) in {frozenset(c) for c in result.cnf}
+
+
+class TestEquisatisfiability:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_formulas(self, seed):
+        cnf = make_random_cnf(num_vars=8, num_clauses=30, seed=seed + 300)
+        expected = solve_by_enumeration(cnf).satisfiable
+        result = simplify(cnf)
+        if result.contradiction:
+            assert not expected
+            return
+        got = solve(result.cnf)
+        assert got.satisfiable == expected
+        if got.satisfiable:
+            lifted = result.extend_model(got.model)
+            assert lifted.satisfies(cnf)
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_cnfs())
+    def test_property(self, cnf):
+        expected = solve_by_enumeration(cnf).satisfiable
+        result = simplify(cnf)
+        if result.contradiction:
+            assert not expected
+        else:
+            assert solve(result.cnf).satisfiable == expected
+
+
+class TestSolveSimplified:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_drop_in_equivalence(self, seed):
+        cnf = make_random_cnf(num_vars=9, num_clauses=35, seed=seed + 900)
+        expected = solve_by_enumeration(cnf).satisfiable
+        result = solve_simplified(cnf)
+        assert result.satisfiable == expected
+        if expected:
+            assert result.model.satisfies(cnf)
+
+    def test_on_encoded_routing_instance(self):
+        """Preprocessing shrinks a symmetry-broken routing formula without
+        changing the verdict."""
+        from repro.coloring import ColoringProblem, complete_graph
+        from repro.core import get_encoding
+        from repro.core.symmetry import apply_symmetry
+
+        problem = ColoringProblem(complete_graph(6), 5)
+        encoded = get_encoding("direct").encode(problem)
+        apply_symmetry(encoded, "s1")
+        simplified = simplify(encoded.cnf)
+        assert simplified.stats["forced_units"] > 0
+        # On K6 with 5 colors, s1 pins a 4-clique to distinct colors and
+        # unit propagation alone refutes the rest — preprocessing *is* the
+        # whole proof here.
+        assert simplified.contradiction
+        assert not solve_simplified(encoded.cnf).satisfiable
+        assert not solve(encoded.cnf).satisfiable

@@ -1,0 +1,146 @@
+"""Stress and special-structure tests for the CDCL solver."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import (CNF, SolverConfig, minisat_like, siege_like, solve,
+                       solve_by_enumeration, solve_dpll)
+from repro.sat.solver.cdcl import CDCLSolver
+from .conftest import make_random_cnf
+
+
+def xor_chain(length: int, parity: bool) -> CNF:
+    """x1 ^ x2 ^ ... ^ xn = parity, as CNF (Tseitin-free, direct)."""
+    cnf = CNF(num_vars=length + 1)
+    # carry variables: c_i == x_1 ^ ... ^ x_i encoded pairwise would need
+    # auxiliaries; instead encode via chain equalities using aux vars.
+    aux_base = length + 1
+    cnf.reserve(length + length)
+    previous = 1
+    for i in range(2, length + 1):
+        aux = aux_base + i - 2
+        cnf.reserve(aux)
+        # aux == previous XOR x_i
+        cnf.add_clause([-aux, previous, i])
+        cnf.add_clause([-aux, -previous, -i])
+        cnf.add_clause([aux, -previous, i])
+        cnf.add_clause([aux, previous, -i])
+        previous = aux
+    cnf.add_clause([previous if parity else -previous])
+    return cnf
+
+
+def at_most_one_ladder(n: int) -> CNF:
+    """n variables, pairwise at-most-one, plus at-least-one: SAT."""
+    cnf = CNF(num_vars=n)
+    cnf.add_clause(list(range(1, n + 1)))
+    for i in range(1, n + 1):
+        for j in range(i + 1, n + 1):
+            cnf.add_clause([-i, -j])
+    return cnf
+
+
+class TestStructuredFormulas:
+    @pytest.mark.parametrize("length", [2, 5, 10, 20])
+    @pytest.mark.parametrize("parity", [True, False])
+    def test_xor_chains_sat(self, length, parity):
+        result = solve(xor_chain(length, parity))
+        assert result.satisfiable  # XOR constraints are always satisfiable
+        assert result.model.satisfies(xor_chain(length, parity))
+
+    @pytest.mark.parametrize("length", [2, 5, 12])
+    def test_contradictory_xor(self, length):
+        # Assert both parities of the same XOR chain: the final carry
+        # variable (aux_base + length - 2 = 2*length - 1) is forced both
+        # ways.
+        merged = xor_chain(length, True)
+        final_carry = 2 * length - 1
+        merged.add_clause([-final_carry])
+        assert not solve(merged).satisfiable
+
+    @pytest.mark.parametrize("n", [1, 2, 10, 40])
+    def test_at_most_one_ladders(self, n):
+        result = solve(at_most_one_ladder(n))
+        assert result.satisfiable
+        assert sum(result.model.value(v) for v in range(1, n + 1)) == 1
+
+    def test_amo_plus_two_forced_is_unsat(self):
+        cnf = at_most_one_ladder(5)
+        cnf.add_clause([1])
+        cnf.add_clause([2])
+        assert not solve(cnf).satisfiable
+
+    def test_long_implication_chain(self):
+        n = 500
+        cnf = CNF([[1]] + [[-i, i + 1] for i in range(1, n)])
+        result = solve(cnf)
+        assert result.satisfiable
+        assert result.model.value(n)
+
+    def test_deep_chain_with_contradiction(self):
+        n = 500
+        cnf = CNF([[1]] + [[-i, i + 1] for i in range(1, n)] + [[-n]])
+        assert not solve(cnf).satisfiable
+
+
+class TestCrossSolverAgreement:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6),
+           num_vars=st.integers(min_value=1, max_value=12),
+           num_clauses=st.integers(min_value=1, max_value=50))
+    def test_cdcl_presets_and_dpll_agree(self, seed, num_vars, num_clauses):
+        cnf = make_random_cnf(num_vars, num_clauses, seed)
+        answers = {
+            solve(cnf, minisat_like(seed=seed % 7)).satisfiable,
+            solve(cnf, siege_like(seed=seed % 5)).satisfiable,
+            solve_dpll(cnf).satisfiable,
+        }
+        assert len(answers) == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_assumption_equivalence_property(self, seed):
+        import random
+        rng = random.Random(seed)
+        cnf = make_random_cnf(8, 26, seed)
+        assumptions = [rng.choice([1, -1]) * v
+                       for v in rng.sample(range(1, 9), rng.randint(1, 4))]
+        augmented = cnf.copy()
+        for lit in assumptions:
+            augmented.add_clause([lit])
+        assert (CDCLSolver(cnf).solve(assumptions).satisfiable
+                == solve_by_enumeration(augmented).satisfiable)
+
+
+class TestSolverRobustness:
+    def test_large_clause(self):
+        cnf = CNF([list(range(1, 200))])
+        assert solve(cnf).satisfiable
+
+    def test_many_duplicate_clauses(self):
+        cnf = CNF([[1, 2]] * 200 + [[-1], [-2]])
+        assert not solve(cnf).satisfiable
+
+    def test_variable_gap(self):
+        # Mentions vars 1 and 1000 only; the rest are free.
+        cnf = CNF([[1, 1000], [-1], [-1000, 999]])
+        result = solve(cnf)
+        assert result.satisfiable
+        assert result.model.num_vars == 1000
+        assert result.model.satisfies(cnf)
+
+    def test_aggressive_reduction_and_restarts_together(self):
+        from .test_cdcl import pigeonhole
+        config = SolverConfig(restart_base=5, max_learnts_factor=0.02,
+                              max_learnts_growth=1.0, var_decay=0.8)
+        solver = CDCLSolver(pigeonhole(6), config)
+        assert not solver.solve().satisfiable
+        assert solver.stats["restarts"] > 0
+        assert solver.stats["deleted_clauses"] > 0
+
+    def test_stats_are_populated(self):
+        solver = CDCLSolver(make_random_cnf(10, 40, seed=12))
+        result = solver.solve()
+        for key in ("conflicts", "decisions", "propagations",
+                    "solve_time", "solver"):
+            assert key in result.stats

@@ -1,0 +1,161 @@
+"""Tests for the b1/s1 symmetry-breaking heuristics and their clauses."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coloring import (ColoringProblem, Graph, complete_graph,
+                            is_colorable)
+from repro.core.encodings import ALL_ENCODINGS, get_encoding
+from repro.core.symmetry import (apply_symmetry, b1_sequence, c1_sequence,
+                                 get_heuristic, s1_sequence, symmetry_clauses)
+from repro.sat import solve
+from .conftest import make_random_graph, small_graphs
+
+
+def star_with_tail():
+    """Vertex 0 has degree 4; vertex 5 dangles off vertex 1."""
+    return Graph(6, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 5)])
+
+
+class TestSequences:
+    def test_b1_starts_at_max_degree(self):
+        graph = star_with_tail()
+        assert b1_sequence(graph, 4)[0] == 0
+
+    def test_b1_picks_neighbors_by_degree(self):
+        graph = star_with_tail()
+        # K=4: first vertex 0, then its 2 highest-degree neighbours;
+        # vertex 1 (degree 2) beats vertices 2-4 (degree 1).
+        sequence = b1_sequence(graph, 4)
+        assert len(sequence) == 3
+        assert sequence[1] == 1
+
+    def test_s1_takes_global_top_degrees(self):
+        graph = star_with_tail()
+        sequence = s1_sequence(graph, 3)
+        assert sequence == [0, 1]
+
+    def test_s1_tie_break_by_neighbor_degree_sum(self):
+        # Vertices 0 and 3 both have degree 2; 0's neighbours are heavier.
+        graph = Graph(6, [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5)])
+        sequence = s1_sequence(graph, 2)
+        assert sequence == [0]
+
+    def test_sequences_never_exceed_k_minus_1(self):
+        graph = complete_graph(6)
+        assert len(b1_sequence(graph, 4)) <= 3
+        assert len(s1_sequence(graph, 4)) == 3
+
+    def test_k1_gives_empty_sequence(self):
+        graph = complete_graph(3)
+        assert b1_sequence(graph, 1) == []
+        assert s1_sequence(graph, 1) == []
+
+    def test_empty_graph(self):
+        assert b1_sequence(Graph(0), 3) == []
+        assert s1_sequence(Graph(0), 3) == []
+
+    def test_no_duplicates(self):
+        graph = make_random_graph(10, 0.4, seed=5)
+        for k in (2, 4, 6):
+            for heuristic in (b1_sequence, s1_sequence):
+                sequence = heuristic(graph, k)
+                assert len(set(sequence)) == len(sequence)
+
+    def test_lookup(self):
+        assert get_heuristic("b1") is b1_sequence
+        assert get_heuristic("s1") is s1_sequence
+        assert get_heuristic("c1") is c1_sequence
+        assert get_heuristic("none")(complete_graph(3), 3) == []
+        with pytest.raises(ValueError):
+            get_heuristic("s2")
+
+    def test_c1_picks_a_clique(self):
+        graph = make_random_graph(10, 0.5, seed=4)
+        for k in (3, 4, 5):
+            sequence = c1_sequence(graph, k)
+            assert len(sequence) <= k - 1
+            assert graph.subgraph_is_clique(sequence)
+
+    def test_c1_empty_cases(self):
+        from repro.coloring import Graph
+        assert c1_sequence(Graph(0), 4) == []
+        assert c1_sequence(complete_graph(3), 1) == []
+
+
+class TestClauses:
+    def test_first_vertex_pinned_to_color_zero(self):
+        problem = ColoringProblem(complete_graph(3), 3)
+        encoded = get_encoding("direct").encode(problem)
+        clauses = symmetry_clauses(encoded, [0])
+        # forbid colors 1 and 2 at vertex 0 (vars 2 and 3)
+        assert set(clauses) == {(-2,), (-3,)}
+
+    def test_clause_count(self):
+        problem = ColoringProblem(complete_graph(5), 4)
+        encoded = get_encoding("muldirect").encode(problem)
+        # i-th vertex forbids K-1-i colors: 3 + 2 + 1 = 6
+        assert len(symmetry_clauses(encoded, [0, 1, 2])) == 6
+
+    def test_sequence_too_long_rejected(self):
+        problem = ColoringProblem(complete_graph(4), 3)
+        encoded = get_encoding("direct").encode(problem)
+        with pytest.raises(ValueError):
+            symmetry_clauses(encoded, [0, 1, 2])
+
+    def test_repeated_vertex_rejected(self):
+        problem = ColoringProblem(complete_graph(4), 4)
+        encoded = get_encoding("direct").encode(problem)
+        with pytest.raises(ValueError):
+            symmetry_clauses(encoded, [0, 0])
+
+    def test_apply_returns_count(self):
+        problem = ColoringProblem(complete_graph(4), 4)
+        encoded = get_encoding("direct").encode(problem)
+        before = encoded.cnf.num_clauses
+        added = apply_symmetry(encoded, "s1")
+        assert added == encoded.cnf.num_clauses - before
+        assert added == 3 + 2 + 1
+
+
+class TestSoundness:
+    """Symmetry breaking must never change satisfiability — for any
+    encoding, heuristic and graph (paper §5's argument)."""
+
+    @pytest.mark.parametrize("name", ALL_ENCODINGS)
+    @pytest.mark.parametrize("heuristic", ["b1", "s1", "c1"])
+    def test_boundary_cases(self, name, heuristic):
+        for graph, k in [(complete_graph(4), 3), (complete_graph(4), 4),
+                         (make_random_graph(7, 0.5, seed=1), 3)]:
+            problem = ColoringProblem(graph, k)
+            encoded = get_encoding(name).encode(problem)
+            apply_symmetry(encoded, heuristic)
+            result = solve(encoded.cnf)
+            assert result.satisfiable == is_colorable(graph, k)
+            if result.satisfiable:
+                coloring = encoded.decode(result.model)
+                assert problem.is_valid_coloring(coloring)
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=small_graphs(max_vertices=7),
+           num_colors=st.integers(min_value=2, max_value=4),
+           name=st.sampled_from(ALL_ENCODINGS),
+           heuristic=st.sampled_from(["b1", "s1", "c1"]))
+    def test_soundness_property(self, graph, num_colors, name, heuristic):
+        problem = ColoringProblem(graph, num_colors)
+        encoded = get_encoding(name).encode(problem)
+        apply_symmetry(encoded, heuristic)
+        assert solve(encoded.cnf).satisfiable == is_colorable(graph, num_colors)
+
+    def test_restricted_vertex_actually_restricted(self):
+        """With s1, the decoded color of the first sequence vertex is 0."""
+        graph = make_random_graph(8, 0.4, seed=9)
+        problem = ColoringProblem(graph, 4)
+        encoded = get_encoding("direct").encode(problem)
+        sequence = s1_sequence(graph, 4)
+        apply_symmetry(encoded, "s1")
+        result = solve(encoded.cnf)
+        if result.satisfiable:
+            coloring = encoded.decode(result.model)
+            for position, vertex in enumerate(sequence):
+                assert coloring[vertex] <= position

@@ -1,0 +1,58 @@
+"""Tests for track assignment decoding and the legality verifier."""
+
+import pytest
+
+from repro.fpga import (Net, Netlist, assignment_from_coloring,
+                        build_routing_csp, is_legal, route_netlist,
+                        verify_track_assignment)
+from repro.fpga.tracks import TrackAssignment
+
+
+def contended_csp(width=3):
+    nets = [Net(f"n{i}", (0, 0), ((3, 0),)) for i in range(3)]
+    routing = route_netlist(Netlist("t", 4, 1, nets), congestion_penalty=0.0)
+    return build_routing_csp(routing, width)
+
+
+class TestAssignment:
+    def test_from_coloring(self):
+        csp = contended_csp()
+        assignment = assignment_from_coloring(csp, {0: 0, 1: 1, 2: 2})
+        assert assignment.track_of(1) == 1
+        assert is_legal(assignment)
+
+    def test_colliding_tracks_detected(self):
+        csp = contended_csp()
+        assignment = assignment_from_coloring(csp, {0: 0, 1: 0, 2: 2})
+        violations = verify_track_assignment(assignment)
+        assert any("collide" in v for v in violations)
+
+    def test_same_net_may_share_track(self):
+        netlist = Netlist("t", 5, 1, [Net("a", (0, 0), ((2, 0), (4, 0)))])
+        routing = route_netlist(netlist, congestion_penalty=0.0)
+        csp = build_routing_csp(routing, 2)
+        assignment = assignment_from_coloring(csp, {0: 1, 1: 1})
+        assert is_legal(assignment)
+
+    def test_track_out_of_range_detected(self):
+        csp = contended_csp(width=2)
+        assignment = TrackAssignment(csp.routing, 2, {0: 0, 1: 1, 2: 5})
+        violations = verify_track_assignment(assignment)
+        assert any("outside" in v for v in violations)
+
+    def test_missing_track_detected(self):
+        csp = contended_csp()
+        assignment = TrackAssignment(csp.routing, 3, {0: 0})
+        violations = verify_track_assignment(assignment)
+        assert sum("no track" in v for v in violations) == 2
+
+    def test_verifier_matches_coloring_validity(self):
+        # Any proper coloring of the conflict graph is a legal assignment
+        # and any improper one is illegal.
+        csp = contended_csp()
+        proper = {0: 0, 1: 1, 2: 2}
+        improper = {0: 0, 1: 0, 2: 1}
+        assert csp.problem.is_valid_coloring(proper)
+        assert is_legal(assignment_from_coloring(csp, proper))
+        assert not csp.problem.is_valid_coloring(improper)
+        assert not is_legal(assignment_from_coloring(csp, improper))
