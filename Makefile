@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-quick examples clean
+.PHONY: install test bench bench-quick bench-all examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -11,7 +11,13 @@ test:
 bench:
 	pytest benchmarks/ --benchmark-only
 
+# Solver BCP throughput (arena vs legacy engine); finishes in well under
+# a minute and writes BENCH_solver.json at the repository root.
 bench-quick:
+	PYTHONPATH=src python -m repro.bench.throughput --quick
+
+# The previous bench-quick: a scaled-down pass of every paper table.
+bench-all:
 	REPRO_BENCH_SCALE=0.7 pytest benchmarks/ --benchmark-only
 
 examples:

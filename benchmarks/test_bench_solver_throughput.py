@@ -1,0 +1,38 @@
+"""Solver BCP throughput — arena engine vs the retained legacy engine.
+
+Runs the same-process before/after comparison from
+:mod:`repro.bench.throughput` and writes the ``BENCH_solver.json``
+artifact at the repository root.  The acceptance bar for the arena
+rewrite is a >= 1.5x propagation-throughput speedup on the
+propagation-only stress suite, with bit-identical search trajectories.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench.throughput import run_throughput_bench, write_report
+
+from .conftest import publish
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_bcp_throughput(benchmark):
+    payload = benchmark.pedantic(
+        lambda: run_throughput_bench(), rounds=1, iterations=1)
+    write_report(str(REPO_ROOT / "BENCH_solver.json"), payload)
+
+    lines = [f"headline BCP speedup (arena over legacy): "
+             f"{payload['headline_bcp_speedup']}x",
+             f"stress suite props/sec: arena "
+             f"{payload['stress_arena_props_per_sec']:,} vs legacy "
+             f"{payload['stress_legacy_props_per_sec']:,}"]
+    for record in payload["stress_suite"] + payload.get("context_suite", []):
+        lines.append(
+            f"  {record['name']}: {record['speedup']}x ({record['sanity']})")
+    publish("solver_throughput", "\n".join(lines))
+
+    for record in payload["stress_suite"] + payload.get("context_suite", []):
+        assert record["sanity"] == "identical trajectories"
+    assert payload["headline_bcp_speedup"] >= 1.5

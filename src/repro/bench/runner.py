@@ -68,19 +68,35 @@ class SweepResult:
     def to_json(self) -> str:
         """Machine-readable dump: per-cell times, sizes and solver stats."""
         import json
+
+        def cell(outcome: ColoringOutcome) -> Dict:
+            stats = outcome.solver_stats
+            record = {
+                "satisfiable": outcome.satisfiable,
+                "total_time": outcome.total_time,
+                "solve_time": outcome.solve_time,
+                "encode_time": outcome.encode_time,
+                "cnf_time": outcome.cnf_time,
+                "symmetry_time": outcome.symmetry_time,
+                "num_vars": outcome.num_vars,
+                "num_clauses": outcome.num_clauses,
+                "conflicts": int(stats.get("conflicts", 0)),
+                "decisions": int(stats.get("decisions", 0)),
+                "propagations": int(stats.get("propagations", 0)),
+            }
+            # Perf instrumentation from the arena engine, when present.
+            if "props_per_sec" in stats:
+                record["props_per_sec"] = round(stats["props_per_sec"])
+            for key in ("blocker_hits", "watch_inspections"):
+                if key in stats:
+                    record[key] = int(stats[key])
+            return record
+
         payload = {
             "instances": self.instances,
             "strategies": [s.label for s in self.strategies],
             "cells": {
-                f"{instance}|{label}": {
-                    "satisfiable": outcome.satisfiable,
-                    "total_time": outcome.total_time,
-                    "solve_time": outcome.solve_time,
-                    "encode_time": outcome.encode_time,
-                    "num_vars": outcome.num_vars,
-                    "num_clauses": outcome.num_clauses,
-                    "conflicts": int(outcome.solver_stats.get("conflicts", 0)),
-                }
+                f"{instance}|{label}": cell(outcome)
                 for (instance, label), outcome in self.outcomes.items()
             },
         }

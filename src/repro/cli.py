@@ -55,6 +55,27 @@ def _add_strategy_options(parser: argparse.ArgumentParser) -> None:
                         help="solver seed (default 0)")
 
 
+def _print_solver_stats(stats) -> None:
+    """Print the solver's performance counters (the ``--stats`` flag)."""
+    print("  solver stats:")
+    for key in ("decisions", "conflicts", "propagations", "restarts",
+                "learned_clauses", "deleted_clauses", "minimized_literals"):
+        if key in stats:
+            print(f"    {key:20s} {int(stats[key]):>12,}")
+    if "props_per_sec" in stats:
+        print(f"    {'props_per_sec':20s} {stats['props_per_sec']:>12,.0f}")
+    # Arena-engine BCP instrumentation (absent under engine="legacy").
+    inspections = stats.get("watch_inspections")
+    if inspections:
+        hits = stats.get("blocker_hits", 0)
+        print(f"    {'watch_inspections':20s} {int(inspections):>12,}")
+        print(f"    {'blocker_hits':20s} {int(hits):>12,} "
+              f"({hits / inspections:.1%} hit rate)")
+    if "arena_compactions" in stats:
+        print(f"    {'arena_compactions':20s} "
+              f"{int(stats['arena_compactions']):>12,}")
+
+
 def _load_routing_arg(circuit: str, scale: float):
     """A circuit argument is either a benchmark name or a netlist JSON."""
     if circuit in ALL_BENCHMARKS:
@@ -112,6 +133,10 @@ def cmd_route(args) -> int:
     print(f"  time: graph {outcome.graph_time:.3f}s + "
           f"encode {outcome.encode_time:.3f}s + "
           f"solve {outcome.solve_time:.3f}s = {outcome.total_time:.3f}s")
+    if args.stats:
+        print(f"  encode split: cnf {outcome.cnf_time:.3f}s + "
+              f"symmetry {outcome.symmetry_time:.3f}s")
+        _print_solver_stats(outcome.solver_stats)
     if result.routable and args.tracks_out:
         with open(args.tracks_out, "w", encoding="utf-8") as handle:
             handle.write(assignment_to_json(result.assignment))
@@ -168,8 +193,12 @@ def cmd_color(args) -> int:
         if args.show:
             for vertex in range(problem.num_vertices):
                 print(f"  vertex {vertex + 1}: color {outcome.coloring[vertex]}")
+        if args.stats:
+            _print_solver_stats(outcome.solver_stats)
         return 0
     print(f"UNSATISFIABLE: no {args.colors}-coloring exists")
+    if args.stats:
+        _print_solver_stats(outcome.solver_stats)
     return 1
 
 
@@ -182,8 +211,12 @@ def cmd_solve(args) -> int:
             lits = [v if result.model.value(v) else -v
                     for v in range(1, cnf.num_vars + 1)]
             print("v " + " ".join(map(str, lits)) + " 0")
+        if args.stats:
+            _print_solver_stats(result.stats)
         return 0
     print("UNSATISFIABLE")
+    if args.stats:
+        _print_solver_stats(result.stats)
     return 1
 
 
@@ -221,6 +254,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tracks-out", help="write the track assignment JSON here")
     p.add_argument("--certify", action="store_true",
                    help="on UNSAT, emit and verify a DRUP certificate")
+    p.add_argument("--stats", action="store_true",
+                   help="print solver performance counters")
     _add_strategy_options(p)
     p.set_defaults(func=cmd_route)
 
@@ -244,6 +279,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--colors", type=int, required=True)
     p.add_argument("--show", action="store_true",
                    help="print the coloring on success")
+    p.add_argument("--stats", action="store_true",
+                   help="print solver performance counters")
     _add_strategy_options(p)
     p.set_defaults(func=cmd_color)
 
@@ -251,6 +288,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("cnf_file")
     p.add_argument("--show", action="store_true",
                    help="print the model on success")
+    p.add_argument("--stats", action="store_true",
+                   help="print solver performance counters")
     p.add_argument("--solver", default="siege_like",
                    choices=["siege_like", "minisat_like"])
     p.add_argument("--seed", type=int, default=0)

@@ -24,9 +24,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ...coloring.problem import ColoringProblem
 from ...sat.cnf import CNF
 from ...sat.model import Model
-from ..patterns import (LocalClause, Pattern, check_pattern, conflict_clause,
-                        negate_pattern, pattern_holds, shift_clause,
-                        shift_pattern)
+from ..patterns import (LocalClause, Pattern, check_pattern, negate_pattern,
+                        pattern_holds, shift_clause, shift_pattern)
 
 
 class LevelScheme(ABC):
@@ -141,25 +140,37 @@ class EncodedProblem:
         self.encoding_name = encoding_name
         self.vars_per_vertex = vertex_encoding.num_vars
         self.cnf = CNF(num_vars=problem.num_vertices * self.vars_per_vertex)
+        # Per-vertex cache of each color's *negated, globally shifted*
+        # indexing pattern — i.e. the clause half forbidding that color at
+        # that vertex.  A vertex's patterns are reused by every incident
+        # edge (and again by symmetry breaking via forbid_color_clause),
+        # so shifting and negating once per vertex instead of once per
+        # edge endpoint removes the dominant allocation in CNF generation.
+        self._forbid: List[List[Tuple[int, ...]]] = []
         self._build()
 
     def _build(self) -> None:
         graph = self.problem.graph
         num_colors = self.problem.num_colors
-        patterns = self.vertex_encoding.patterns
+        negated = [negate_pattern(p) for p in self.vertex_encoding.patterns]
+        # negate(shift(p)) == shift(negate(p)): both flip signs and push
+        # magnitudes up by the offset, so the cache can shift the negations.
+        self._forbid = [
+            [shift_pattern(pattern, self.vertex_offset(v))
+             for pattern in negated]
+            for v in range(graph.num_vertices)]
         # Structural clauses, once per vertex.
         for v in range(graph.num_vertices):
             offset = self.vertex_offset(v)
             for clause in self.vertex_encoding.clauses:
                 self.cnf.add_clause(shift_clause(clause, offset))
-        # Conflict clauses, once per edge per common domain value (§2).
+        # Conflict clauses, once per edge per common domain value (§2):
+        # ¬(pattern@u ∧ pattern@w) is just the two cached halves joined.
         for u, w in graph.edges():
-            offset_u = self.vertex_offset(u)
-            offset_w = self.vertex_offset(w)
+            forbid_u = self._forbid[u]
+            forbid_w = self._forbid[w]
             for color in range(num_colors):
-                self.cnf.add_clause(conflict_clause(
-                    shift_pattern(patterns[color], offset_u),
-                    shift_pattern(patterns[color], offset_w)))
+                self.cnf.add_clause(forbid_u[color] + forbid_w[color])
 
     def vertex_offset(self, v: int) -> int:
         """Variable offset of vertex ``v``'s block."""
@@ -174,8 +185,11 @@ class EncodedProblem:
 
     def forbid_color_clause(self, v: int, color: int) -> Tuple[int, ...]:
         """Clause asserting vertex ``v`` does not take ``color`` (used by
-        symmetry breaking — paper §5)."""
-        return negate_pattern(self.global_pattern(v, color))
+        symmetry breaking — paper §5).  Served from the per-vertex cache
+        built during CNF generation."""
+        if not 0 <= v < self.problem.num_vertices:
+            raise ValueError(f"vertex {v} out of range")
+        return self._forbid[v][color]
 
     def add_symmetry_clauses(self, clauses: Sequence[Sequence[int]]) -> None:
         """Append externally generated (symmetry-breaking) clauses."""

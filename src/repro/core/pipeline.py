@@ -32,6 +32,10 @@ class ColoringOutcome:
     num_clauses: int
     solver_stats: Dict[str, float] = field(default_factory=dict)
     graph_time: float = 0.0  # time to produce the coloring problem, if known
+    #: CNF-generation split of encode_time: translating the coloring
+    #: problem to clauses vs generating symmetry-breaking clauses.
+    cnf_time: float = 0.0
+    symmetry_time: float = 0.0
 
     @property
     def total_time(self) -> float:
@@ -49,8 +53,12 @@ def solve_coloring(problem: ColoringProblem, strategy: Strategy,
     """
     start = time.perf_counter()
     encoded = get_encoding(strategy.encoding).encode(problem)
+    cnf_done = time.perf_counter()
     apply_symmetry(encoded, strategy.symmetry)
-    encode_time = time.perf_counter() - start
+    encode_done = time.perf_counter()
+    cnf_time = cnf_done - start
+    symmetry_time = encode_done - cnf_done
+    encode_time = encode_done - start
 
     solver = CDCLSolver(encoded.cnf, strategy.solver_config())
     result = solver.solve()
@@ -71,6 +79,8 @@ def solve_coloring(problem: ColoringProblem, strategy: Strategy,
         num_clauses=encoded.cnf.num_clauses,
         solver_stats=result.stats,
         graph_time=graph_time,
+        cnf_time=cnf_time,
+        symmetry_time=symmetry_time,
     )
 
 

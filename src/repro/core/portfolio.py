@@ -16,6 +16,7 @@ core; the first to answer wins and the rest are terminated.  Two flavours:
 from __future__ import annotations
 
 import multiprocessing as mp
+import queue as queue_module
 import time
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence
@@ -43,12 +44,30 @@ def _worker(problem: ColoringProblem, strategy: Strategy, queue: "mp.Queue") -> 
         queue.put((strategy, None, repr(error)))
 
 
+#: Poll interval for the race loop: short enough that a crashed worker is
+#: noticed promptly, long enough not to busy-wait.
+_POLL_SECONDS = 0.05
+
+#: Grace period granted to in-flight results after the last live worker
+#: exits, before the race is declared lost (a child's queue feeder may
+#: still be flushing its answer through the pipe when it dies).
+_DRAIN_SECONDS = 0.5
+
+
 def run_portfolio(problem: ColoringProblem, strategies: Sequence[Strategy],
                   timeout: Optional[float] = None) -> PortfolioResult:
     """Run every strategy in parallel; return the first finisher's result.
 
     Remaining processes are terminated as soon as one answers, matching the
     paper's proposed deployment on a multicore CPU.
+
+    The race is robust to sick members: a strategy that raises is recorded
+    and dropped (its failure cannot win the race while healthy members are
+    still solving), and a worker that dies without reporting — killed,
+    crashed interpreter, out-of-memory — is detected by liveness polling
+    rather than waited on forever.  Only when *every* member has failed
+    does the portfolio raise :class:`RuntimeError`, listing each member's
+    failure; exceeding ``timeout`` raises :class:`TimeoutError`.
     """
     if not strategies:
         raise ValueError("a portfolio needs at least one strategy")
@@ -56,23 +75,64 @@ def run_portfolio(problem: ColoringProblem, strategies: Sequence[Strategy],
                              else "spawn")
     queue: "mp.Queue" = context.Queue()
     start = time.perf_counter()
-    processes = [context.Process(target=_worker, args=(problem, strategy, queue),
-                                 daemon=True)
-                 for strategy in strategies]
-    for process in processes:
+    deadline = None if timeout is None else start + timeout
+    processes: Dict[str, "mp.Process"] = {}
+    for strategy in strategies:
+        processes[strategy.label] = context.Process(
+            target=_worker, args=(problem, strategy, queue), daemon=True)
+    for process in processes.values():
         process.start()
+
+    failures: Dict[str, str] = {}
+    winner: Optional[Strategy] = None
+    outcome: Optional[ColoringOutcome] = None
     try:
-        strategy, outcome, error = queue.get(timeout=timeout)
+        while winner is None:
+            if len(failures) == len(processes):
+                # Every member failed or died.  One last drain in case a
+                # "dead" worker's answer was still in the pipe when its
+                # liveness check fired.
+                try:
+                    strategy, result, error = queue.get(
+                        timeout=_DRAIN_SECONDS)
+                except queue_module.Empty:
+                    summary = "; ".join(f"{label}: {reason}"
+                                        for label, reason in failures.items())
+                    raise RuntimeError(
+                        f"all {len(processes)} portfolio members failed "
+                        f"({summary})") from None
+                if error is None:
+                    winner, outcome = strategy, result
+                    break
+                failures[strategy.label] = error
+                continue
+            if deadline is not None and time.perf_counter() >= deadline:
+                raise TimeoutError(
+                    f"portfolio timed out after {timeout:.3f}s "
+                    f"({len(failures)}/{len(processes)} members had failed)")
+            try:
+                strategy, result, error = queue.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                # A worker that died before reporting can never answer;
+                # record it so the race is not held hostage by a corpse.
+                for label, process in processes.items():
+                    if label not in failures and not process.is_alive():
+                        process.join()
+                        failures[label] = (f"worker died without reporting "
+                                           f"(exit code {process.exitcode})")
+                continue
+            if error is None:
+                winner, outcome = strategy, result
+            else:
+                failures[strategy.label] = error
         wall_time = time.perf_counter() - start
     finally:
-        for process in processes:
+        for process in processes.values():
             if process.is_alive():
                 process.terminate()
-        for process in processes:
+        for process in processes.values():
             process.join(timeout=5)
-    if error is not None:
-        raise RuntimeError(f"portfolio member {strategy.label} failed: {error}")
-    return PortfolioResult(winner=strategy, outcome=outcome,
+    return PortfolioResult(winner=winner, outcome=outcome,
                            wall_time=wall_time, num_strategies=len(strategies))
 
 

@@ -9,7 +9,7 @@ literals can index arrays directly; the helpers for that live here too.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, List, Optional, Sequence
 
 
 def var_of(lit: int) -> int:
@@ -51,6 +51,27 @@ def code_to_lit(code: int) -> int:
         raise ValueError(f"invalid literal code {code}")
     var = code >> 1
     return -var if code & 1 else var
+
+
+def clause_to_codes(clause: Sequence[int]) -> Optional[List[int]]:
+    """Convert a DIMACS clause to deduplicated internal codes.
+
+    Returns the clause's literal codes in first-occurrence order with
+    duplicates removed, or ``None`` when the clause is a tautology
+    (contains ``lit`` and ``-lit``) and can be discarded outright.  This
+    is the shared ingestion step of every code-based propagation engine
+    (the CDCL solvers and the independent RUP proof checker).
+    """
+    codes: List[int] = []
+    seen = set()
+    for lit in clause:
+        code = lit_to_code(lit)
+        if code ^ 1 in seen:
+            return None
+        if code not in seen:
+            seen.add(code)
+            codes.append(code)
+    return codes
 
 
 def max_var(lits: Iterable[int]) -> int:

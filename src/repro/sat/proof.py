@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from .cnf import CNF
+from .literals import clause_to_codes, lit_to_code
 
 Clause = Tuple[int, ...]
 
@@ -48,10 +49,6 @@ class _Propagator:
         self._qhead = 0
         self.contradiction = False
 
-    @staticmethod
-    def _code(lit: int) -> int:
-        return 2 * lit if lit > 0 else -2 * lit + 1
-
     def _assign(self, code: int) -> bool:
         """Assign a literal true; False if it contradicts the assignment."""
         value = self._values[code]
@@ -68,15 +65,9 @@ class _Propagator:
         """Add a clause permanently and propagate at the root level."""
         if self.contradiction:
             return
-        codes = []
-        seen = set()
-        for lit in clause:
-            code = self._code(lit)
-            if code ^ 1 in seen:
-                return  # tautology: irrelevant for propagation
-            if code not in seen:
-                seen.add(code)
-                codes.append(code)
+        codes = clause_to_codes(clause)
+        if codes is None:
+            return  # tautology: irrelevant for propagation
         # Move non-false literals to the watch positions.
         codes.sort(key=lambda c: self._values[c] == _FALSE)
         if not codes or self._values[codes[0]] == _FALSE:
@@ -156,7 +147,7 @@ class _Propagator:
         saved_qhead = self._qhead
         try:
             for lit in clause:
-                code = self._code(lit)
+                code = lit_to_code(lit)
                 if self._values[code] == _TRUE:
                     return True  # negation immediately contradictory
                 if not self._assign(code ^ 1):

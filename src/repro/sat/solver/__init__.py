@@ -5,10 +5,11 @@ from .config import PRESETS, SolverConfig, minisat_like, preset, siege_like
 from .dpll import DPLLSolver, solve_dpll
 from .enumerate import (all_models, count_models, enumerate_models,
                         solve_by_enumeration)
+from .legacy import LegacyCDCLSolver
 from .luby import luby, luby_prefix
 
 __all__ = [
-    "BudgetExceeded", "CDCLSolver", "solve",
+    "BudgetExceeded", "CDCLSolver", "LegacyCDCLSolver", "solve",
     "PRESETS", "SolverConfig", "minisat_like", "preset", "siege_like",
     "DPLLSolver", "solve_dpll",
     "all_models", "count_models", "enumerate_models", "solve_by_enumeration",

@@ -13,6 +13,50 @@ architecture:
 
 Literals are handled internally as *codes* (``2*v`` for ``v``, ``2*v + 1``
 for ``-v``), so negation is ``code ^ 1`` and codes index flat arrays.
+
+Clause storage — the flat arena
+-------------------------------
+
+BCP dominates CDCL runtime, so the clause database is laid out for the
+propagation loop rather than for object-at-a-time convenience:
+
+* **Arena.**  All clause literals live in one flat list
+  (``self._arena``); clause *ref* ``i`` owns the slice
+  ``arena[_coff[i] : _coff[i] + _clen[i]]``.  Refs are stable for the
+  solver's lifetime (headers are append-only), so reason pointers and
+  watch lists never need fixing up; deleting a clause just zeroes its
+  length, and :meth:`_compact_arena` squeezes the dead literals out once
+  they exceed half the arena.
+* **Blocker literals.**  Watch lists hold *watcher records*, two per
+  clause: record ``e`` belongs to clause ``e >> 1``, its partner is
+  ``e ^ 1``, and ``self._wother[e]`` caches the clause's *other*
+  watched literal — its blocker.  When the blocker is true at a visit,
+  the clause is already satisfied and the loop skips it without
+  touching the clause at all — the MiniSat blocker-literal
+  optimisation, and the single most common case on real instances
+  (``stats["blocker_hits"] / stats["watch_inspections"]``).
+
+  Unlike MiniSat's per-watcher blocker copies, which are allowed to go
+  stale when the partner watch moves, the cache here is kept *fresh*:
+  a watch move performs one extra write (``_wother[e ^ 1] = new``) so
+  the partner record always names the current other watch.  Freshness
+  is what makes the skip exact — it fires precisely when the reference
+  engine's "first watched literal is true" keep would, so the search
+  trajectory is unchanged, and a failed test means the clause is
+  genuinely unit, conflicting, deleted, or must move its watch (the
+  "satisfied after dereference" case cannot occur).
+* **Write-free scanning.**  Each watch list is first walked by a plain
+  ``for`` loop (C-level list iteration) that does not write the list
+  back while entries are merely skipped or kept; only after the first
+  genuine removal (a moved watch or a deleted clause) does an indexed
+  compacting scan shift the remaining entries.  Passes without a
+  removal — the common case — leave the list object untouched.
+
+The arena is a representation change only: the engine visits clauses in
+the same order and picks the same watches as the pre-arena engine
+(:mod:`repro.sat.solver.legacy`, kept behind
+``SolverConfig(engine="legacy")``), so both produce identical
+decision/conflict counts — the determinism fixture suite pins this.
 """
 
 from __future__ import annotations
@@ -23,6 +67,7 @@ import time
 from typing import Dict, List, Optional
 
 from ..cnf import CNF
+from ..literals import clause_to_codes, lit_to_code, var_of
 from ..model import Model, SolveResult
 from .config import SolverConfig
 from .luby import luby
@@ -47,6 +92,12 @@ class CDCLSolver:
     what makes the channel-width sweep in
     :mod:`repro.core.incremental` cheap.
 
+    Constructing with ``SolverConfig(engine="legacy")`` returns the
+    pre-arena :class:`~repro.sat.solver.legacy.LegacyCDCLSolver`
+    instead — same API, same search trajectory, original clause-object
+    storage — so the two BCP implementations can be raced against each
+    other (see :mod:`repro.bench.throughput`).
+
     Parameters
     ----------
     cnf:
@@ -54,6 +105,13 @@ class CDCLSolver:
     config:
         Solver parameters; defaults to a MiniSat-like configuration.
     """
+
+    def __new__(cls, cnf: CNF, config: Optional[SolverConfig] = None):
+        if cls is CDCLSolver and config is not None \
+                and config.engine == "legacy":
+            from .legacy import LegacyCDCLSolver
+            return LegacyCDCLSolver(cnf, config)
+        return super().__new__(cls)
 
     def __init__(self, cnf: CNF, config: Optional[SolverConfig] = None) -> None:
         self.config = config or SolverConfig()
@@ -64,7 +122,7 @@ class CDCLSolver:
         # values is indexed by literal code; entry 0/1 are padding.
         self._values: List[int] = [_UNDEF] * (2 * n + 2)
         self._level: List[int] = [0] * (n + 1)
-        self._reason: List[int] = [-1] * (n + 1)  # clause index, -1 = none
+        self._reason: List[int] = [-1] * (n + 1)  # clause ref, -1 = none
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
         self._qhead = 0
@@ -80,13 +138,24 @@ class CDCLSolver:
         else:
             self._saved_phase = [False] * (n + 1)
 
-        self._clauses: List[Optional[List[int]]] = []
+        # Flat clause arena (see module docstring): literals of clause
+        # ref i are arena[_coff[i] : _coff[i] + _clen[i]]; _clen[i] == 0
+        # marks a deleted clause whose literals are dead arena space.
+        self._arena: List[int] = []
+        self._coff: List[int] = []
+        self._clen: List[int] = []
         self._learnt: List[bool] = []
         self._clause_act: List[float] = []
+        self._arena_dead = 0
         self._clause_inc = 1.0
         self._num_original = 0
         self._num_learned_live = 0
         self._watches: List[List[int]] = [[] for _ in range(2 * n + 2)]
+        # Watcher records: clause ref R owns entries 2*R and 2*R + 1,
+        # one per watched literal; entry e caches the clause's *other*
+        # watched literal in _wother[e] (its blocker), and e ^ 1 is the
+        # partner entry.  See _propagate.
+        self._wother: List[int] = []
         self._seen = bytearray(n + 1)
 
         self._ok = True  # False once root-level unsatisfiability is known
@@ -98,6 +167,8 @@ class CDCLSolver:
             "conflicts": 0, "decisions": 0, "propagations": 0,
             "restarts": 0, "learned_clauses": 0, "deleted_clauses": 0,
             "minimized_literals": 0,
+            "watch_inspections": 0, "blocker_hits": 0,
+            "arena_compactions": 0,
         }
         self._ingest(cnf)
 
@@ -109,18 +180,8 @@ class CDCLSolver:
         for clause in cnf:
             if not self._ok:
                 return
-            codes = []
-            seen_codes = set()
-            tautology = False
-            for lit in clause:
-                code = 2 * lit if lit > 0 else -2 * lit + 1
-                if code ^ 1 in seen_codes:
-                    tautology = True
-                    break
-                if code not in seen_codes:
-                    seen_codes.add(code)
-                    codes.append(code)
-            if tautology:
+            codes = clause_to_codes(clause)
+            if codes is None:  # tautology
                 continue
             if not codes:
                 self._ok = False
@@ -137,17 +198,27 @@ class CDCLSolver:
             self._ok = False
 
     def _attach(self, codes: List[int], learnt: bool) -> int:
-        index = len(self._clauses)
-        self._clauses.append(codes)
+        ref = len(self._coff)
+        self._coff.append(len(self._arena))
+        self._clen.append(len(codes))
+        self._arena.extend(codes)
         self._learnt.append(learnt)
         self._clause_act.append(0.0)
-        self._watches[codes[0]].append(index)
-        self._watches[codes[1]].append(index)
+        # Watcher records 2*ref and 2*ref + 1, each caching the other
+        # watch as its blocker (kept fresh by _propagate on every move).
+        self._wother.extend((codes[1], codes[0]))
+        self._watches[codes[0]].append(2 * ref)
+        self._watches[codes[1]].append(2 * ref + 1)
         if learnt:
             self._num_learned_live += 1
         else:
             self._num_original += 1
-        return index
+        return ref
+
+    def _clause_codes(self, ref: int) -> List[int]:
+        """The literal codes of clause ``ref`` (a copy; test/debug hook)."""
+        off = self._coff[ref]
+        return self._arena[off:off + self._clen[ref]]
 
     # ------------------------------------------------------------------
     # Assignment / trail
@@ -169,13 +240,15 @@ class CDCLSolver:
         saved = self._saved_phase
         heap = self._heap
         activity = self._activity
+        reason = self._reason
+        heappush = heapq.heappush
         for code in reversed(self._trail[limit:]):
             var = code >> 1
             saved[var] = not (code & 1)
             values[code] = _UNDEF
             values[code ^ 1] = _UNDEF
-            self._reason[var] = -1
-            heapq.heappush(heap, (-activity[var], var))
+            reason[var] = -1
+            heappush(heap, (-activity[var], var))
         del self._trail[limit:]
         del self._trail_lim[level:]
         self._qhead = len(self._trail)
@@ -187,63 +260,206 @@ class CDCLSolver:
     def _propagate(self) -> int:
         """Propagate all enqueued assignments.
 
-        Returns the index of a conflicting clause, or -1 if none.
+        Returns the ref of a conflicting clause, or -1 if none.
+
+        This is the solver's hot loop and it is written accordingly:
+
+        * every attribute is localised and the enqueue is inlined;
+        * watch entry ``e`` is a *watcher record*: clause ref
+          ``e >> 1``, partner record ``e ^ 1``, and cached blocker
+          ``_wother[e]`` — the clause's other watched literal, updated
+          on the partner record whenever a watch moves, so it is never
+          stale.  The skip test ``values[_wother[e]] == 1`` therefore
+          fires exactly when the reference engine's "first watched
+          literal is true" keep would, and a failed test means the
+          clause is genuinely unit, conflicting, deleted, or must move
+          its watch — the "satisfied after dereference" case cannot
+          occur;
+        * each watch list is first walked by a *write-free* ``for``
+          scan (C-level list iteration, no index arithmetic) — skips
+          and keeps do not rewrite the list.  Only once an entry must
+          actually be removed (a moved watch or a deleted clause) does
+          an indexed compacting scan take over, locating the removal
+          point with ``list.index`` (entries are unique within a list).
+
+        Stats are accumulated in locals and flushed once on exit.
         """
         values = self._values
         watches = self._watches
-        clauses = self._clauses
+        arena = self._arena
+        coff = self._coff
+        clen = self._clen
+        wother = self._wother
         trail = self._trail
+        level = self._level
+        reason = self._reason
+        level_num = len(self._trail_lim)
+        qhead = self._qhead
+        trail_len = len(trail)
+        props = 0
+        inspections = 0
+        derefs = 0
         conflict = -1
-        while self._qhead < len(trail):
-            propagated = trail[self._qhead]
-            self._qhead += 1
-            self.stats["propagations"] += 1
+        while qhead < trail_len:
+            propagated = trail[qhead]
+            qhead += 1
+            props += 1
             false_code = propagated ^ 1
             watchers = watches[false_code]
-            i = 0
-            j = 0
-            count = len(watchers)
-            while i < count:
-                ci = watchers[i]
-                i += 1
-                lits = clauses[ci]
-                if lits is None:
-                    continue  # deleted clause: drop from this watch list
-                if lits[0] == false_code:
-                    lits[0] = lits[1]
-                    lits[1] = false_code
-                first = lits[0]
-                if values[first] == _TRUE:
-                    watchers[j] = ci
-                    j += 1
+            if not watchers:
+                continue
+            inspections += len(watchers)
+            removed_at = -1
+            for e in watchers:
+                if values[wother[e]] == 1:  # blocker true: satisfied
                     continue
-                found = False
-                for k in range(2, len(lits)):
-                    code = lits[k]
-                    if values[code] != _FALSE:
-                        lits[1] = code
-                        lits[k] = false_code
-                        watches[code].append(ci)
-                        found = True
+                derefs += 1
+                other = wother[e]
+                value = values[other]
+                # Freshness means `other` IS the clause's other watched
+                # literal, so nothing below re-reads it from the arena.
+                ci = e >> 1
+                length = clen[ci]
+                if length == 2:
+                    off = coff[ci]
+                    arena[off] = other  # normalise slots for _analyze
+                    arena[off + 1] = false_code
+                elif length == 3:
+                    off = coff[ci]
+                    code = arena[off + 2]
+                    if values[code] != -1:
+                        if arena[off] == false_code:
+                            arena[off] = other
+                        arena[off + 1] = code
+                        arena[off + 2] = false_code
+                        watches[code].append(e)
+                        wother[e ^ 1] = code
+                        removed_at = watchers.index(e)
                         break
-                if found:
+                    arena[off] = other
+                    arena[off + 1] = false_code
+                elif length == 0:  # deleted: entry must be dropped
+                    removed_at = watchers.index(e)
+                    break
+                else:
+                    off = coff[ci]
+                    if arena[off] == false_code:
+                        arena[off] = other
+                        arena[off + 1] = false_code
+                    moved = False
+                    for k in range(off + 2, off + length):
+                        code = arena[k]
+                        if values[code] != -1:
+                            arena[off + 1] = code
+                            arena[k] = false_code
+                            watches[code].append(e)
+                            wother[e ^ 1] = code
+                            moved = True
+                            break
+                    if moved:
+                        removed_at = watchers.index(e)
+                        break
+                if value == 0:
+                    # Unit: inlined _enqueue.
+                    values[other] = 1
+                    values[other ^ 1] = -1
+                    var = other >> 1
+                    level[var] = level_num
+                    reason[var] = ci
+                    trail.append(other)
+                    trail_len += 1
                     continue
-                watchers[j] = ci
-                j += 1
-                if values[first] == _FALSE:
-                    # Conflict: keep remaining watchers and stop.
-                    while i < count:
+                # Conflict; list untouched so far.  Slots after `e` were
+                # pre-counted as inspected but never scanned — undo that.
+                inspections -= len(watchers) - watchers.index(e) - 1
+                qhead = trail_len
+                conflict = ci
+                break
+            if removed_at >= 0:
+                # Compacting scan: an entry was removed above, so every
+                # kept entry from here on is shifted left by the gap.
+                j = removed_at
+                i = removed_at + 1
+                count = len(watchers)
+                while i < count:
+                    e = watchers[i]
+                    i += 1
+                    if values[wother[e]] == 1:  # blocker true: satisfied
+                        watchers[j] = e
+                        j += 1
+                        continue
+                    derefs += 1
+                    other = wother[e]
+                    value = values[other]
+                    ci = e >> 1
+                    length = clen[ci]
+                    if length == 2:
+                        off = coff[ci]
+                        arena[off] = other
+                        arena[off + 1] = false_code
+                    elif length == 3:
+                        off = coff[ci]
+                        code = arena[off + 2]
+                        if values[code] != -1:
+                            if arena[off] == false_code:
+                                arena[off] = other
+                            arena[off + 1] = code
+                            arena[off + 2] = false_code
+                            watches[code].append(e)
+                            wother[e ^ 1] = code
+                            continue
+                        arena[off] = other
+                        arena[off + 1] = false_code
+                    elif length == 0:
+                        continue  # deleted: drop
+                    else:
+                        off = coff[ci]
+                        if arena[off] == false_code:
+                            arena[off] = other
+                            arena[off + 1] = false_code
+                        moved = False
+                        for k in range(off + 2, off + length):
+                            code = arena[k]
+                            if values[code] != -1:
+                                arena[off + 1] = code
+                                arena[k] = false_code
+                                watches[code].append(e)
+                                wother[e ^ 1] = code
+                                moved = True
+                                break
+                        if moved:
+                            continue
+                    watchers[j] = e
+                    j += 1
+                    if value == 0:
+                        values[other] = 1
+                        values[other ^ 1] = -1
+                        var = other >> 1
+                        level[var] = level_num
+                        reason[var] = ci
+                        trail.append(other)
+                        trail_len += 1
+                        continue
+                    inspections -= count - i  # rest kept unscanned
+                    while i < count:  # conflict: keep the rest
                         watchers[j] = watchers[i]
                         j += 1
                         i += 1
-                    self._qhead = len(trail)
+                    qhead = trail_len
                     conflict = ci
-                else:
-                    self._enqueue(first, ci)
-            del watchers[j:]
+                    break
+                del watchers[j:]
             if conflict != -1:
-                return conflict
-        return -1
+                break
+        self._qhead = qhead
+        stats = self.stats
+        stats["propagations"] += props
+        stats["watch_inspections"] += inspections
+        # Every inspected slot either passed the blocker test (hit) or
+        # fell through to a clause dereference — hits are the difference,
+        # which keeps the hot skip path free of counter updates.
+        stats["blocker_hits"] += inspections - derefs
+        return conflict
 
     # ------------------------------------------------------------------
     # Conflict analysis
@@ -265,12 +481,16 @@ class CDCLSolver:
                       if values[2 * v] == _UNDEF]
         heapq.heapify(self._heap)
 
-    def _bump_clause(self, index: int) -> None:
-        self._clause_act[index] += self._clause_inc
-        if self._clause_act[index] > _RESCALE_LIMIT:
-            for i in range(len(self._clause_act)):
-                self._clause_act[i] *= _RESCALE_FACTOR
-            self._clause_inc *= _RESCALE_FACTOR
+    def _bump_clause(self, ref: int) -> None:
+        self._clause_act[ref] += self._clause_inc
+        if self._clause_act[ref] > _RESCALE_LIMIT:
+            self._rescale_clause_acts()
+
+    def _rescale_clause_acts(self) -> None:
+        clause_act = self._clause_act
+        for i in range(len(clause_act)):
+            clause_act[i] *= _RESCALE_FACTOR
+        self._clause_inc *= _RESCALE_FACTOR
 
     def _analyze(self, conflict: int) -> (List[int], int):
         """First-UIP analysis.  Returns (learnt clause codes, backtrack level)
@@ -279,6 +499,17 @@ class CDCLSolver:
         seen = self._seen
         trail = self._trail
         level = self._level
+        reason = self._reason
+        arena = self._arena
+        coff = self._coff
+        clen = self._clen
+        learnt_flags = self._learnt
+        activity = self._activity
+        values = self._values
+        heap = self._heap
+        heappush = heapq.heappush
+        clause_act = self._clause_act
+        clause_inc = self._clause_inc
         current_level = len(self._trail_lim)
         to_clear: List[int] = []
         counter = 0
@@ -286,15 +517,32 @@ class CDCLSolver:
         index = len(trail) - 1
         clause = conflict
         while True:
-            lits = self._clauses[clause]
-            if self._learnt[clause]:
-                self._bump_clause(clause)
-            for q in (lits if p == -1 else lits[1:]):
+            if learnt_flags[clause]:
+                # Inlined _bump_clause.
+                act = clause_act[clause] + clause_inc
+                clause_act[clause] = act
+                if act > _RESCALE_LIMIT:
+                    self._rescale_clause_acts()
+                    clause_inc = self._clause_inc
+            off = coff[clause]
+            var_inc = self._var_inc
+            # Slice, don't index: C-level iteration over the clause's
+            # literals beats per-literal index arithmetic.
+            for q in arena[off if p == -1 else off + 1:off + clen[clause]]:
                 var = q >> 1
                 if not seen[var] and level[var] > 0:
                     seen[var] = 1
                     to_clear.append(var)
-                    self._bump_var(var)
+                    # Inlined _bump_var.
+                    act = activity[var] + var_inc
+                    activity[var] = act
+                    if act > _RESCALE_LIMIT:
+                        self._rescale_activities()
+                        var_inc = self._var_inc
+                        heap = self._heap
+                        act = activity[var]
+                    if values[var << 1] == 0:
+                        heappush(heap, (-act, var))
                     if level[var] >= current_level:
                         counter += 1
                     else:
@@ -303,7 +551,7 @@ class CDCLSolver:
                 index -= 1
             p = trail[index]
             var = p >> 1
-            clause = self._reason[var]
+            clause = reason[var]
             seen[var] = 0
             counter -= 1
             index -= 1
@@ -315,24 +563,29 @@ class CDCLSolver:
         # covered by the rest of the learnt clause (or by root assignments).
         if len(learnt) > 2:
             kept = [learnt[0]]
+            minimized = 0
             for q in learnt[1:]:
-                reason = self._reason[q >> 1]
-                if reason == -1:
+                ref = reason[q >> 1]
+                if ref == -1:
                     kept.append(q)
                     continue
                 redundant = True
-                for other in self._clauses[reason]:
-                    var = other >> 1
-                    if var == q >> 1:
+                qvar = q >> 1
+                off = coff[ref]
+                for code in arena[off:off + clen[ref]]:
+                    var = code >> 1
+                    if var == qvar:
                         continue
                     if not seen[var] and level[var] > 0:
                         redundant = False
                         break
                 if redundant:
-                    self.stats["minimized_literals"] += 1
+                    minimized += 1
                 else:
                     kept.append(q)
             learnt = kept
+            if minimized:
+                self.stats["minimized_literals"] += minimized
 
         for var in to_clear:
             seen[var] = 0
@@ -351,21 +604,48 @@ class CDCLSolver:
     # Learned-clause database reduction
     # ------------------------------------------------------------------
 
-    def _is_reason(self, index: int) -> bool:
-        lits = self._clauses[index]
-        first = lits[0]
+    def _is_reason(self, ref: int) -> bool:
+        first = self._arena[self._coff[ref]]
         return (self._values[first] == _TRUE
-                and self._reason[first >> 1] == index)
+                and self._reason[first >> 1] == ref)
 
     def _reduce_db(self) -> None:
-        candidates = [i for i in range(len(self._clauses))
-                      if self._learnt[i] and self._clauses[i] is not None
-                      and len(self._clauses[i]) > 2 and not self._is_reason(i)]
-        candidates.sort(key=lambda i: self._clause_act[i])
+        learnt = self._learnt
+        clen = self._clen
+        candidates = [i for i in range(len(clen))
+                      if learnt[i] and clen[i] > 2 and not self._is_reason(i)]
+        candidates.sort(key=self._clause_act.__getitem__)
         for i in candidates[:len(candidates) // 2]:
-            self._clauses[i] = None
+            self._arena_dead += clen[i]
+            clen[i] = 0
             self._num_learned_live -= 1
             self.stats["deleted_clauses"] += 1
+        # Watch-list entries of deleted clauses are dropped lazily by
+        # _propagate; the arena itself is compacted once most of it is dead.
+        if self._arena_dead * 2 > len(self._arena):
+            self._compact_arena()
+
+    def _compact_arena(self) -> None:
+        """Squeeze deleted clauses' literals out of the arena.
+
+        Clause refs are indices into the header lists, not arena
+        offsets, so only the offsets change — watch lists and reason
+        pointers stay valid untouched.
+        """
+        arena = self._arena
+        coff = self._coff
+        clen = self._clen
+        compacted: List[int] = []
+        for ref in range(len(coff)):
+            length = clen[ref]
+            if length == 0:
+                continue
+            off = coff[ref]
+            coff[ref] = len(compacted)
+            compacted.extend(arena[off:off + length])
+        self._arena = compacted
+        self._arena_dead = 0
+        self.stats["arena_compactions"] += 1
 
     # ------------------------------------------------------------------
     # Decisions
@@ -402,15 +682,16 @@ class CDCLSolver:
         (``stats["assumption_failed"]`` distinguishes the two).
         """
         start = time.perf_counter()
+        self._props_at_start = self.stats["propagations"]
         self._cancel_until(0)  # fresh call on a reused solver
         self.stats.pop("assumption_failed", None)
         assumed = []
         for lit in (assumptions or []):
-            var = lit if lit > 0 else -lit
+            var = var_of(lit)
             if not 1 <= var <= self.num_vars:
                 raise ValueError(f"assumption {lit} outside variables "
                                  f"1..{self.num_vars}")
-            assumed.append(2 * lit if lit > 0 else -2 * lit + 1)
+            assumed.append(lit_to_code(lit))
         if not self._ok:
             return self._finish(False, start)
         if self.num_vars == 0:
@@ -445,9 +726,9 @@ class CDCLSolver:
                 if len(learnt) == 1:
                     self._enqueue(learnt[0], -1)
                 else:
-                    index = self._attach(learnt, learnt=True)
-                    self._bump_clause(index)
-                    self._enqueue(learnt[0], index)
+                    ref = self._attach(learnt, learnt=True)
+                    self._bump_clause(ref)
+                    self._enqueue(learnt[0], ref)
                 self.stats["learned_clauses"] += 1
                 self._var_inc /= config.var_decay
                 self._clause_inc /= config.clause_decay
@@ -494,7 +775,10 @@ class CDCLSolver:
                 self._enqueue(code, -1)
 
     def _finish(self, satisfiable: bool, start: float) -> SolveResult:
-        self.stats["solve_time"] = time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.stats["solve_time"] = elapsed
+        props = self.stats["propagations"] - getattr(self, "_props_at_start", 0)
+        self.stats["props_per_sec"] = props / elapsed if elapsed > 0 else 0.0
         self.stats["solver"] = self.config.name
         if not satisfiable:
             if self.config.proof_log:
@@ -505,5 +789,6 @@ class CDCLSolver:
 
 
 def solve(cnf: CNF, config: Optional[SolverConfig] = None) -> SolveResult:
-    """Convenience wrapper: solve ``cnf`` with a fresh :class:`CDCLSolver`."""
+    """Convenience wrapper: solve ``cnf`` with a fresh :class:`CDCLSolver`
+    (or the legacy engine when ``config.engine == "legacy"``)."""
     return CDCLSolver(cnf, config).solve()

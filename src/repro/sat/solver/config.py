@@ -57,6 +57,12 @@ class SolverConfig:
         empty clause, can be independently verified with
         :func:`repro.sat.proof.check_rup_proof` — turning "provably
         unroutable" into a checkable certificate.
+    engine:
+        ``"arena"`` (default) selects the flat clause-arena BCP engine;
+        ``"legacy"`` selects the pre-arena clause-object engine kept as a
+        performance baseline.  Both engines follow the exact same search
+        trajectory (identical decision/conflict counts); only raw speed
+        and the extra arena stats counters differ.
     name:
         Human-readable preset name, reported in statistics.
     """
@@ -74,9 +80,12 @@ class SolverConfig:
     max_conflicts: Optional[int] = None
     max_decisions: Optional[int] = None
     proof_log: bool = False
+    engine: str = "arena"
     name: str = "cdcl"
 
     def __post_init__(self) -> None:
+        if self.engine not in ("arena", "legacy"):
+            raise ValueError(f"unknown solver engine {self.engine!r}")
         if self.restart_policy not in ("luby", "geometric"):
             raise ValueError(f"unknown restart policy {self.restart_policy!r}")
         if self.default_phase not in ("false", "true", "random"):

@@ -1,11 +1,16 @@
 """Tests for portfolio execution and the virtual-portfolio model."""
 
+import os
+import time
+
 import pytest
 
 from repro.coloring import ColoringProblem, complete_graph, cycle_graph
 from repro.core import (PORTFOLIO_2, PORTFOLIO_3, Strategy,
                         portfolio_speedup, run_portfolio,
                         virtual_portfolio_time)
+from repro.core import portfolio as portfolio_module
+from repro.core.pipeline import solve_coloring
 
 
 class TestPaperPortfolios:
@@ -48,6 +53,76 @@ class TestRunPortfolio:
     def test_empty_portfolio_rejected(self):
         with pytest.raises(ValueError):
             run_portfolio(ColoringProblem(cycle_graph(5), 3), [])
+
+
+# Seeds recognised by _sick_solve to inject worker misbehaviour.  The
+# patch relies on fork-start workers inheriting the parent's (patched)
+# module state, so these tests are skipped where fork is unavailable.
+_RAISE_SEED = 90001
+_DIE_SEED = 90002
+_HANG_SEED = 90003
+
+
+def _sick_solve(problem, strategy, graph_time=0.0):
+    if strategy.seed == _RAISE_SEED:
+        raise ValueError("injected failure")
+    if strategy.seed == _DIE_SEED:
+        os._exit(17)  # vanish without reporting, like a crash/OOM kill
+    if strategy.seed == _HANG_SEED:
+        time.sleep(600)
+    return solve_coloring(problem, strategy, graph_time=graph_time)
+
+
+fork_only = pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="failure injection requires fork-start workers")
+
+
+@fork_only
+class TestSickMembers:
+    """The first-to-finish race must survive failing and dying workers."""
+
+    @pytest.fixture(autouse=True)
+    def _patch_worker_solve(self, monkeypatch):
+        monkeypatch.setattr(portfolio_module, "solve_coloring", _sick_solve)
+
+    def setup_method(self):
+        self.problem = ColoringProblem(cycle_graph(9), 3)
+        self.healthy = Strategy("muldirect", "s1")
+
+    def test_failing_member_does_not_win(self):
+        # The failer reports (an error) long before the healthy member
+        # solves; the race must keep waiting and return the real answer.
+        failer = Strategy("muldirect", "s1", seed=_RAISE_SEED)
+        result = run_portfolio(self.problem, [failer, self.healthy])
+        assert result.winner == self.healthy
+        assert result.outcome.satisfiable
+
+    def test_dead_worker_cannot_hang_the_race(self):
+        dier = Strategy("muldirect", "s1", seed=_DIE_SEED)
+        result = run_portfolio(self.problem, [dier, self.healthy],
+                               timeout=60.0)
+        assert result.winner == self.healthy
+        assert result.outcome.satisfiable
+
+    def test_all_members_failing_raises(self):
+        failers = [Strategy("muldirect", "s1", seed=_RAISE_SEED),
+                   Strategy("muldirect", "b1", seed=_RAISE_SEED)]
+        with pytest.raises(RuntimeError, match="injected failure"):
+            run_portfolio(self.problem, failers)
+
+    def test_lone_dead_worker_raises_not_hangs(self):
+        dier = Strategy("muldirect", "s1", seed=_DIE_SEED)
+        start = time.perf_counter()
+        with pytest.raises(RuntimeError, match="died without reporting"):
+            run_portfolio(self.problem, [dier], timeout=60.0)
+        # Detected by liveness polling, far inside the 60s timeout.
+        assert time.perf_counter() - start < 30.0
+
+    def test_timeout_raises_timeout_error(self):
+        hanger = Strategy("muldirect", "s1", seed=_HANG_SEED)
+        with pytest.raises(TimeoutError):
+            run_portfolio(self.problem, [hanger], timeout=0.5)
 
 
 class TestVirtualPortfolio:

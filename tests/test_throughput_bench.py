@@ -1,0 +1,62 @@
+"""Smoke tests for the BCP throughput bench (repro.bench.throughput).
+
+Tier-1 safe: runs the bench at a tiny setting and checks the artifact is
+valid JSON with the expected shape — no timing assertions, so the test
+cannot flake on a loaded machine.  The real >= 1.5x acceptance assertion
+lives in benchmarks/test_bench_solver_throughput.py.
+"""
+
+import json
+
+from repro.bench.throughput import (bcp_stress, main, measure_instance,
+                                    run_throughput_bench, write_report,
+                                    _stress_runner)
+from repro.sat import CDCLSolver
+from repro.sat.solver.config import minisat_like
+
+
+def test_bcp_stress_is_propagation_only():
+    cnf = bcp_stress(50, 4, 5, seed=3)
+    solver = CDCLSolver(cnf, minisat_like())
+    result = solver.solve(assumptions=[1])
+    assert result.satisfiable
+    assert solver.stats["conflicts"] == 0
+    assert solver.stats["decisions"] == 0
+    # The chain assignment propagates every variable from the single
+    # assumption, and the fanout clauses are skipped via blockers.
+    assert solver.stats["propagations"] >= 50
+    assert solver.stats["blocker_hits"] > 0
+
+
+def test_measure_instance_reports_both_engines():
+    record = measure_instance("tiny", bcp_stress(40, 2, 4),
+                              runner=_stress_runner, rounds=2, repeats=1)
+    assert record["sanity"] == "identical trajectories"
+    assert record["arena"]["propagations"] == record["legacy"]["propagations"]
+    assert record["arena"]["blocker_hit_rate"] is not None
+    assert record["speedup"] is not None
+
+
+def test_bench_payload_is_valid_json(tmp_path):
+    payload = run_throughput_bench(repeats=1, stress_rounds=2,
+                                   include_context=False)
+    out = tmp_path / "BENCH_solver.json"
+    write_report(str(out), payload)
+    loaded = json.loads(out.read_text(encoding="utf-8"))
+    assert loaded["headline_bcp_speedup"] is not None
+    assert loaded["stress_arena_props_per_sec"] > 0
+    assert loaded["stress_legacy_props_per_sec"] > 0
+    for record in loaded["stress_suite"]:
+        assert record["sanity"] == "identical trajectories"
+        assert record["arena"]["props_per_sec"] > 0
+
+
+def test_bench_cli_quick(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    # Keep CLI coverage cheap: --quick already caps repeats, and the
+    # stress instances are small enough for a test run.
+    assert main(["--quick", "-o", str(out)]) == 0
+    loaded = json.loads(out.read_text(encoding="utf-8"))
+    assert "headline_bcp_speedup" in loaded
+    assert "context_suite" in loaded
+    assert "headline BCP speedup" in capsys.readouterr().out
