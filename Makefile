@@ -1,12 +1,22 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-quick bench-all examples clean
+.PHONY: install test test-fast check bench bench-quick bench-all examples clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# Skip the @pytest.mark.slow tests (deadline races, hard instances).
+# Works from a clean checkout, installed or not.
+test-fast:
+	PYTHONPATH=src python -m pytest tests/ -m "not slow"
+
+# The tier-1 acceptance gate: the full suite, fail-fast, from a clean
+# checkout (no install needed thanks to PYTHONPATH).
+check:
+	PYTHONPATH=src python -m pytest -x -q tests/
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -10,7 +10,8 @@ Run:  python examples/portfolio_routing.py
 
 import time
 
-from repro import PORTFOLIO_3, Strategy, load_routing, minimum_channel_width
+from repro import (PORTFOLIO_3, SolveStatus, Strategy, load_routing,
+                   minimum_channel_width)
 from repro.core import run_portfolio, solve_coloring
 from repro.fpga import build_routing_csp
 
@@ -40,9 +41,16 @@ for label, seconds in member_times.items():
 print(f"virtual portfolio (min of members): "
       f"{min(member_times.values()):.3f}s")
 
-# Real first-to-finish parallel execution.
+# Real first-to-finish parallel execution.  The race returns a status
+# rather than raising: a deadline where *every* member times out comes
+# back as SolveStatus.TIMEOUT with per-member verdicts.
 result = run_portfolio(csp.problem, list(PORTFOLIO_3), timeout=300)
-assert not result.outcome.satisfiable
+assert result.status is SolveStatus.UNSAT, result.report.detail
 print(f"\nparallel run: {result.winner.label} answered first "
-      f"in {result.wall_time:.3f}s wall time "
+      f"({result.status}) in {result.wall_time:.3f}s wall time "
       f"({result.num_strategies} processes)")
+
+# Losers are stopped cooperatively via a shared CancelToken, so members
+# recorded before the winner carry their own statuses too.
+for label, status in sorted(result.member_status.items()):
+    print(f"  {label}: {status}")

@@ -11,42 +11,58 @@ Layer map (each is a subpackage with its own focused API):
   breaking, the solving pipeline and strategy portfolios.
 * :mod:`repro.fpga` — island-style FPGA model, global router, the
   routing-to-coloring reduction, and MCNC-like benchmark profiles.
-* :mod:`repro.bench` — strategy sweeps and paper-style tables.
+* :mod:`repro.bench` — strategy sweeps, concurrent batch runs and
+  paper-style tables.
 
 Quickstart::
 
-    from repro import Strategy, detailed_route, load_routing
+    from repro import SolveLimits, Strategy, detailed_route, load_routing
 
     routing = load_routing("alu2")
     result = detailed_route(routing, width=5,
-                            strategy=Strategy("ITE-linear-2+muldirect", "s1"))
-    if result.routable:
+                            strategy=Strategy("ITE-linear-2+muldirect", "s1"),
+                            limits=SolveLimits(wall_clock_limit=60.0))
+    if not result.status.decided:
+        print(f"stopped early: {result.report.detail}")
+    elif result.routable:
         print(result.assignment.tracks)
     else:
         print("provably unroutable at W=5")
+
+Every solving entry point reports a five-way :class:`SolveStatus`
+(SAT / UNSAT / TIMEOUT / BUDGET_EXHAUSTED / ERROR) and accepts
+:class:`SolveLimits` (conflict / propagation / wall-clock budgets) plus
+a :class:`CancelToken` for cooperative cancellation; see ``docs/api.md``.
 """
 
+from .bench import BatchJob, BatchResult, run_batch
 from .coloring import ColoringProblem, Graph
 from .core import (ALL_ENCODINGS, BEST_SINGLE_STRATEGY, NEW_ENCODINGS,
                    PORTFOLIO_2, PORTFOLIO_3, PREVIOUS_ENCODINGS,
-                   TABLE2_ENCODINGS, Strategy, encode_coloring, get_encoding,
-                   minimum_colors, run_portfolio, solve_coloring)
+                   PortfolioResult, TABLE2_ENCODINGS, Strategy,
+                   encode_coloring, get_encoding, minimum_colors,
+                   run_portfolio, solve_coloring)
 from .fpga import (DetailedRoutingResult, FPGAArchitecture, GlobalRouting,
                    Net, Netlist, detailed_route, load_netlist, load_routing,
                    minimum_channel_width)
-from .sat import CNF, SolveResult, solve
+from .sat import (CNF, CancelToken, SolveLimits, SolveReport, SolveResult,
+                  SolveStatus, solve)
+from .sat.solver.cdcl import BudgetExceeded
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ColoringProblem", "Graph",
     "ALL_ENCODINGS", "BEST_SINGLE_STRATEGY", "NEW_ENCODINGS", "PORTFOLIO_2",
     "PORTFOLIO_3", "PREVIOUS_ENCODINGS", "TABLE2_ENCODINGS", "Strategy",
-    "encode_coloring", "get_encoding", "minimum_colors", "run_portfolio",
-    "solve_coloring",
+    "PortfolioResult", "encode_coloring", "get_encoding", "minimum_colors",
+    "run_portfolio", "solve_coloring",
     "DetailedRoutingResult", "FPGAArchitecture", "GlobalRouting", "Net",
     "Netlist", "detailed_route", "load_netlist", "load_routing",
     "minimum_channel_width",
     "CNF", "SolveResult", "solve",
+    "SolveStatus", "SolveReport", "SolveLimits", "CancelToken",
+    "BudgetExceeded",
+    "BatchJob", "BatchResult", "run_batch",
     "__version__",
 ]

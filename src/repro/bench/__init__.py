@@ -1,5 +1,7 @@
-"""Benchmark harness: sweeps and paper-style tables."""
+"""Benchmark harness: sweeps, concurrent batches and paper-style tables."""
 
+from .batch import (BatchJob, BatchJobResult, BatchResult, jobs_for,
+                    run_batch)
 from .runner import (BenchmarkInstance, SweepResult,
                      prepare_routable_instance, prepare_unroutable_instance,
                      sweep)
@@ -7,6 +9,7 @@ from .tables import (format_seconds, format_speedup, render_simple_table,
                      render_table)
 
 __all__ = [
+    "BatchJob", "BatchJobResult", "BatchResult", "jobs_for", "run_batch",
     "BenchmarkInstance", "SweepResult", "prepare_routable_instance",
     "prepare_unroutable_instance", "sweep",
     "format_seconds", "format_speedup", "render_simple_table", "render_table",

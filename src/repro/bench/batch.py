@@ -1,0 +1,300 @@
+"""Concurrent batch execution of solve jobs (instances × strategies).
+
+The sequential :func:`repro.bench.sweep` times one strategy at a time for
+paper-faithful measurements; this module is the throughput-oriented
+counterpart for *surveying* a benchmark family: run every (instance,
+strategy) pair over a bounded worker pool, each job under its own budget
+and deadline, and come back with a complete status table even when some
+jobs time out, crash, or the whole batch is cancelled midway.
+
+Guarantees:
+
+* **Per-job deadlines** — ``job_timeout`` becomes each job's
+  ``wall_clock_limit``; a job that overruns is first asked to stop via
+  its :class:`CancelToken` (so it reports TIMEOUT with partial stats)
+  and hard-terminated only if it ignores the token past a grace period.
+* **Retry on crash** — a worker that dies without reporting (segfault,
+  OOM kill) is retried up to ``max_attempts`` times; only then is the
+  job recorded as ERROR.
+* **Graceful partial results** — a batch deadline or an external cancel
+  token stops scheduling, winds down running jobs cooperatively, and
+  returns everything finished so far, with unstarted jobs listed in
+  ``pending`` and ``cancelled=True``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..coloring.problem import ColoringProblem
+from ..core.pipeline import ColoringOutcome, solve_coloring
+from ..core.strategy import Strategy
+from ..sat.status import CancelToken, SolveLimits, SolveStatus
+
+#: Queue-wait interval of the scheduler loop.
+_POLL_SECONDS = 0.05
+
+#: Grace given to a cancelled job to wind down and report before it is
+#: hard-terminated (covers time spent outside the solver, e.g. encoding).
+_CANCEL_GRACE_SECONDS = 2.0
+
+#: Grace given to a dead worker's queue feeder to flush a final message.
+_DRAIN_SECONDS = 0.5
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One unit of work: solve ``problem`` with ``strategy``."""
+
+    instance: str
+    problem: ColoringProblem
+    strategy: Strategy
+    graph_time: float = 0.0
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.instance, self.strategy.label)
+
+
+@dataclass
+class BatchJobResult:
+    """Terminal record for one job: exactly one per non-pending job."""
+
+    job: BatchJob
+    status: SolveStatus
+    outcome: Optional[ColoringOutcome]
+    wall_time: float
+    attempts: int = 1
+    #: Failure detail when ``status`` is ERROR.
+    error: Optional[str] = None
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return self.job.key
+
+
+@dataclass
+class BatchResult:
+    """Everything a batch produced, however it ended."""
+
+    results: List[BatchJobResult]
+    #: Jobs never started (batch deadline or cancellation hit first).
+    pending: List[BatchJob] = field(default_factory=list)
+    #: True when the batch stopped early (deadline or cancel token).
+    cancelled: bool = False
+    wall_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.by_key: Dict[Tuple[str, str], BatchJobResult] = {
+            r.key: r for r in self.results}
+
+    def outcome(self, instance: str, strategy: Strategy) -> ColoringOutcome:
+        result = self.by_key[(instance, strategy.label)]
+        if result.outcome is None:
+            raise KeyError(f"job {result.key} produced no outcome "
+                           f"(status {result.status})")
+        return result.outcome
+
+    def status_counts(self) -> Dict[SolveStatus, int]:
+        counts: Dict[SolveStatus, int] = {}
+        for result in self.results:
+            counts[result.status] = counts.get(result.status, 0) + 1
+        return counts
+
+    @property
+    def complete(self) -> bool:
+        """True when every job ran to a decided answer."""
+        return not self.pending and all(r.status.decided
+                                        for r in self.results)
+
+
+def _batch_worker(job: BatchJob, queue: "mp.Queue", cancel_event,
+                  limits: Optional[SolveLimits]) -> None:
+    try:
+        cancel = CancelToken(cancel_event) if cancel_event is not None else None
+        outcome = solve_coloring(job.problem, job.strategy,
+                                 graph_time=job.graph_time,
+                                 limits=limits, cancel=cancel)
+        queue.put((job.key, outcome, None))
+    except Exception as error:  # report, never hang the scheduler
+        queue.put((job.key, None, repr(error)))
+
+
+class _Running:
+    """Scheduler-side state of one in-flight job."""
+
+    __slots__ = ("job", "process", "cancel_event", "started",
+                 "deadline", "hard_deadline", "attempt")
+
+    def __init__(self, job: BatchJob, process: "mp.Process", cancel_event,
+                 started: float, deadline: Optional[float],
+                 attempt: int) -> None:
+        self.job = job
+        self.process = process
+        self.cancel_event = cancel_event
+        self.started = started
+        self.deadline = deadline
+        self.hard_deadline: Optional[float] = None
+        self.attempt = attempt
+
+
+def jobs_for(instances: Sequence, strategies: Sequence[Strategy],
+             ) -> List[BatchJob]:
+    """Cross product of prepared benchmark instances × strategies.
+
+    Accepts :class:`repro.bench.BenchmarkInstance` objects (uses their
+    prepared CSP) — the usual way to feed :func:`run_batch`.
+    """
+    jobs = []
+    for instance in instances:
+        for strategy in strategies:
+            jobs.append(BatchJob(instance=instance.name,
+                                 problem=instance.csp.problem,
+                                 strategy=strategy,
+                                 graph_time=instance.csp.build_time))
+    return jobs
+
+
+def run_batch(jobs: Sequence[BatchJob],
+              max_workers: Optional[int] = None,
+              job_timeout: Optional[float] = None,
+              limits: Optional[SolveLimits] = None,
+              max_attempts: int = 2,
+              timeout: Optional[float] = None,
+              cancel: Optional[CancelToken] = None) -> BatchResult:
+    """Run every job over a worker pool; always returns a full table.
+
+    ``job_timeout`` bounds each job's wall clock (merged into
+    ``limits``); ``timeout`` bounds the whole batch; ``cancel`` lets a
+    caller stop the batch from outside.  ``max_attempts`` caps retries
+    for workers that die without reporting.  No exception escapes a
+    job: every job ends as a :class:`BatchJobResult` or in ``pending``.
+    """
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be at least 1")
+    if max_workers is None:
+        max_workers = max(1, (mp.cpu_count() or 2) - 1)
+    if max_workers < 1:
+        raise ValueError("max_workers must be at least 1")
+    job_limits = (limits or SolveLimits()).with_wall_clock(job_timeout)
+    context = mp.get_context("fork" if "fork" in mp.get_all_start_methods()
+                             else "spawn")
+    result_queue: "mp.Queue" = context.Queue()
+    start = time.perf_counter()
+    batch_deadline = None if timeout is None else start + timeout
+
+    waiting: List[Tuple[BatchJob, int]] = [(job, 1) for job in jobs]
+    waiting.reverse()  # pop() from the end preserves submission order
+    running: Dict[Tuple[str, str], _Running] = {}
+    results: List[BatchJobResult] = []
+    stopping = False
+
+    def _launch(job: BatchJob, attempt: int) -> None:
+        cancel_event = context.Event()
+        process = context.Process(
+            target=_batch_worker,
+            args=(job, result_queue, cancel_event, job_limits),
+            daemon=True)
+        now = time.perf_counter()
+        deadline = None if job_timeout is None else now + job_timeout
+        running[job.key] = _Running(job, process, cancel_event, now,
+                                    deadline, attempt)
+        process.start()
+
+    def _settle(entry: _Running, outcome: Optional[ColoringOutcome],
+                error: Optional[str],
+                forced_status: Optional[SolveStatus] = None) -> None:
+        wall = time.perf_counter() - entry.started
+        if forced_status is not None:
+            status = forced_status
+        elif error is not None:
+            status = SolveStatus.ERROR
+        else:
+            status = outcome.status
+        results.append(BatchJobResult(job=entry.job, status=status,
+                                      outcome=outcome, wall_time=wall,
+                                      attempts=entry.attempt, error=error))
+        del running[entry.job.key]
+
+    try:
+        while running or (waiting and not stopping):
+            now = time.perf_counter()
+            externally_stopped = (
+                (batch_deadline is not None and now >= batch_deadline)
+                or (cancel is not None and cancel.cancelled))
+            if externally_stopped and not stopping:
+                # Stop scheduling; ask every running job to wind down.
+                stopping = True
+                for entry in running.values():
+                    entry.cancel_event.set()
+                    if entry.hard_deadline is None:
+                        entry.hard_deadline = now + _CANCEL_GRACE_SECONDS
+            while waiting and not stopping and len(running) < max_workers:
+                job, attempt = waiting.pop()
+                _launch(job, attempt)
+            for entry in list(running.values()):
+                if entry.deadline is not None and now >= entry.deadline \
+                        and not entry.cancel_event.is_set():
+                    # Per-job deadline: cooperative stop, then backstop.
+                    entry.cancel_event.set()
+                    entry.hard_deadline = now + _CANCEL_GRACE_SECONDS
+                if entry.hard_deadline is not None \
+                        and now >= entry.hard_deadline:
+                    if entry.process.is_alive():
+                        entry.process.terminate()
+                        entry.process.join(timeout=5)
+                    _settle(entry, None, None,
+                            forced_status=SolveStatus.TIMEOUT)
+            if not running:
+                continue
+            try:
+                key, outcome, error = result_queue.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                # A worker that died unreported can never answer: drain
+                # its pipe once, then retry the job or record ERROR.
+                for entry in list(running.values()):
+                    if entry.process.is_alive():
+                        continue
+                    entry.process.join()
+                    try:
+                        key, outcome, error = result_queue.get(
+                            timeout=_DRAIN_SECONDS)
+                    except queue_module.Empty:
+                        exitcode = entry.process.exitcode
+                        if entry.attempt < max_attempts and not stopping:
+                            job, attempt = entry.job, entry.attempt
+                            del running[entry.job.key]
+                            _launch(job, attempt + 1)
+                        else:
+                            _settle(entry, None,
+                                    f"worker died without reporting "
+                                    f"(exit code {exitcode})")
+                    else:
+                        if key in running:
+                            _settle(running[key], outcome, error)
+                    break
+                continue
+            if key in running:  # late report after a hard kill: ignore
+                _settle(running[key], outcome, error)
+    finally:
+        for entry in running.values():
+            entry.cancel_event.set()
+        grace_until = time.perf_counter() + _CANCEL_GRACE_SECONDS
+        for entry in running.values():
+            remaining = grace_until - time.perf_counter()
+            if remaining > 0:
+                entry.process.join(timeout=remaining)
+        for entry in list(running.values()):
+            if entry.process.is_alive():
+                entry.process.terminate()
+            entry.process.join(timeout=5)
+            _settle(entry, None, None, forced_status=SolveStatus.TIMEOUT)
+
+    pending = [job for job, _ in reversed(waiting)]
+    return BatchResult(results=results, pending=pending,
+                       cancelled=stopping,
+                       wall_time=time.perf_counter() - start)

@@ -72,6 +72,7 @@ class SweepResult:
         def cell(outcome: ColoringOutcome) -> Dict:
             stats = outcome.solver_stats
             record = {
+                "status": str(outcome.status),
                 "satisfiable": outcome.satisfiable,
                 "total_time": outcome.total_time,
                 "solve_time": outcome.solve_time,

@@ -6,13 +6,17 @@ Exposes the paper's two-stage tool flow as composable commands::
     python -m repro generate alu2 --out alu2.json    # placed netlist JSON
     python -m repro width alu2                       # min channel width
     python -m repro route alu2 --width 7             # tracks or UNSAT proof
+    python -m repro portfolio alu2 --width 7         # parallel strategy race
     python -m repro extract alu2 --width 6 --out g.col   # stage 1: .col
     python -m repro encode g.col --colors 6 \\
         --encoding ITE-linear-2+muldirect --symmetry s1 --out g.cnf  # stage 2
     python -m repro solve g.cnf                      # plain CDCL on DIMACS
 
 Every command is deterministic given its inputs, so pipelines are
-reproducible end to end.
+reproducible end to end.  Solving commands follow the DIMACS exit-code
+convention — 10 for SAT/routable, 20 for proven UNSAT/unroutable, 0 when
+a ``--timeout`` or ``--conflict-budget`` stopped the run undecided — so
+shell scripts can branch on the verdict.
 """
 
 from __future__ import annotations
@@ -23,13 +27,15 @@ from typing import List, Optional
 
 from . import __version__
 from .coloring import ColoringProblem, parse_col_file, write_col_file
-from .core import Strategy, get_encoding, solve_coloring
+from .core import (PORTFOLIO_2, PORTFOLIO_3, Strategy, get_encoding,
+                   run_portfolio, solve_coloring)
 from .core.symmetry import apply_symmetry
 from .fpga import (ALL_BENCHMARKS, benchmark_spec, build_routing_csp,
                    detailed_route, load_netlist, load_routing,
                    minimum_channel_width, route_netlist)
 from .fpga.io import assignment_to_json, netlist_to_json, read_netlist
-from .sat import parse_dimacs_file, solve
+from .sat import SolveLimits, SolveStatus, parse_dimacs_file, solve
+from .sat.solver.cdcl import BudgetExceeded
 from .sat.solver.config import preset
 
 DEFAULT_ENCODING = "ITE-linear-2+muldirect"
@@ -39,6 +45,28 @@ DEFAULT_SYMMETRY = "s1"
 def _strategy(args) -> Strategy:
     return Strategy(args.encoding, args.symmetry, solver=args.solver,
                     seed=args.seed)
+
+
+def _add_budget_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--timeout", type=float, metavar="SECONDS",
+                        help="wall-clock limit; on expiry the run stops "
+                             "cooperatively and exits 0 (unknown)")
+    parser.add_argument("--conflict-budget", type=int, metavar="N",
+                        help="stop after N conflicts (exit 0, unknown)")
+
+
+def _limits(args) -> Optional[SolveLimits]:
+    """The :class:`SolveLimits` implied by --timeout/--conflict-budget."""
+    if args.timeout is None and args.conflict_budget is None:
+        return None
+    return SolveLimits(conflict_budget=args.conflict_budget,
+                       wall_clock_limit=args.timeout)
+
+
+def _print_stop_reason(stats) -> None:
+    reason = stats.get("stop_reason")
+    if reason:
+        print(f"  stopped: {reason}")
 
 
 def _add_strategy_options(parser: argparse.ArgumentParser) -> None:
@@ -107,25 +135,40 @@ def cmd_generate(args) -> int:
 
 def cmd_width(args) -> int:
     routing = _load_routing_arg(args.circuit, args.scale)
-    if args.incremental:
-        from .core.incremental import IncrementalColoringSolver
-        problem = build_routing_csp(routing, 1).problem
-        solver = IncrementalColoringSolver(problem, _strategy(args))
-        width = solver.minimum_colors()
-        print(f"{routing.netlist.name}: minimum channel width W = {width} "
-              f"({solver.stats.queries} incremental queries)")
-    else:
-        width = minimum_channel_width(routing, _strategy(args))
-        print(f"{routing.netlist.name}: minimum channel width W = {width}")
+    limits = _limits(args)
+    try:
+        if args.incremental:
+            from .core.incremental import IncrementalColoringSolver
+            problem = build_routing_csp(routing, 1).problem
+            solver = IncrementalColoringSolver(problem, _strategy(args),
+                                               limits=limits)
+            width = solver.minimum_colors()
+            print(f"{routing.netlist.name}: minimum channel width W = {width} "
+                  f"({solver.stats.queries} incremental queries)")
+        else:
+            width = minimum_channel_width(routing, _strategy(args),
+                                          limits=limits)
+            print(f"{routing.netlist.name}: minimum channel width W = {width}")
+    except BudgetExceeded as stop:
+        # An undecided probe leaves the width unknown, not an error.
+        print(f"{routing.netlist.name}: minimum channel width UNKNOWN "
+              f"({stop})")
+        return SolveStatus.TIMEOUT.exit_code
     return 0
 
 
 def cmd_route(args) -> int:
     routing = _load_routing_arg(args.circuit, args.scale)
-    result = detailed_route(routing, args.width, _strategy(args))
+    result = detailed_route(routing, args.width, _strategy(args),
+                            limits=_limits(args))
     outcome = result.outcome
-    print(f"{routing.netlist.name} @ W={args.width}: "
-          f"{'ROUTABLE' if result.routable else 'UNROUTABLE (proven)'}")
+    if result.status.decided:
+        verdict = "ROUTABLE" if result.routable else "UNROUTABLE (proven)"
+    else:
+        verdict = f"UNDECIDED ({result.status})"
+    print(f"{routing.netlist.name} @ W={args.width}: {verdict}")
+    if not result.status.decided:
+        _print_stop_reason(outcome.solver_stats)
     print(f"  encoding {args.encoding}, symmetry {args.symmetry}, "
           f"solver {args.solver}")
     print(f"  {outcome.num_vars} vars, {outcome.num_clauses} clauses, "
@@ -141,7 +184,7 @@ def cmd_route(args) -> int:
         with open(args.tracks_out, "w", encoding="utf-8") as handle:
             handle.write(assignment_to_json(result.assignment))
         print(f"  wrote track assignment to {args.tracks_out}")
-    if not result.routable and args.certify:
+    if result.status is SolveStatus.UNSAT and args.certify:
         from .core.symmetry import apply_symmetry
         from .sat import check_rup_proof, solve_with_proof
         csp = build_routing_csp(routing, args.width)
@@ -153,7 +196,9 @@ def cmd_route(args) -> int:
         steps = check_rup_proof(encoded.cnf, proof)
         print(f"  certificate: {steps} proof steps, independently "
               f"verified (RUP)")
-    return 0 if result.routable else 1
+    # DIMACS convention: 10 = SAT/routable, 20 = UNSAT/unroutable,
+    # 0 = undecided (budget or deadline).
+    return result.status.exit_code
 
 
 def cmd_extract(args) -> int:
@@ -204,20 +249,50 @@ def cmd_color(args) -> int:
 
 def cmd_solve(args) -> int:
     cnf = parse_dimacs_file(args.cnf_file)
-    result = solve(cnf, preset(args.solver, seed=args.seed))
-    if result.satisfiable:
-        print("SATISFIABLE")
+    limits = _limits(args)
+    overrides = limits.as_config_kwargs() if limits is not None else {}
+    result = solve(cnf, preset(args.solver, seed=args.seed, **overrides))
+    if result.status is SolveStatus.SAT:
+        print("s SATISFIABLE")
         if args.show:
             lits = [v if result.model.value(v) else -v
                     for v in range(1, cnf.num_vars + 1)]
             print("v " + " ".join(map(str, lits)) + " 0")
-        if args.stats:
-            _print_solver_stats(result.stats)
-        return 0
-    print("UNSATISFIABLE")
+    elif result.status is SolveStatus.UNSAT:
+        print("s UNSATISFIABLE")
+    else:
+        print("s UNKNOWN")
+        _print_stop_reason(result.stats)
     if args.stats:
         _print_solver_stats(result.stats)
-    return 1
+    # DIMACS convention: 10 = SAT, 20 = UNSAT, 0 = unknown.
+    return result.status.exit_code
+
+
+def cmd_portfolio(args) -> int:
+    routing = _load_routing_arg(args.circuit, args.scale)
+    csp = build_routing_csp(routing, args.width)
+    strategies = list(PORTFOLIO_2 if args.members == 2 else PORTFOLIO_3)
+    result = run_portfolio(csp.problem, strategies, timeout=args.timeout,
+                           limits=_limits(args))
+    name = routing.netlist.name
+    if result.decided:
+        routable = result.status is SolveStatus.SAT
+        print(f"{name} @ W={args.width}: "
+              f"{'ROUTABLE' if routable else 'UNROUTABLE (proven)'}")
+        print(f"  winner: {result.winner.label} "
+              f"after {result.wall_time:.3f}s "
+              f"({result.num_strategies} strategies raced)")
+        if args.stats:
+            _print_solver_stats(result.outcome.solver_stats)
+    else:
+        print(f"{name} @ W={args.width}: UNDECIDED ({result.status})")
+        for label, status in sorted(result.member_status.items()):
+            line = f"  {label}: {status}"
+            if label in result.failures:
+                line += f" ({result.failures[label]})"
+            print(line)
+    return result.status.exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -245,6 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--incremental", action="store_true",
                    help="reuse one solver across widths (assumptions)")
     _add_strategy_options(p)
+    _add_budget_options(p)
     p.set_defaults(func=cmd_width)
 
     p = sub.add_parser("route", help="detailed-route at a fixed width")
@@ -257,7 +333,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats", action="store_true",
                    help="print solver performance counters")
     _add_strategy_options(p)
+    _add_budget_options(p)
     p.set_defaults(func=cmd_route)
+
+    p = sub.add_parser("portfolio",
+                       help="race the paper's strategy portfolio on one "
+                            "routing instance; first decided answer wins")
+    p.add_argument("circuit", help="benchmark name or netlist JSON path")
+    p.add_argument("--width", type=int, required=True)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--members", type=int, default=3, choices=[2, 3],
+                   help="portfolio size: the paper's 2- or 3-member set")
+    p.add_argument("--stats", action="store_true",
+                   help="print the winner's solver counters")
+    _add_budget_options(p)
+    p.set_defaults(func=cmd_portfolio)
 
     p = sub.add_parser("extract",
                        help="stage 1: routing problem -> DIMACS .col")
@@ -293,6 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--solver", default="siege_like",
                    choices=["siege_like", "minisat_like"])
     p.add_argument("--seed", type=int, default=0)
+    _add_budget_options(p)
     p.set_defaults(func=cmd_solve)
 
     return parser

@@ -21,7 +21,8 @@ from typing import Dict, List, Optional
 
 from ..coloring.greedy import clique_lower_bound, greedy_num_colors
 from ..coloring.problem import ColoringProblem
-from ..sat.solver.cdcl import CDCLSolver
+from ..sat.solver.cdcl import BudgetExceeded, CDCLSolver
+from ..sat.status import CancelToken, SolveLimits, SolveReport, SolveStatus
 from .encodings.registry import get_encoding
 from .strategy import Strategy
 from .symmetry.clauses import apply_symmetry
@@ -33,15 +34,27 @@ class IncrementalStats:
 
     queries: int = 0
     conflicts_per_query: List[int] = field(default_factory=list)
+    #: Decided queries only: K -> was the graph K-colorable?
     results: Dict[int, bool] = field(default_factory=dict)
+    #: Every query's outcome, including TIMEOUT / BUDGET_EXHAUSTED.
+    statuses: Dict[int, SolveStatus] = field(default_factory=dict)
 
 
 class IncrementalColoringSolver:
     """Answer K-colorability queries for one graph, sharing learned
-    clauses across all of them."""
+    clauses across all of them.
+
+    ``limits`` (applied *per query* — budgets are counted per solve
+    call) and ``cancel`` make long width sweeps boundable: an
+    over-budget query surfaces as a non-decided
+    :class:`SolveStatus` from :meth:`query`, or as
+    :class:`BudgetExceeded` from the boolean convenience wrappers.
+    """
 
     def __init__(self, problem: ColoringProblem, strategy: Strategy,
-                 max_colors: Optional[int] = None) -> None:
+                 max_colors: Optional[int] = None,
+                 limits: Optional[SolveLimits] = None,
+                 cancel: Optional[CancelToken] = None) -> None:
         graph = problem.graph
         if max_colors is None:
             max_colors = max(1, greedy_num_colors(graph))
@@ -60,7 +73,8 @@ class IncrementalColoringSolver:
                 clause.append(self._enable[color])
                 self._encoded.cnf.add_clause(clause)
         self._solver = CDCLSolver(self._encoded.cnf,
-                                  strategy.solver_config())
+                                  strategy.solver_config(limits))
+        self._cancel = cancel
         self.stats = IncrementalStats()
 
     @property
@@ -68,9 +82,15 @@ class IncrementalColoringSolver:
         return {"vars": self._encoded.cnf.num_vars,
                 "clauses": self._encoded.cnf.num_clauses}
 
-    def is_colorable(self, num_colors: int) -> bool:
+    def query(self, num_colors: int) -> SolveReport:
         """SAT query: does a coloring with the first ``num_colors`` colors
-        exist?  Reuses everything learned by earlier queries."""
+        exist?  Reuses everything learned by earlier queries.
+
+        Returns the full :class:`SolveReport`; ``status`` is SAT/UNSAT
+        when decided, or TIMEOUT / BUDGET_EXHAUSTED when this query hit
+        its per-query budget (the solver remains usable — everything
+        learned so far is retained for the next query).
+        """
         if not 1 <= num_colors <= self.max_colors:
             raise ValueError(
                 f"num_colors must be within 1..{self.max_colors}")
@@ -78,14 +98,29 @@ class IncrementalColoringSolver:
         assumptions += [-self._enable[c]
                         for c in range(num_colors, self.max_colors)]
         before = self._solver.stats["conflicts"]
-        result = self._solver.solve(assumptions)
+        result = self._solver.solve(assumptions, cancel=self._cancel)
         self.stats.queries += 1
         self.stats.conflicts_per_query.append(
             int(self._solver.stats["conflicts"] - before))
-        self.stats.results[num_colors] = result.satisfiable
+        self.stats.statuses[num_colors] = result.status
+        if result.status.decided:
+            self.stats.results[num_colors] = result.satisfiable
         if result.satisfiable:
             self._last_model = result.model
-        return result.satisfiable
+        return result.report()
+
+    def is_colorable(self, num_colors: int) -> bool:
+        """Boolean convenience wrapper around :meth:`query`.
+
+        Raises :class:`BudgetExceeded` when the query stopped on a
+        budget or deadline — an undecided answer must not masquerade as
+        "not colorable"."""
+        report = self.query(num_colors)
+        if not report.status.decided:
+            raise BudgetExceeded(
+                f"K={num_colors} query stopped: {report.status}"
+                + (f" ({report.detail})" if report.detail else ""))
+        return report.status is SolveStatus.SAT
 
     def coloring(self, num_colors: int) -> Dict[int, int]:
         """Query at ``num_colors`` and decode the resulting coloring."""

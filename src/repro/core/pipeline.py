@@ -14,6 +14,7 @@ from typing import Dict, Optional
 
 from ..coloring.problem import ColoringProblem
 from ..sat.solver.cdcl import CDCLSolver
+from ..sat.status import CancelToken, SolveLimits, SolveReport, SolveStatus
 from .encodings.registry import get_encoding
 from .strategy import Strategy
 from .symmetry.clauses import apply_symmetry
@@ -21,10 +22,17 @@ from .symmetry.clauses import apply_symmetry
 
 @dataclass
 class ColoringOutcome:
-    """Result of solving one coloring problem with one strategy."""
+    """Result of solving one coloring problem with one strategy.
+
+    ``status`` is the five-way :class:`SolveStatus`; the historical
+    ``satisfiable`` flag remains readable as a property and is True
+    exactly for SAT (check ``status.decided`` before treating False as
+    a proof of uncolorability — a budgeted run may be TIMEOUT or
+    BUDGET_EXHAUSTED instead).
+    """
 
     strategy: Strategy
-    satisfiable: bool
+    status: SolveStatus
     coloring: Optional[Dict[int, int]]
     encode_time: float
     solve_time: float
@@ -38,18 +46,39 @@ class ColoringOutcome:
     symmetry_time: float = 0.0
 
     @property
+    def satisfiable(self) -> bool:
+        """Compatibility shim: True iff ``status`` is SAT."""
+        return self.status is SolveStatus.SAT
+
+    @property
     def total_time(self) -> float:
         """Graph generation + CNF translation + SAT solving (Table 2)."""
         return self.graph_time + self.encode_time + self.solve_time
 
+    @property
+    def report(self) -> SolveReport:
+        """This outcome as the shared :class:`SolveReport` shape."""
+        report = SolveReport.from_stats(self.status, self.solver_stats)
+        report.wall_time = self.total_time
+        return report
+
 
 def solve_coloring(problem: ColoringProblem, strategy: Strategy,
-                   graph_time: float = 0.0) -> ColoringOutcome:
+                   graph_time: float = 0.0,
+                   limits: Optional[SolveLimits] = None,
+                   cancel: Optional[CancelToken] = None) -> ColoringOutcome:
     """Encode ``problem`` per ``strategy``, solve, decode and validate.
 
     When the formula is satisfiable the decoded coloring is checked against
     the problem before being returned — a wrong coloring is an encoding
     bug, not a user error, hence the hard failure.
+
+    ``limits`` bounds the run: the wall clock covers encoding *and*
+    solving (the solver gets whatever remains after CNF generation), so
+    a caller-imposed deadline holds end to end.  ``cancel`` is observed
+    by the solver at conflict/decision boundaries.  A bounded run that
+    stops early returns an outcome whose ``status`` is TIMEOUT or
+    BUDGET_EXHAUSTED, with ``coloring=None`` and valid partial stats.
     """
     start = time.perf_counter()
     encoded = get_encoding(strategy.encoding).encode(problem)
@@ -60,8 +89,24 @@ def solve_coloring(problem: ColoringProblem, strategy: Strategy,
     symmetry_time = encode_done - cnf_done
     encode_time = encode_done - start
 
-    solver = CDCLSolver(encoded.cnf, strategy.solver_config())
-    result = solver.solve()
+    if limits is not None and limits.wall_clock_limit is not None:
+        remaining = limits.wall_clock_limit - encode_time
+        if remaining <= 0 or (cancel is not None and cancel.cancelled):
+            # The deadline elapsed during encoding: report TIMEOUT
+            # without starting the search.
+            return ColoringOutcome(
+                strategy=strategy, status=SolveStatus.TIMEOUT,
+                coloring=None, encode_time=encode_time, solve_time=0.0,
+                num_vars=encoded.cnf.num_vars,
+                num_clauses=encoded.cnf.num_clauses,
+                solver_stats={"stop_reason": "wall-clock limit "
+                                             "(during encoding)"},
+                graph_time=graph_time, cnf_time=cnf_time,
+                symmetry_time=symmetry_time)
+        limits = limits.with_wall_clock(remaining)
+
+    solver = CDCLSolver(encoded.cnf, strategy.solver_config(limits))
+    result = solver.solve(cancel=cancel)
 
     coloring = None
     if result.satisfiable:
@@ -71,7 +116,7 @@ def solve_coloring(problem: ColoringProblem, strategy: Strategy,
                 f"encoding {strategy.encoding!r} decoded an invalid coloring")
     return ColoringOutcome(
         strategy=strategy,
-        satisfiable=result.satisfiable,
+        status=result.status,
         coloring=coloring,
         encode_time=encode_time,
         solve_time=result.stats.get("solve_time", 0.0),

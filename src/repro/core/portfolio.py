@@ -4,8 +4,14 @@ Each strategy — an (encoding, symmetry heuristic) pair — runs on its own
 core; the first to answer wins and the rest are terminated.  Two flavours:
 
 * :func:`run_portfolio` — real ``multiprocessing`` execution, one process
-  per strategy, first answer kills the others.  This is the deployable
-  artifact.
+  per strategy, first *decided* answer wins.  Losers are stopped
+  cooperatively: every worker shares a :class:`CancelToken`, which its
+  solver observes at conflict boundaries, so a beaten member winds down
+  and reports instead of being killed mid-propagation (hard termination
+  remains as a backstop for workers stuck outside the solver, e.g. in
+  encoding).  Deadlines are first-class: a portfolio where *every*
+  member times out returns ``status=SolveStatus.TIMEOUT`` with each
+  member's individual status, rather than raising.
 * :func:`virtual_portfolio_time` — the analytical model: on an ideal
   multicore machine the portfolio's time on an instance is the *minimum*
   of the member strategies' times.  The paper's 1.84× / 2.30× figures are
@@ -18,34 +24,66 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue as queue_module
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence
 
 from ..coloring.problem import ColoringProblem
+from ..sat.status import CancelToken, SolveLimits, SolveReport, SolveStatus
 from .pipeline import ColoringOutcome, solve_coloring
 from .strategy import Strategy
 
 
 @dataclass
 class PortfolioResult:
-    """Outcome of a first-to-finish portfolio run."""
+    """Outcome of a first-to-finish portfolio run.
 
-    winner: Strategy
-    outcome: ColoringOutcome
+    ``status`` is the race's aggregate verdict: the winner's SAT/UNSAT
+    when some member decided, TIMEOUT when every member hit the
+    deadline, BUDGET_EXHAUSTED when budgets (not the clock) stopped them
+    all, and ERROR when every member failed.  ``winner`` and ``outcome``
+    are None unless the race was decided.
+    """
+
+    status: SolveStatus
+    winner: Optional[Strategy]
+    outcome: Optional[ColoringOutcome]
     wall_time: float
     num_strategies: int
+    #: Per-member verdicts, by strategy label (ERROR for crashes).
+    member_status: Dict[str, SolveStatus] = field(default_factory=dict)
+    #: Failure details for members with status ERROR, by label.
+    failures: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def decided(self) -> bool:
+        return self.status.decided
+
+    @property
+    def report(self) -> SolveReport:
+        """The race as the shared :class:`SolveReport` shape (the
+        winner's solver stats when decided)."""
+        stats = self.outcome.solver_stats if self.outcome is not None else {}
+        detail = (f"winner {self.winner.label}" if self.winner is not None
+                  else "; ".join(f"{label}: {status}" for label, status
+                                 in self.member_status.items()))
+        report = SolveReport.from_stats(self.status, stats, detail=detail)
+        report.wall_time = self.wall_time
+        return report
 
 
-def _worker(problem: ColoringProblem, strategy: Strategy, queue: "mp.Queue") -> None:
+def _worker(problem: ColoringProblem, strategy: Strategy, queue: "mp.Queue",
+            cancel_event, limits: Optional[SolveLimits]) -> None:
     try:
-        outcome = solve_coloring(problem, strategy)
+        cancel = CancelToken(cancel_event) if cancel_event is not None else None
+        outcome = solve_coloring(problem, strategy, limits=limits,
+                                 cancel=cancel)
         queue.put((strategy, outcome, None))
     except Exception as error:  # surface failures instead of hanging
         queue.put((strategy, None, repr(error)))
 
 
-#: Poll interval for the race loop: short enough that a crashed worker is
-#: noticed promptly, long enough not to busy-wait.
+#: Queue-wait interval for the race loop: short enough that a crashed
+#: worker is noticed promptly, long enough not to busy-wait.
 _POLL_SECONDS = 0.05
 
 #: Grace period granted to in-flight results after the last live worker
@@ -53,87 +91,138 @@ _POLL_SECONDS = 0.05
 #: still be flushing its answer through the pipe when it dies).
 _DRAIN_SECONDS = 0.5
 
+#: After the cancel token is set (a winner emerged or the deadline
+#: passed), how long cooperative members get to wind down and report
+#: before the stragglers are hard-terminated.  Covers workers stuck
+#: outside the solver loop (e.g. still encoding), which cannot observe
+#: the token.
+_CANCEL_GRACE_SECONDS = 2.0
+
 
 def run_portfolio(problem: ColoringProblem, strategies: Sequence[Strategy],
-                  timeout: Optional[float] = None) -> PortfolioResult:
-    """Run every strategy in parallel; return the first finisher's result.
+                  timeout: Optional[float] = None,
+                  limits: Optional[SolveLimits] = None) -> PortfolioResult:
+    """Run every strategy in parallel; the first decided answer wins.
 
-    Remaining processes are terminated as soon as one answers, matching the
-    paper's proposed deployment on a multicore CPU.
+    ``timeout`` is the race deadline in seconds (shorthand for — and
+    merged into — ``limits.wall_clock_limit``); ``limits`` bounds every
+    member individually.  On a winner, the shared cancel token is set
+    and the losers stop at their next conflict boundary; a worker that
+    ignores the token past a grace period is terminated.
 
-    The race is robust to sick members: a strategy that raises is recorded
-    and dropped (its failure cannot win the race while healthy members are
-    still solving), and a worker that dies without reporting — killed,
-    crashed interpreter, out-of-memory — is detected by liveness polling
-    rather than waited on forever.  Only when *every* member has failed
-    does the portfolio raise :class:`RuntimeError`, listing each member's
-    failure; exceeding ``timeout`` raises :class:`TimeoutError`.
+    The race is robust to sick members: a strategy that raises is
+    recorded with status ERROR (its failure cannot win the race while
+    healthy members are still solving), and a worker that dies without
+    reporting — killed, crashed interpreter, out-of-memory — is detected
+    by liveness polling rather than waited on forever.  Every outcome is
+    representable: all members timing out yields ``status=TIMEOUT``, all
+    failing yields ``status=ERROR`` (with per-member details in
+    ``failures``) — no exception is raised either way.
     """
     if not strategies:
         raise ValueError("a portfolio needs at least one strategy")
+    member_limits = (limits or SolveLimits()).with_wall_clock(timeout)
     context = mp.get_context("fork" if "fork" in mp.get_all_start_methods()
                              else "spawn")
     queue: "mp.Queue" = context.Queue()
+    cancel_event = context.Event()
     start = time.perf_counter()
     deadline = None if timeout is None else start + timeout
+    hard_deadline: Optional[float] = None
     processes: Dict[str, "mp.Process"] = {}
     for strategy in strategies:
         processes[strategy.label] = context.Process(
-            target=_worker, args=(problem, strategy, queue), daemon=True)
+            target=_worker,
+            args=(problem, strategy, queue, cancel_event, member_limits),
+            daemon=True)
     for process in processes.values():
         process.start()
 
+    member_status: Dict[str, SolveStatus] = {}
     failures: Dict[str, str] = {}
     winner: Optional[Strategy] = None
     outcome: Optional[ColoringOutcome] = None
+
+    def _record(strategy: Strategy, result: Optional[ColoringOutcome],
+                error: Optional[str]) -> None:
+        nonlocal winner, outcome
+        if error is not None:
+            member_status[strategy.label] = SolveStatus.ERROR
+            failures[strategy.label] = error
+        elif result.status.decided and winner is None:
+            winner, outcome = strategy, result
+            member_status[strategy.label] = result.status
+        else:
+            member_status[strategy.label] = result.status
+
     try:
-        while winner is None:
-            if len(failures) == len(processes):
-                # Every member failed or died.  One last drain in case a
-                # "dead" worker's answer was still in the pipe when its
-                # liveness check fired.
-                try:
-                    strategy, result, error = queue.get(
-                        timeout=_DRAIN_SECONDS)
-                except queue_module.Empty:
-                    summary = "; ".join(f"{label}: {reason}"
-                                        for label, reason in failures.items())
-                    raise RuntimeError(
-                        f"all {len(processes)} portfolio members failed "
-                        f"({summary})") from None
-                if error is None:
-                    winner, outcome = strategy, result
-                    break
-                failures[strategy.label] = error
-                continue
-            if deadline is not None and time.perf_counter() >= deadline:
-                raise TimeoutError(
-                    f"portfolio timed out after {timeout:.3f}s "
-                    f"({len(failures)}/{len(processes)} members had failed)")
+        while winner is None and len(member_status) < len(processes):
+            now = time.perf_counter()
+            if deadline is not None and now >= deadline \
+                    and not cancel_event.is_set():
+                # Deadline: ask everyone still running to wind down and
+                # report (cooperatively — their TIMEOUT results carry
+                # partial stats), with a hard stop as backstop.
+                cancel_event.set()
+                hard_deadline = now + _CANCEL_GRACE_SECONDS
+            if hard_deadline is not None and now >= hard_deadline:
+                for label, process in processes.items():
+                    if label not in member_status:
+                        if process.is_alive():
+                            process.terminate()
+                        member_status[label] = SolveStatus.TIMEOUT
+                break
             try:
                 strategy, result, error = queue.get(timeout=_POLL_SECONDS)
             except queue_module.Empty:
                 # A worker that died before reporting can never answer;
                 # record it so the race is not held hostage by a corpse.
                 for label, process in processes.items():
-                    if label not in failures and not process.is_alive():
+                    if label not in member_status and not process.is_alive():
                         process.join()
-                        failures[label] = (f"worker died without reporting "
-                                           f"(exit code {process.exitcode})")
+                        # One last drain: its answer may still be in
+                        # the pipe from the child's queue feeder.
+                        try:
+                            strategy, result, error = queue.get(
+                                timeout=_DRAIN_SECONDS)
+                        except queue_module.Empty:
+                            member_status[label] = SolveStatus.ERROR
+                            failures[label] = (
+                                f"worker died without reporting "
+                                f"(exit code {process.exitcode})")
+                        else:
+                            _record(strategy, result, error)
+                        break
                 continue
-            if error is None:
-                winner, outcome = strategy, result
-            else:
-                failures[strategy.label] = error
+            _record(strategy, result, error)
         wall_time = time.perf_counter() - start
     finally:
+        # Stop the losers: cooperative first, terminate stragglers.
+        cancel_event.set()
+        grace_until = time.perf_counter() + _CANCEL_GRACE_SECONDS
+        for process in processes.values():
+            remaining = grace_until - time.perf_counter()
+            if remaining > 0:
+                process.join(timeout=remaining)
         for process in processes.values():
             if process.is_alive():
                 process.terminate()
         for process in processes.values():
             process.join(timeout=5)
-    return PortfolioResult(winner=winner, outcome=outcome,
-                           wall_time=wall_time, num_strategies=len(strategies))
+
+    if winner is not None:
+        status = outcome.status
+    elif any(s is SolveStatus.TIMEOUT for s in member_status.values()):
+        status = SolveStatus.TIMEOUT
+    elif any(s is SolveStatus.BUDGET_EXHAUSTED
+             for s in member_status.values()):
+        status = SolveStatus.BUDGET_EXHAUSTED
+    else:
+        status = SolveStatus.ERROR
+    return PortfolioResult(status=status, winner=winner, outcome=outcome,
+                           wall_time=wall_time,
+                           num_strategies=len(strategies),
+                           member_status=member_status, failures=failures)
 
 
 def virtual_portfolio_time(

@@ -8,8 +8,10 @@ operate on.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..sat.solver.config import SolverConfig, preset
+from ..sat.status import SolveLimits
 from .encodings.registry import get_encoding
 from .symmetry.heuristics import get_heuristic
 
@@ -45,9 +47,12 @@ class Strategy:
             label += f"#{self.seed}"
         return label
 
-    def solver_config(self) -> SolverConfig:
-        """Instantiate the solver configuration for this strategy."""
-        return preset(self.solver, seed=self.seed)
+    def solver_config(self,
+                      limits: Optional[SolveLimits] = None) -> SolverConfig:
+        """Instantiate the solver configuration for this strategy,
+        optionally bounded by a :class:`SolveLimits` budget."""
+        overrides = limits.as_config_kwargs() if limits is not None else {}
+        return preset(self.solver, seed=self.seed, **overrides)
 
 
 #: The paper's single best strategy (§6).

@@ -11,12 +11,15 @@ with the three-way timing split reported in Table 2.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
 from ..core.pipeline import ColoringOutcome, solve_coloring
 from ..core.strategy import Strategy
 from ..coloring.greedy import clique_lower_bound, greedy_num_colors
+from ..sat.solver.cdcl import BudgetExceeded
+from ..sat.status import CancelToken, SolveLimits, SolveReport, SolveStatus
 from .detailed import RoutingCSP, build_routing_csp
 from .global_route import GlobalRouting
 from .tracks import (TrackAssignment, assignment_from_coloring,
@@ -38,22 +41,38 @@ class DetailedRoutingResult:
         return self.csp.width
 
     @property
+    def status(self) -> SolveStatus:
+        """The underlying solve's status.  ``routable`` is only
+        meaningful when this is decided (SAT/UNSAT); a budgeted attempt
+        may be TIMEOUT or BUDGET_EXHAUSTED instead."""
+        return self.outcome.status
+
+    @property
+    def report(self) -> SolveReport:
+        return self.outcome.report
+
+    @property
     def total_time(self) -> float:
         """graph-coloring generation + CNF translation + SAT solving."""
         return self.outcome.total_time
 
 
 def detailed_route(routing: GlobalRouting, width: int,
-                   strategy: Strategy) -> DetailedRoutingResult:
+                   strategy: Strategy,
+                   limits: Optional[SolveLimits] = None,
+                   cancel: Optional[CancelToken] = None,
+                   ) -> DetailedRoutingResult:
     """Attempt a detailed routing with ``width`` tracks per channel.
 
     A SAT answer yields a verified :class:`TrackAssignment`; an UNSAT
     answer is a *proof* that this global routing has no detailed routing at
     this width — the capability the paper highlights over one-net-at-a-time
-    routers.
+    routers.  ``limits`` / ``cancel`` bound the attempt; check
+    ``result.status`` before trusting ``routable`` on a bounded run.
     """
     csp = build_routing_csp(routing, width)
-    outcome = solve_coloring(csp.problem, strategy, graph_time=csp.build_time)
+    outcome = solve_coloring(csp.problem, strategy, graph_time=csp.build_time,
+                             limits=limits, cancel=cancel)
     assignment = None
     if outcome.satisfiable:
         assignment = assignment_from_coloring(csp, outcome.coloring)
@@ -68,13 +87,21 @@ def detailed_route(routing: GlobalRouting, width: int,
 
 def minimum_channel_width(routing: GlobalRouting, strategy: Strategy,
                           lower: Optional[int] = None,
-                          upper: Optional[int] = None) -> int:
+                          upper: Optional[int] = None,
+                          limits: Optional[SolveLimits] = None,
+                          cancel: Optional[CancelToken] = None) -> int:
     """Smallest W admitting a detailed routing, by SAT binary search.
 
     Bracketed by the clique lower bound and the DSATUR upper bound on the
     conflict graph, then narrowed with exact SAT answers.  ``W - 1`` is
     then provably unroutable — how the benchmark harness constructs the
     challenging UNSAT configurations of Table 2.
+
+    ``limits.wall_clock_limit`` bounds the *whole* search (each probe
+    gets the remaining time); conflict/propagation budgets apply per
+    probe.  A probe that stops undecided aborts the search with
+    :class:`BudgetExceeded` — binary search cannot proceed on an
+    unknown.
     """
     csp = build_routing_csp(routing, 1)
     graph = csp.problem.graph
@@ -82,9 +109,24 @@ def minimum_channel_width(routing: GlobalRouting, strategy: Strategy,
         lower = max(1, clique_lower_bound(graph))
     if upper is None:
         upper = max(lower, greedy_num_colors(graph), 1)
+    deadline = None
+    if limits is not None and limits.wall_clock_limit is not None:
+        deadline = time.perf_counter() + limits.wall_clock_limit
     while lower < upper:
         middle = (lower + upper) // 2
-        result = detailed_route(routing, middle, strategy)
+        probe_limits = limits
+        if deadline is not None:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                raise BudgetExceeded(
+                    f"width search timed out with W in [{lower}, {upper}]")
+            probe_limits = limits.with_wall_clock(remaining)
+        result = detailed_route(routing, middle, strategy,
+                                limits=probe_limits, cancel=cancel)
+        if not result.status.decided:
+            raise BudgetExceeded(
+                f"width probe at W={middle} stopped: {result.status} "
+                f"(W in [{lower}, {upper}])")
         if result.routable:
             upper = middle
         else:

@@ -9,6 +9,7 @@ from .literals import (clause_to_codes, code_to_lit, is_positive, lit_to_code,
                        max_var, negate, var_of)
 from .bdd import BDDLimitExceeded, BDDManager, cnf_to_bdd, solve_bdd
 from .model import Model, SolveResult
+from .status import CancelToken, SolveLimits, SolveReport, SolveStatus
 from .proof import ProofError, check_rup_proof, solve_with_proof
 from .simplify import Simplification, simplify, solve_simplified
 from .solver import (BudgetExceeded, CDCLSolver, DPLLSolver, LegacyCDCLSolver,
@@ -21,6 +22,7 @@ __all__ = [
     "max_var", "negate", "var_of",
     "BDDLimitExceeded", "BDDManager", "cnf_to_bdd", "solve_bdd",
     "Model", "SolveResult",
+    "CancelToken", "SolveLimits", "SolveReport", "SolveStatus",
     "ProofError", "check_rup_proof", "solve_with_proof",
     "Simplification", "simplify", "solve_simplified",
     "BudgetExceeded", "CDCLSolver", "DPLLSolver", "LegacyCDCLSolver",

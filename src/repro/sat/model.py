@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from .cnf import CNF
 from .literals import var_of
+from .status import SolveReport, SolveStatus
 
 
 class Model:
@@ -76,21 +77,42 @@ class Model:
 
 
 class SolveResult:
-    """Outcome of a solver run: SAT with a model, or UNSAT, plus statistics."""
+    """Outcome of a solver run: a :class:`~repro.sat.status.SolveStatus`
+    plus a model (iff SAT) and the solver's statistics.
 
-    def __init__(self, satisfiable: bool, model: Optional[Model] = None,
+    ``status`` may also be passed as a bare boolean — the pre-status
+    calling convention — which maps True/False to SAT/UNSAT; the
+    ``satisfiable`` attribute likewise remains readable and is True
+    exactly when ``status is SolveStatus.SAT`` (a TIMEOUT or
+    BUDGET_EXHAUSTED result is *not* satisfiable, but neither is it
+    UNSAT — check ``status.decided`` before treating False as a
+    refutation).
+    """
+
+    def __init__(self, status: Union[SolveStatus, bool],
+                 model: Optional[Model] = None,
                  stats: Optional[Dict[str, float]] = None) -> None:
-        if satisfiable and model is None:
+        if isinstance(status, bool):  # legacy satisfiable-flag convention
+            status = SolveStatus.from_bool(status)
+        if status is SolveStatus.SAT and model is None:
             raise ValueError("a satisfiable result requires a model")
-        if not satisfiable and model is not None:
-            raise ValueError("an unsatisfiable result cannot carry a model")
-        self.satisfiable = satisfiable
+        if status is not SolveStatus.SAT and model is not None:
+            raise ValueError(f"a {status} result cannot carry a model")
+        self.status = status
         self.model = model
         self.stats: Dict[str, float] = dict(stats or {})
+
+    @property
+    def satisfiable(self) -> bool:
+        """True iff the status is SAT (see class docstring)."""
+        return self.status is SolveStatus.SAT
+
+    def report(self, detail: str = "") -> SolveReport:
+        """This result as the shared :class:`SolveReport` shape."""
+        return SolveReport.from_stats(self.status, self.stats, detail=detail)
 
     def __bool__(self) -> bool:
         return self.satisfiable
 
     def __repr__(self) -> str:
-        status = "SAT" if self.satisfiable else "UNSAT"
-        return f"SolveResult({status})"
+        return f"SolveResult({self.status})"

@@ -202,6 +202,8 @@ def solve_simplified(cnf: CNF, config=None):
         return SolveResult(False, stats={"preprocessed": 1})
     result = _solve(simplification.cnf, config)
     if not result.satisfiable:
+        # UNSAT, or an indeterminate (budget/timeout) status — either
+        # way there is no model to lift, so pass the result through.
         return result
     model = simplification.extend_model(result.model)
     return SolveResult(True, model, stats=result.stats)

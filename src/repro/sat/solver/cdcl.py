@@ -69,6 +69,7 @@ from typing import Dict, List, Optional
 from ..cnf import CNF
 from ..literals import clause_to_codes, lit_to_code, var_of
 from ..model import Model, SolveResult
+from ..status import CancelToken, SolveStatus
 from .config import SolverConfig
 from .luby import luby
 
@@ -673,18 +674,31 @@ class CDCLSolver:
     # Main loop
     # ------------------------------------------------------------------
 
-    def solve(self, assumptions: Optional[List[int]] = None) -> SolveResult:
-        """Run the CDCL search to completion and return the result.
+    def solve(self, assumptions: Optional[List[int]] = None,
+              cancel: Optional[CancelToken] = None) -> SolveResult:
+        """Run the CDCL search and return the result.
 
         ``assumptions`` is an optional list of DIMACS literals assumed
         true for this call only.  An UNSAT result under assumptions does
         not mean the formula itself is unsatisfiable
         (``stats["assumption_failed"]`` distinguishes the two).
+
+        The search runs to completion unless bounded: soft budgets on
+        the config (``conflict_budget``, ``propagation_budget``,
+        ``wall_clock_limit``) and the cooperative ``cancel`` token are
+        checked on conflict boundaries (the wall clock and token also on
+        decision boundaries), ending the call with a
+        TIMEOUT / BUDGET_EXHAUSTED status and valid partial stats
+        instead of an exception.  With no budget and no token the search
+        trajectory is bit-identical to an unbounded run.  The solver
+        stays usable after a bounded stop — a later call resumes from
+        the root with everything learned so far.
         """
         start = time.perf_counter()
         self._props_at_start = self.stats["propagations"]
         self._cancel_until(0)  # fresh call on a reused solver
         self.stats.pop("assumption_failed", None)
+        self.stats.pop("stop_reason", None)
         assumed = []
         for lit in (assumptions or []):
             var = var_of(lit)
@@ -693,11 +707,23 @@ class CDCLSolver:
                                  f"1..{self.num_vars}")
             assumed.append(lit_to_code(lit))
         if not self._ok:
-            return self._finish(False, start)
+            return self._finish(SolveStatus.UNSAT, start)
         if self.num_vars == 0:
-            return self._finish(True, start)
+            return self._finish(SolveStatus.SAT, start)
 
         config = self.config
+        # Soft budgets: per-call counters, checked only at conflict and
+        # decision boundaries so the hot BCP loop stays untouched.  With
+        # no budget and no cancel token `bounded` is False and the main
+        # loop below is exactly the unbudgeted one.
+        conflict_budget = config.conflict_budget
+        propagation_budget = config.propagation_budget
+        deadline = (None if config.wall_clock_limit is None
+                    else start + config.wall_clock_limit)
+        conflicts_before = self.stats["conflicts"]
+        bounded = (conflict_budget is not None
+                   or propagation_budget is not None
+                   or deadline is not None or cancel is not None)
         restart_index = 1
         if config.restart_policy == "luby":
             restart_limit = luby(restart_index) * config.restart_base
@@ -711,12 +737,18 @@ class CDCLSolver:
             if conflict != -1:
                 self.stats["conflicts"] += 1
                 conflicts_since_restart += 1
+                if bounded:
+                    stop = self._budget_stop(
+                        cancel, deadline, conflict_budget,
+                        propagation_budget, conflicts_before)
+                    if stop is not None:
+                        return self._finish(stop, start)
                 if config.max_conflicts is not None \
                         and self.stats["conflicts"] > config.max_conflicts:
                     raise BudgetExceeded(
                         f"conflict budget {config.max_conflicts} exhausted")
                 if not self._trail_lim:
-                    return self._finish(False, start)
+                    return self._finish(SolveStatus.UNSAT, start)
                 learnt, back_level = self._analyze(conflict)
                 if config.proof_log:
                     self.proof.append(tuple(
@@ -733,6 +765,17 @@ class CDCLSolver:
                 self._var_inc /= config.var_decay
                 self._clause_inc /= config.clause_decay
             else:
+                if bounded:
+                    # Decision boundary: only the externally imposed
+                    # bounds (deadline, cancellation) are re-checked, so
+                    # conflict-free stretches cannot overrun them.
+                    if cancel is not None and cancel.cancelled:
+                        self.stats["stop_reason"] = "cancelled"
+                        return self._finish(SolveStatus.TIMEOUT, start)
+                    if deadline is not None \
+                            and time.perf_counter() >= deadline:
+                        self.stats["stop_reason"] = "wall-clock limit"
+                        return self._finish(SolveStatus.TIMEOUT, start)
                 if conflicts_since_restart >= restart_limit:
                     self.stats["restarts"] += 1
                     conflicts_since_restart = 0
@@ -757,13 +800,13 @@ class CDCLSolver:
                         continue
                     if value == _FALSE:
                         self.stats["assumption_failed"] = 1
-                        return self._finish(False, start)
+                        return self._finish(SolveStatus.UNSAT, start)
                     code = assumption
                     break
                 if code == 0:
                     var = self._pick_branch_var()
                     if var == 0:
-                        return self._finish(True, start)
+                        return self._finish(SolveStatus.SAT, start)
                     self.stats["decisions"] += 1
                     if config.max_decisions is not None \
                             and self.stats["decisions"] > config.max_decisions:
@@ -774,18 +817,45 @@ class CDCLSolver:
                 self._trail_lim.append(len(self._trail))
                 self._enqueue(code, -1)
 
-    def _finish(self, satisfiable: bool, start: float) -> SolveResult:
+    def _budget_stop(self, cancel, deadline, conflict_budget,
+                     propagation_budget, conflicts_before):
+        """Status to stop with at a conflict boundary, or None to go on.
+
+        Conflict/propagation budgets are per-call: counted against the
+        stats at the start of this ``solve()`` call, so an incremental
+        solver gets a fresh budget for every query.
+        """
+        if cancel is not None and cancel.cancelled:
+            self.stats["stop_reason"] = "cancelled"
+            return SolveStatus.TIMEOUT
+        if deadline is not None and time.perf_counter() >= deadline:
+            self.stats["stop_reason"] = "wall-clock limit"
+            return SolveStatus.TIMEOUT
+        if conflict_budget is not None and \
+                self.stats["conflicts"] - conflicts_before >= conflict_budget:
+            self.stats["stop_reason"] = \
+                f"conflict budget {conflict_budget}"
+            return SolveStatus.BUDGET_EXHAUSTED
+        if propagation_budget is not None and \
+                self.stats["propagations"] - self._props_at_start \
+                >= propagation_budget:
+            self.stats["stop_reason"] = \
+                f"propagation budget {propagation_budget}"
+            return SolveStatus.BUDGET_EXHAUSTED
+        return None
+
+    def _finish(self, status: SolveStatus, start: float) -> SolveResult:
         elapsed = time.perf_counter() - start
         self.stats["solve_time"] = elapsed
         props = self.stats["propagations"] - getattr(self, "_props_at_start", 0)
         self.stats["props_per_sec"] = props / elapsed if elapsed > 0 else 0.0
         self.stats["solver"] = self.config.name
-        if not satisfiable:
-            if self.config.proof_log:
+        if status is not SolveStatus.SAT:
+            if status is SolveStatus.UNSAT and self.config.proof_log:
                 self.proof.append(())
-            return SolveResult(False, stats=self.stats)
+            return SolveResult(status, stats=self.stats)
         values = [self._values[2 * v] == _TRUE for v in range(1, self.num_vars + 1)]
-        return SolveResult(True, Model(values), stats=self.stats)
+        return SolveResult(SolveStatus.SAT, Model(values), stats=self.stats)
 
 
 def solve(cnf: CNF, config: Optional[SolverConfig] = None) -> SolveResult:

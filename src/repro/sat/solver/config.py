@@ -47,10 +47,24 @@ class SolverConfig:
     max_learnts_growth:
         Growth factor applied to the learned-clause limit at each restart.
     max_conflicts:
-        Optional conflict budget; exceeding it raises
-        :class:`~repro.sat.solver.cdcl.BudgetExceeded`.
+        Optional *hard* conflict budget; exceeding it raises
+        :class:`~repro.sat.solver.cdcl.BudgetExceeded`.  Prefer
+        ``conflict_budget`` for the non-raising, status-based variant.
     max_decisions:
-        Optional decision budget, enforced the same way.
+        Optional hard decision budget, enforced the same way.
+    conflict_budget:
+        Soft per-call conflict budget: after this many conflicts within
+        one ``solve()`` call the solver stops and returns a result with
+        ``status=SolveStatus.BUDGET_EXHAUSTED`` and valid partial
+        stats.  Checked on conflict boundaries only, so the hot BCP
+        path is untouched and an unbudgeted run is bit-identical.
+    propagation_budget:
+        Soft per-call propagation budget, same semantics (checked on
+        conflict boundaries).
+    wall_clock_limit:
+        Soft per-call deadline in seconds; exceeding it returns
+        ``status=SolveStatus.TIMEOUT``.  Checked on conflict and
+        decision boundaries.
     proof_log:
         When True, the solver records every learned clause (a DRUP-style
         clausal proof).  On UNSAT the recorded sequence, terminated by the
@@ -79,6 +93,9 @@ class SolverConfig:
     max_learnts_growth: float = 1.1
     max_conflicts: Optional[int] = None
     max_decisions: Optional[int] = None
+    conflict_budget: Optional[int] = None
+    propagation_budget: Optional[int] = None
+    wall_clock_limit: Optional[float] = None
     proof_log: bool = False
     engine: str = "arena"
     name: str = "cdcl"
@@ -94,6 +111,19 @@ class SolverConfig:
             raise ValueError("random_decision_freq must be in [0, 1]")
         if not 0.0 < self.var_decay <= 1.0:
             raise ValueError("var_decay must be in (0, 1]")
+        for name in ("conflict_budget", "propagation_budget"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.wall_clock_limit is not None and self.wall_clock_limit <= 0:
+            raise ValueError("wall_clock_limit must be positive")
+
+    @property
+    def budgeted(self) -> bool:
+        """True when any soft budget (status-returning) is configured."""
+        return (self.conflict_budget is not None
+                or self.propagation_budget is not None
+                or self.wall_clock_limit is not None)
 
 
 def minisat_like(seed: int = 0, **overrides) -> SolverConfig:

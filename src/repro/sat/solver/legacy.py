@@ -25,6 +25,8 @@ from typing import Dict, List, Optional
 from ..cnf import CNF
 from ..literals import clause_to_codes, lit_to_code, var_of
 from ..model import Model, SolveResult
+from ..status import CancelToken, SolveStatus
+from .cdcl import BudgetExceeded
 from .config import SolverConfig
 from .luby import luby
 
@@ -34,10 +36,6 @@ _FALSE = -1
 
 _RESCALE_LIMIT = 1e100
 _RESCALE_FACTOR = 1e-100
-
-
-class BudgetExceeded(Exception):
-    """Raised when a configured conflict/decision budget is exhausted."""
 
 
 class LegacyCDCLSolver:
@@ -377,17 +375,25 @@ class LegacyCDCLSolver:
     # Main loop
     # ------------------------------------------------------------------
 
-    def solve(self, assumptions: Optional[List[int]] = None) -> SolveResult:
-        """Run the CDCL search to completion and return the result.
+    def solve(self, assumptions: Optional[List[int]] = None,
+              cancel: Optional[CancelToken] = None) -> SolveResult:
+        """Run the CDCL search and return the result.
 
         ``assumptions`` is an optional list of DIMACS literals assumed
         true for this call only.  An UNSAT result under assumptions does
         not mean the formula itself is unsatisfiable
         (``stats["assumption_failed"]`` distinguishes the two).
+
+        Soft budgets and the ``cancel`` token behave exactly as in the
+        arena engine (see :meth:`CDCLSolver.solve`): checked on conflict
+        and decision boundaries, ending the call with a
+        TIMEOUT / BUDGET_EXHAUSTED status instead of an exception.
         """
         start = time.perf_counter()
+        self._props_at_start = self.stats["propagations"]
         self._cancel_until(0)  # fresh call on a reused solver
         self.stats.pop("assumption_failed", None)
+        self.stats.pop("stop_reason", None)
         assumed = []
         for lit in (assumptions or []):
             var = var_of(lit)
@@ -396,11 +402,19 @@ class LegacyCDCLSolver:
                                  f"1..{self.num_vars}")
             assumed.append(lit_to_code(lit))
         if not self._ok:
-            return self._finish(False, start)
+            return self._finish(SolveStatus.UNSAT, start)
         if self.num_vars == 0:
-            return self._finish(True, start)
+            return self._finish(SolveStatus.SAT, start)
 
         config = self.config
+        conflict_budget = config.conflict_budget
+        propagation_budget = config.propagation_budget
+        deadline = (None if config.wall_clock_limit is None
+                    else start + config.wall_clock_limit)
+        conflicts_before = self.stats["conflicts"]
+        bounded = (conflict_budget is not None
+                   or propagation_budget is not None
+                   or deadline is not None or cancel is not None)
         restart_index = 1
         if config.restart_policy == "luby":
             restart_limit = luby(restart_index) * config.restart_base
@@ -414,12 +428,18 @@ class LegacyCDCLSolver:
             if conflict != -1:
                 self.stats["conflicts"] += 1
                 conflicts_since_restart += 1
+                if bounded:
+                    stop = self._budget_stop(
+                        cancel, deadline, conflict_budget,
+                        propagation_budget, conflicts_before)
+                    if stop is not None:
+                        return self._finish(stop, start)
                 if config.max_conflicts is not None \
                         and self.stats["conflicts"] > config.max_conflicts:
                     raise BudgetExceeded(
                         f"conflict budget {config.max_conflicts} exhausted")
                 if not self._trail_lim:
-                    return self._finish(False, start)
+                    return self._finish(SolveStatus.UNSAT, start)
                 learnt, back_level = self._analyze(conflict)
                 if config.proof_log:
                     self.proof.append(tuple(
@@ -436,6 +456,15 @@ class LegacyCDCLSolver:
                 self._var_inc /= config.var_decay
                 self._clause_inc /= config.clause_decay
             else:
+                if bounded:
+                    # Decision boundary: re-check the external bounds.
+                    if cancel is not None and cancel.cancelled:
+                        self.stats["stop_reason"] = "cancelled"
+                        return self._finish(SolveStatus.TIMEOUT, start)
+                    if deadline is not None \
+                            and time.perf_counter() >= deadline:
+                        self.stats["stop_reason"] = "wall-clock limit"
+                        return self._finish(SolveStatus.TIMEOUT, start)
                 if conflicts_since_restart >= restart_limit:
                     self.stats["restarts"] += 1
                     conflicts_since_restart = 0
@@ -460,13 +489,13 @@ class LegacyCDCLSolver:
                         continue
                     if value == _FALSE:
                         self.stats["assumption_failed"] = 1
-                        return self._finish(False, start)
+                        return self._finish(SolveStatus.UNSAT, start)
                     code = assumption
                     break
                 if code == 0:
                     var = self._pick_branch_var()
                     if var == 0:
-                        return self._finish(True, start)
+                        return self._finish(SolveStatus.SAT, start)
                     self.stats["decisions"] += 1
                     if config.max_decisions is not None \
                             and self.stats["decisions"] > config.max_decisions:
@@ -477,14 +506,37 @@ class LegacyCDCLSolver:
                 self._trail_lim.append(len(self._trail))
                 self._enqueue(code, -1)
 
-    def _finish(self, satisfiable: bool, start: float) -> SolveResult:
+    def _budget_stop(self, cancel, deadline, conflict_budget,
+                     propagation_budget, conflicts_before):
+        """Status to stop with at a conflict boundary, or None to go on
+        (same per-call semantics as the arena engine)."""
+        if cancel is not None and cancel.cancelled:
+            self.stats["stop_reason"] = "cancelled"
+            return SolveStatus.TIMEOUT
+        if deadline is not None and time.perf_counter() >= deadline:
+            self.stats["stop_reason"] = "wall-clock limit"
+            return SolveStatus.TIMEOUT
+        if conflict_budget is not None and \
+                self.stats["conflicts"] - conflicts_before >= conflict_budget:
+            self.stats["stop_reason"] = \
+                f"conflict budget {conflict_budget}"
+            return SolveStatus.BUDGET_EXHAUSTED
+        if propagation_budget is not None and \
+                self.stats["propagations"] - self._props_at_start \
+                >= propagation_budget:
+            self.stats["stop_reason"] = \
+                f"propagation budget {propagation_budget}"
+            return SolveStatus.BUDGET_EXHAUSTED
+        return None
+
+    def _finish(self, status: SolveStatus, start: float) -> SolveResult:
         self.stats["solve_time"] = time.perf_counter() - start
         self.stats["solver"] = self.config.name
-        if not satisfiable:
-            if self.config.proof_log:
+        if status is not SolveStatus.SAT:
+            if status is SolveStatus.UNSAT and self.config.proof_log:
                 self.proof.append(())
-            return SolveResult(False, stats=self.stats)
+            return SolveResult(status, stats=self.stats)
         values = [self._values[2 * v] == _TRUE for v in range(1, self.num_vars + 1)]
-        return SolveResult(True, Model(values), stats=self.stats)
+        return SolveResult(SolveStatus.SAT, Model(values), stats=self.stats)
 
 

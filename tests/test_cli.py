@@ -42,32 +42,47 @@ class TestWidthAndRoute:
         out = capsys.readouterr().out
         assert "minimum channel width" in out
 
-    def test_route_routable_exit_zero(self, netlist_path, capsys):
-        assert main(["route", netlist_path, "--width", "9"]) == 0
+    def test_route_routable_exits_dimacs_sat(self, netlist_path, capsys):
+        assert main(["route", netlist_path, "--width", "9"]) == 10
         assert "ROUTABLE" in capsys.readouterr().out
 
-    def test_route_unroutable_exit_one(self, netlist_path, capsys):
-        assert main(["route", netlist_path, "--width", "1"]) == 1
+    def test_route_unroutable_exits_dimacs_unsat(self, netlist_path, capsys):
+        assert main(["route", netlist_path, "--width", "1"]) == 20
         assert "UNROUTABLE" in capsys.readouterr().out
 
     def test_route_writes_tracks(self, netlist_path, tmp_path, capsys):
         tracks = str(tmp_path / "tracks.json")
         assert main(["route", netlist_path, "--width", "9",
-                     "--tracks-out", tracks]) == 0
+                     "--tracks-out", tracks]) == 10
         import json
         payload = json.loads(open(tracks).read())
         assert payload["format"] == "repro-tracks"
 
     def test_route_benchmark_by_name(self, capsys):
         code = main(["route", "alu2", "--scale", "0.55", "--width", "9"])
-        assert code == 0
+        assert code == 10
 
     def test_route_certify_unroutable(self, netlist_path, capsys):
         code = main(["route", netlist_path, "--width", "2", "--certify",
                      "--encoding", "ITE-log"])
-        assert code == 1
+        assert code == 20
         out = capsys.readouterr().out
         assert "certificate" in out and "verified" in out
+
+    def test_route_conflict_budget_exits_unknown(self, netlist_path, capsys):
+        # W=4 without symmetry breaking needs ~70 conflicts to refute;
+        # a budget of 5 must stop the run undecided.
+        code = main(["route", netlist_path, "--width", "4",
+                     "--symmetry", "none", "--conflict-budget", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "UNDECIDED" in out and "conflict budget" in out
+
+    def test_width_budget_exits_unknown(self, netlist_path, capsys):
+        code = main(["width", netlist_path, "--symmetry", "none",
+                     "--conflict-budget", "3"])
+        assert code == 0
+        assert "UNKNOWN" in capsys.readouterr().out
 
     def test_width_incremental_agrees(self, netlist_path, capsys):
         assert main(["width", netlist_path]) == 0
@@ -87,9 +102,9 @@ class TestTwoStageFlow:
         assert main(["extract", "alu2", "--scale", "0.55",
                      "--width", "2", "--out", col]) == 0
         assert main(["encode", col, "--colors", "2", "--out", cnf]) == 0
-        # W=2 is far below minimum: must be UNSAT.
-        assert main(["solve", cnf]) == 1
-        assert "UNSATISFIABLE" in capsys.readouterr().out
+        # W=2 is far below minimum: must be UNSAT (DIMACS exit 20).
+        assert main(["solve", cnf]) == 20
+        assert "s UNSATISFIABLE" in capsys.readouterr().out
 
     def test_encode_to_stdout(self, tmp_path, capsys):
         col = str(tmp_path / "g.col")
@@ -112,9 +127,38 @@ class TestTwoStageFlow:
         cnf_path = str(tmp_path / "t.cnf")
         with open(cnf_path, "w") as handle:
             handle.write("p cnf 2 2\n1 2 0\n-1 0\n")
-        assert main(["solve", cnf_path, "--show"]) == 0
+        assert main(["solve", cnf_path, "--show"]) == 10
         out = capsys.readouterr().out
-        assert "SATISFIABLE" in out and "v " in out
+        assert "s SATISFIABLE" in out and "v " in out
+
+    def test_solve_conflict_budget_exits_unknown(self, tmp_path, capsys):
+        col = str(tmp_path / "g.col")
+        cnf = str(tmp_path / "g.cnf")
+        main(["extract", "alu2", "--scale", "0.55", "--width", "2",
+              "--out", col])
+        main(["encode", col, "--colors", "2", "--symmetry", "none",
+              "--out", cnf])
+        capsys.readouterr()
+        assert main(["solve", cnf, "--conflict-budget", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "s UNKNOWN" in out and "conflict budget" in out
+
+
+class TestPortfolioCommand:
+    def test_portfolio_routable(self, capsys):
+        code = main(["portfolio", "alu2", "--scale", "0.55", "--width", "9"])
+        assert code == 10
+        out = capsys.readouterr().out
+        assert "ROUTABLE" in out and "winner" in out
+
+    def test_portfolio_budget_exits_unknown(self, capsys):
+        # W=6 needs hundreds of conflicts to refute even with symmetry
+        # breaking; every member must exhaust its 1-conflict budget.
+        code = main(["portfolio", "alu2", "--scale", "0.55", "--width", "6",
+                     "--conflict-budget", "1", "--members", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "UNDECIDED" in out
 
 
 class TestErrors:

@@ -11,6 +11,7 @@ from repro.core import (PORTFOLIO_2, PORTFOLIO_3, Strategy,
                         virtual_portfolio_time)
 from repro.core import portfolio as portfolio_module
 from repro.core.pipeline import solve_coloring
+from repro.sat import SolveLimits, SolveStatus
 
 
 class TestPaperPortfolios:
@@ -34,14 +35,19 @@ class TestRunPortfolio:
     def test_sat_instance(self):
         problem = ColoringProblem(cycle_graph(9), 3)
         result = run_portfolio(problem, list(PORTFOLIO_3))
+        assert result.status is SolveStatus.SAT
+        assert result.decided
         assert result.outcome.satisfiable
         assert result.num_strategies == 3
         assert result.winner in PORTFOLIO_3
         assert problem.is_valid_coloring(result.outcome.coloring)
+        assert result.report.status is SolveStatus.SAT
+        assert result.winner.label in result.report.detail
 
     def test_unsat_instance(self):
         problem = ColoringProblem(complete_graph(5), 4)
         result = run_portfolio(problem, list(PORTFOLIO_2))
+        assert result.status is SolveStatus.UNSAT
         assert not result.outcome.satisfiable
 
     def test_single_strategy_portfolio(self):
@@ -49,10 +55,51 @@ class TestRunPortfolio:
         strategy = Strategy("muldirect", "s1")
         result = run_portfolio(problem, [strategy])
         assert result.winner == strategy
+        assert result.member_status[strategy.label] is SolveStatus.SAT
 
     def test_empty_portfolio_rejected(self):
         with pytest.raises(ValueError):
             run_portfolio(ColoringProblem(cycle_graph(5), 3), [])
+
+
+@pytest.mark.slow
+class TestPortfolioDeadlines:
+    """Bounded races: every member stopping is a representable outcome."""
+
+    # K11 with 10 colors and *no* symmetry breaking is pigeonhole-hard:
+    # far beyond these deadlines for every member, yet small to encode.
+    def setup_method(self):
+        self.problem = ColoringProblem(complete_graph(11), 10)
+        self.members = [Strategy("muldirect", "none"),
+                        Strategy("muldirect", "none", seed=2)]
+
+    def test_all_members_time_out(self):
+        # No member decides within the deadline; the race must come
+        # back with TIMEOUT for everyone, not raise or hang.
+        start = time.perf_counter()
+        result = run_portfolio(self.problem, self.members, timeout=0.4)
+        elapsed = time.perf_counter() - start
+        assert result.status is SolveStatus.TIMEOUT
+        assert result.winner is None and result.outcome is None
+        assert not result.decided
+        assert len(result.member_status) == 2
+        assert all(s is SolveStatus.TIMEOUT
+                   for s in result.member_status.values())
+        assert elapsed < 10.0  # cooperative wind-down, no hard kill path
+
+    def test_all_members_exhaust_conflict_budget(self):
+        limits = SolveLimits(conflict_budget=10)
+        result = run_portfolio(self.problem, self.members, limits=limits)
+        assert result.status is SolveStatus.BUDGET_EXHAUSTED
+        assert result.winner is None
+        assert all(s is SolveStatus.BUDGET_EXHAUSTED
+                   for s in result.member_status.values())
+
+    def test_winner_inside_deadline(self):
+        problem = ColoringProblem(cycle_graph(9), 3)
+        result = run_portfolio(problem, list(PORTFOLIO_2), timeout=60.0)
+        assert result.status is SolveStatus.SAT
+        assert result.winner is not None
 
 
 # Seeds recognised by _sick_solve to inject worker misbehaviour.  The
@@ -63,14 +110,14 @@ _DIE_SEED = 90002
 _HANG_SEED = 90003
 
 
-def _sick_solve(problem, strategy, graph_time=0.0):
+def _sick_solve(problem, strategy, graph_time=0.0, **kwargs):
     if strategy.seed == _RAISE_SEED:
         raise ValueError("injected failure")
     if strategy.seed == _DIE_SEED:
         os._exit(17)  # vanish without reporting, like a crash/OOM kill
     if strategy.seed == _HANG_SEED:
-        time.sleep(600)
-    return solve_coloring(problem, strategy, graph_time=graph_time)
+        time.sleep(600)  # stuck outside the solver: ignores the token
+    return solve_coloring(problem, strategy, graph_time=graph_time, **kwargs)
 
 
 fork_only = pytest.mark.skipif(
@@ -105,24 +152,33 @@ class TestSickMembers:
         assert result.winner == self.healthy
         assert result.outcome.satisfiable
 
-    def test_all_members_failing_raises(self):
+    def test_all_members_failing_is_error_status(self):
         failers = [Strategy("muldirect", "s1", seed=_RAISE_SEED),
                    Strategy("muldirect", "b1", seed=_RAISE_SEED)]
-        with pytest.raises(RuntimeError, match="injected failure"):
-            run_portfolio(self.problem, failers)
+        result = run_portfolio(self.problem, failers)
+        assert result.status is SolveStatus.ERROR
+        assert result.winner is None and result.outcome is None
+        assert len(result.failures) == 2
+        assert all("injected failure" in reason
+                   for reason in result.failures.values())
 
-    def test_lone_dead_worker_raises_not_hangs(self):
+    def test_lone_dead_worker_reports_error_not_hangs(self):
         dier = Strategy("muldirect", "s1", seed=_DIE_SEED)
         start = time.perf_counter()
-        with pytest.raises(RuntimeError, match="died without reporting"):
-            run_portfolio(self.problem, [dier], timeout=60.0)
+        result = run_portfolio(self.problem, [dier], timeout=60.0)
         # Detected by liveness polling, far inside the 60s timeout.
         assert time.perf_counter() - start < 30.0
+        assert result.status is SolveStatus.ERROR
+        assert "died without reporting" in result.failures[dier.label]
 
-    def test_timeout_raises_timeout_error(self):
+    def test_uncooperative_hanger_is_terminated_as_timeout(self):
         hanger = Strategy("muldirect", "s1", seed=_HANG_SEED)
-        with pytest.raises(TimeoutError):
-            run_portfolio(self.problem, [hanger], timeout=0.5)
+        start = time.perf_counter()
+        result = run_portfolio(self.problem, [hanger], timeout=0.5)
+        # Cancel grace, then hard termination — well under the sleep.
+        assert time.perf_counter() - start < 30.0
+        assert result.status is SolveStatus.TIMEOUT
+        assert result.member_status[hanger.label] is SolveStatus.TIMEOUT
 
 
 class TestVirtualPortfolio:

@@ -25,7 +25,22 @@ class TestExports:
         assert len(module.__all__) == len(set(module.__all__))
 
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
+
+    def test_status_api_exported_at_top_level(self):
+        from repro import (BudgetExceeded, CancelToken, SolveLimits,
+                           SolveReport, SolveStatus)
+        assert SolveStatus.SAT.exit_code == 10
+        assert SolveStatus.UNSAT.exit_code == 20
+        assert not SolveStatus.TIMEOUT.decided
+        assert SolveLimits().unlimited
+        assert not CancelToken().cancelled
+        assert SolveReport is not None and BudgetExceeded is not None
+
+    def test_batch_runner_exported_at_top_level(self):
+        from repro import BatchJob, BatchResult, run_batch
+        assert callable(run_batch)
+        assert BatchJob is not None and BatchResult is not None
 
     def test_docstrings_on_public_callables(self):
         """Every public item of the top-level API is documented."""
@@ -60,3 +75,45 @@ class TestQuickstartContract:
         assert PREVIOUS_ENCODINGS == ["log", "muldirect"]
         assert len(TABLE2_ENCODINGS) == 7
         assert len(PORTFOLIO_3) == 3
+
+
+class TestCompatibilityShims:
+    """Pre-1.1 call sites must keep working against the status API."""
+
+    def test_solve_result_accepts_bool(self):
+        from repro.sat import CNF, SolveStatus
+        from repro.sat.model import Model, SolveResult
+        cnf = CNF(num_vars=1)
+        sat = SolveResult(True, model=Model([True]))
+        assert sat.satisfiable and sat.status is SolveStatus.SAT
+        unsat = SolveResult(False)
+        assert not unsat.satisfiable and unsat.status is SolveStatus.UNSAT
+        assert cnf.num_vars == 1
+
+    def test_coloring_outcome_satisfiable_property(self):
+        from repro import ColoringProblem, Strategy, solve_coloring
+        from repro.coloring import cycle_graph
+        from repro.sat import SolveStatus
+        outcome = solve_coloring(ColoringProblem(cycle_graph(5), 3),
+                                 Strategy("muldirect", "s1"))
+        assert outcome.status is SolveStatus.SAT
+        assert outcome.satisfiable is True
+
+    def test_legacy_budget_exceeded_is_same_class(self):
+        # legacy.py used to define its own duplicate exception; both
+        # import paths must now name one class.
+        from repro.sat.solver.cdcl import BudgetExceeded as arena_exc
+        from repro.sat.solver.legacy import BudgetExceeded as legacy_exc
+        import repro
+        assert arena_exc is legacy_exc is repro.BudgetExceeded
+
+    def test_old_import_paths_still_resolve(self):
+        # Names reachable both from their home modules and the curated
+        # top-level __all__.
+        from repro.core.portfolio import PortfolioResult as deep
+        from repro import PortfolioResult as top
+        assert deep is top
+        from repro.sat.status import SolveStatus as deep_status
+        from repro.sat import SolveStatus as mid_status
+        from repro import SolveStatus as top_status
+        assert deep_status is mid_status is top_status
