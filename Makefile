@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-fast check bench bench-quick bench-all examples clean
+.PHONY: install test test-fast check chaos bench bench-quick bench-all examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -17,6 +17,12 @@ test-fast:
 # checkout (no install needed thanks to PYTHONPATH).
 check:
 	PYTHONPATH=src python -m pytest -x -q tests/
+
+# Chaos suite: deterministic fault injection end to end (fixed seed so a
+# failure reproduces bit-for-bit).  See docs/reliability.md.
+chaos:
+	PYTHONPATH=src REPRO_CHAOS_SEED=1 python -m pytest -x -q \
+		tests/test_chaos.py tests/test_parser_fuzz.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -13,6 +13,8 @@ Layer map (each is a subpackage with its own focused API):
   routing-to-coloring reduction, and MCNC-like benchmark profiles.
 * :mod:`repro.bench` — strategy sweeps, concurrent batch runs and
   paper-style tables.
+* :mod:`repro.reliability` — deterministic fault injection, end-to-end
+  result auditing, and strategy quarantine (see ``docs/reliability.md``).
 
 Quickstart::
 
@@ -37,6 +39,7 @@ a :class:`CancelToken` for cooperative cancellation; see ``docs/api.md``.
 
 from .bench import BatchJob, BatchResult, run_batch
 from .coloring import ColoringProblem, Graph
+from .errors import ParseError
 from .core import (ALL_ENCODINGS, BEST_SINGLE_STRATEGY, NEW_ENCODINGS,
                    PORTFOLIO_2, PORTFOLIO_3, PREVIOUS_ENCODINGS,
                    PortfolioResult, TABLE2_ENCODINGS, Strategy,
@@ -47,9 +50,11 @@ from .fpga import (DetailedRoutingResult, FPGAArchitecture, GlobalRouting,
                    minimum_channel_width)
 from .sat import (CNF, CancelToken, SolveLimits, SolveReport, SolveResult,
                   SolveStatus, solve)
+from .reliability import (AuditReport, AuditVerdict, FaultPlan,
+                          audit_result)
 from .sat.solver.cdcl import BudgetExceeded
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ColoringProblem", "Graph",
@@ -64,5 +69,7 @@ __all__ = [
     "SolveStatus", "SolveReport", "SolveLimits", "CancelToken",
     "BudgetExceeded",
     "BatchJob", "BatchResult", "run_batch",
+    "AuditReport", "AuditVerdict", "FaultPlan", "audit_result",
+    "ParseError",
     "__version__",
 ]

@@ -71,6 +71,12 @@ class BatchJobResult:
     attempts: int = 1
     #: Failure detail when ``status`` is ERROR.
     error: Optional[str] = None
+    #: Audit report of the final attempt's answer (``audit=True`` runs
+    #: only; an :class:`repro.reliability.audit.AuditReport`).
+    audit: Optional[object] = None
+    #: BCP engine of the final attempt — "legacy" when the scheduler
+    #: fell back from a failing "arena" run.
+    engine: str = "arena"
 
     @property
     def key(self) -> Tuple[str, str]:
@@ -87,6 +93,9 @@ class BatchResult:
     #: True when the batch stopped early (deadline or cancel token).
     cancelled: bool = False
     wall_time: float = 0.0
+    #: Per-strategy health snapshot (offences, successes, backoff) from
+    #: the quarantine tracker, by strategy label.
+    quarantine: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.by_key: Dict[Tuple[str, str], BatchJobResult] = {
@@ -113,12 +122,26 @@ class BatchResult:
 
 
 def _batch_worker(job: BatchJob, queue: "mp.Queue", cancel_event,
-                  limits: Optional[SolveLimits]) -> None:
+                  limits: Optional[SolveLimits], strategy=None,
+                  faults=None, audit: bool = False) -> None:
+    strategy = strategy if strategy is not None else job.strategy
     try:
+        from ..core.portfolio import _worker_injector
+        injector = _worker_injector(faults, strategy)
+        if injector is not None:
+            injector.maybe_exit()
+            injector.maybe_hang()
         cancel = CancelToken(cancel_event) if cancel_event is not None else None
-        outcome = solve_coloring(job.problem, job.strategy,
+        # Reliability kwargs only when they deviate from the defaults,
+        # so test doubles with the historical signature keep working.
+        kwargs = {}
+        if faults is not None:
+            kwargs["faults"] = faults
+        if audit:
+            kwargs.update(keep_model=True, proof_log=True)
+        outcome = solve_coloring(job.problem, strategy,
                                  graph_time=job.graph_time,
-                                 limits=limits, cancel=cancel)
+                                 limits=limits, cancel=cancel, **kwargs)
         queue.put((job.key, outcome, None))
     except Exception as error:  # report, never hang the scheduler
         queue.put((job.key, None, repr(error)))
@@ -128,11 +151,11 @@ class _Running:
     """Scheduler-side state of one in-flight job."""
 
     __slots__ = ("job", "process", "cancel_event", "started",
-                 "deadline", "hard_deadline", "attempt")
+                 "deadline", "hard_deadline", "attempt", "strategy")
 
     def __init__(self, job: BatchJob, process: "mp.Process", cancel_event,
                  started: float, deadline: Optional[float],
-                 attempt: int) -> None:
+                 attempt: int, strategy: Strategy) -> None:
         self.job = job
         self.process = process
         self.cancel_event = cancel_event
@@ -140,6 +163,26 @@ class _Running:
         self.deadline = deadline
         self.hard_deadline: Optional[float] = None
         self.attempt = attempt
+        #: Strategy actually run this attempt — differs from
+        #: ``job.strategy`` after an engine fallback; results stay keyed
+        #: by the original ``job.key``.
+        self.strategy = strategy
+
+
+class _Waiting:
+    """Scheduler-side state of one not-yet-launched (or requeued) job."""
+
+    __slots__ = ("job", "attempt", "strategy", "not_before")
+
+    def __init__(self, job: BatchJob, attempt: int = 1,
+                 strategy: Optional[Strategy] = None,
+                 not_before: float = 0.0) -> None:
+        self.job = job
+        self.attempt = attempt
+        self.strategy = strategy if strategy is not None else job.strategy
+        #: Monotonic timestamp before which this entry may not launch
+        #: (quarantine backoff of its strategy).
+        self.not_before = not_before
 
 
 def jobs_for(instances: Sequence, strategies: Sequence[Strategy],
@@ -165,14 +208,36 @@ def run_batch(jobs: Sequence[BatchJob],
               limits: Optional[SolveLimits] = None,
               max_attempts: int = 2,
               timeout: Optional[float] = None,
-              cancel: Optional[CancelToken] = None) -> BatchResult:
+              cancel: Optional[CancelToken] = None,
+              audit: bool = False, faults=None,
+              quarantine=None,
+              engine_fallback: bool = True) -> BatchResult:
     """Run every job over a worker pool; always returns a full table.
 
     ``job_timeout`` bounds each job's wall clock (merged into
     ``limits``); ``timeout`` bounds the whole batch; ``cancel`` lets a
     caller stop the batch from outside.  ``max_attempts`` caps retries
-    for workers that die without reporting.  No exception escapes a
-    job: every job ends as a :class:`BatchJobResult` or in ``pending``.
+    for jobs that fail — workers that die without reporting as well as
+    jobs that end with status ERROR (a crash degraded by the pipeline,
+    or an answer that failed its audit).  No exception escapes a job:
+    every job ends as a :class:`BatchJobResult` or in ``pending``.
+
+    Reliability controls:
+
+    * ``audit=True`` re-verifies every decided answer in the scheduler
+      (:func:`repro.reliability.audit.audit_outcome`); an answer that
+      fails audit counts as ERROR and is retried, never silently kept.
+    * ``faults`` injects faults into the workers (None = the
+      ``REPRO_FAULTS`` environment plan only; a ``FaultPlan`` is used
+      as given; ``False`` disables injection).
+    * ``quarantine`` is a
+      :class:`repro.reliability.quarantine.QuarantinePolicy` (None =
+      defaults): a strategy whose jobs repeatedly crash or fail audit
+      sits out with capped exponential backoff before its next retry.
+    * ``engine_fallback`` retries a failed ``engine="arena"`` job on
+      ``engine="legacy"`` (same search trajectory, independent BCP
+      implementation), so an arena-specific fault cannot sink a job
+      that the legacy engine can still answer.
     """
     if max_attempts < 1:
         raise ValueError("max_attempts must be at least 1")
@@ -180,6 +245,8 @@ def run_batch(jobs: Sequence[BatchJob],
         max_workers = max(1, (mp.cpu_count() or 2) - 1)
     if max_workers < 1:
         raise ValueError("max_workers must be at least 1")
+    from ..reliability.quarantine import QuarantineTracker
+    tracker = QuarantineTracker(quarantine)
     job_limits = (limits or SolveLimits()).with_wall_clock(job_timeout)
     context = mp.get_context("fork" if "fork" in mp.get_all_start_methods()
                              else "spawn")
@@ -187,27 +254,31 @@ def run_batch(jobs: Sequence[BatchJob],
     start = time.perf_counter()
     batch_deadline = None if timeout is None else start + timeout
 
-    waiting: List[Tuple[BatchJob, int]] = [(job, 1) for job in jobs]
+    waiting: List[_Waiting] = [_Waiting(job) for job in jobs]
     waiting.reverse()  # pop() from the end preserves submission order
     running: Dict[Tuple[str, str], _Running] = {}
     results: List[BatchJobResult] = []
     stopping = False
 
-    def _launch(job: BatchJob, attempt: int) -> None:
+    def _launch(pending_entry: _Waiting) -> None:
+        job = pending_entry.job
         cancel_event = context.Event()
         process = context.Process(
             target=_batch_worker,
-            args=(job, result_queue, cancel_event, job_limits),
+            args=(job, result_queue, cancel_event, job_limits,
+                  pending_entry.strategy, faults, audit),
             daemon=True)
         now = time.perf_counter()
         deadline = None if job_timeout is None else now + job_timeout
         running[job.key] = _Running(job, process, cancel_event, now,
-                                    deadline, attempt)
+                                    deadline, pending_entry.attempt,
+                                    pending_entry.strategy)
         process.start()
 
     def _settle(entry: _Running, outcome: Optional[ColoringOutcome],
                 error: Optional[str],
-                forced_status: Optional[SolveStatus] = None) -> None:
+                forced_status: Optional[SolveStatus] = None,
+                audit_report=None) -> None:
         wall = time.perf_counter() - entry.started
         if forced_status is not None:
             status = forced_status
@@ -217,8 +288,50 @@ def run_batch(jobs: Sequence[BatchJob],
             status = outcome.status
         results.append(BatchJobResult(job=entry.job, status=status,
                                       outcome=outcome, wall_time=wall,
-                                      attempts=entry.attempt, error=error))
+                                      attempts=entry.attempt, error=error,
+                                      audit=audit_report,
+                                      engine=entry.strategy.engine))
         del running[entry.job.key]
+
+    def _requeue(entry: _Running) -> None:
+        """Put a failed attempt back on the queue: possibly on the
+        fallback engine, and not before its quarantine backoff ends."""
+        strategy = entry.strategy
+        if engine_fallback and strategy.engine == "arena":
+            strategy = strategy.with_engine("legacy")
+        waiting.insert(0, _Waiting(
+            entry.job, entry.attempt + 1, strategy,
+            not_before=tracker.release_time(entry.job.strategy.label)))
+        del running[entry.job.key]
+
+    def _report(entry: _Running, outcome: Optional[ColoringOutcome],
+                error: Optional[str]) -> None:
+        """Consume one worker report: audit it, then settle or retry."""
+        status = SolveStatus.ERROR if error is not None else outcome.status
+        audit_report = None
+        if audit and error is None and outcome.status.decided:
+            from ..reliability.audit import audit_outcome
+            audit_report = audit_outcome(entry.job.problem, outcome)
+            if audit_report.failed:
+                status = SolveStatus.ERROR
+                error = "audit failed: " + "; ".join(
+                    f"{check.name} ({check.detail})"
+                    for check in audit_report.failures)
+        if status is SolveStatus.ERROR:
+            detail = error
+            if detail is None:
+                detail = str(outcome.solver_stats.get(
+                    "stop_reason", "")) or "job failed"
+            tracker.record_offence(entry.job.strategy.label, detail,
+                                   time.perf_counter())
+            if entry.attempt < max_attempts and not stopping:
+                _requeue(entry)
+            else:
+                _settle(entry, outcome, detail, audit_report=audit_report)
+            return
+        if status.decided:
+            tracker.record_success(entry.job.strategy.label)
+        _settle(entry, outcome, error, audit_report=audit_report)
 
     try:
         while running or (waiting and not stopping):
@@ -234,8 +347,21 @@ def run_batch(jobs: Sequence[BatchJob],
                     if entry.hard_deadline is None:
                         entry.hard_deadline = now + _CANCEL_GRACE_SECONDS
             while waiting and not stopping and len(running) < max_workers:
-                job, attempt = waiting.pop()
-                _launch(job, attempt)
+                # Scan back-to-front (submission order) for an entry
+                # that is past its backoff and not quarantined.
+                index = None
+                for i in range(len(waiting) - 1, -1, -1):
+                    candidate = waiting[i]
+                    if candidate.not_before > now:
+                        continue
+                    if tracker.quarantined(candidate.job.strategy.label,
+                                           now):
+                        continue
+                    index = i
+                    break
+                if index is None:
+                    break
+                _launch(waiting.pop(index))
             for entry in list(running.values()):
                 if entry.deadline is not None and now >= entry.deadline \
                         and not entry.cancel_event.is_set():
@@ -250,6 +376,10 @@ def run_batch(jobs: Sequence[BatchJob],
                     _settle(entry, None, None,
                             forced_status=SolveStatus.TIMEOUT)
             if not running:
+                if waiting and not stopping:
+                    # Everything launchable is backoff-blocked: wait the
+                    # poll interval out instead of spinning.
+                    time.sleep(_POLL_SECONDS)
                 continue
             try:
                 key, outcome, error = result_queue.get(timeout=_POLL_SECONDS)
@@ -264,22 +394,21 @@ def run_batch(jobs: Sequence[BatchJob],
                         key, outcome, error = result_queue.get(
                             timeout=_DRAIN_SECONDS)
                     except queue_module.Empty:
-                        exitcode = entry.process.exitcode
+                        reason = (f"worker died without reporting "
+                                  f"(exit code {entry.process.exitcode})")
+                        tracker.record_offence(entry.job.strategy.label,
+                                               reason, time.perf_counter())
                         if entry.attempt < max_attempts and not stopping:
-                            job, attempt = entry.job, entry.attempt
-                            del running[entry.job.key]
-                            _launch(job, attempt + 1)
+                            _requeue(entry)
                         else:
-                            _settle(entry, None,
-                                    f"worker died without reporting "
-                                    f"(exit code {exitcode})")
+                            _settle(entry, None, reason)
                     else:
                         if key in running:
-                            _settle(running[key], outcome, error)
+                            _report(running[key], outcome, error)
                     break
                 continue
             if key in running:  # late report after a hard kill: ignore
-                _settle(running[key], outcome, error)
+                _report(running[key], outcome, error)
     finally:
         for entry in running.values():
             entry.cancel_event.set()
@@ -294,7 +423,8 @@ def run_batch(jobs: Sequence[BatchJob],
             entry.process.join(timeout=5)
             _settle(entry, None, None, forced_status=SolveStatus.TIMEOUT)
 
-    pending = [job for job, _ in reversed(waiting)]
+    pending = [entry.job for entry in reversed(waiting)]
     return BatchResult(results=results, pending=pending,
                        cancelled=stopping,
-                       wall_time=time.perf_counter() - start)
+                       wall_time=time.perf_counter() - start,
+                       quarantine=tracker.snapshot())

@@ -11,6 +11,7 @@ Exposes the paper's two-stage tool flow as composable commands::
     python -m repro encode g.col --colors 6 \\
         --encoding ITE-linear-2+muldirect --symmetry s1 --out g.cnf  # stage 2
     python -m repro solve g.cnf                      # plain CDCL on DIMACS
+    python -m repro audit g.col --colors 6           # solve + re-check answer
 
 Every command is deterministic given its inputs, so pipelines are
 reproducible end to end.  Solving commands follow the DIMACS exit-code
@@ -44,7 +45,8 @@ DEFAULT_SYMMETRY = "s1"
 
 def _strategy(args) -> Strategy:
     return Strategy(args.encoding, args.symmetry, solver=args.solver,
-                    seed=args.seed)
+                    seed=args.seed,
+                    engine=getattr(args, "engine", "arena"))
 
 
 def _add_budget_options(parser: argparse.ArgumentParser) -> None:
@@ -67,6 +69,45 @@ def _print_stop_reason(stats) -> None:
     reason = stats.get("stop_reason")
     if reason:
         print(f"  stopped: {reason}")
+    injected = stats.get("injected_faults")
+    if injected:
+        print(f"  injected faults: {injected}")
+
+
+def _add_fault_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--faults", metavar="SPEC",
+                        help="fault-injection plan, e.g. "
+                             "'seed=7; wrong_model; crash@worker:p=0.5' "
+                             "(default: $REPRO_FAULTS)")
+    parser.add_argument("--chaos-seed", type=int, metavar="N",
+                        help="override the fault plan's RNG seed")
+
+
+def _apply_fault_options(args) -> None:
+    """Publish --faults / --chaos-seed via ``REPRO_FAULTS``.
+
+    Exporting the plan through the environment (rather than threading a
+    kwarg through every layer) means worker *processes* inherit it too,
+    which is exactly how chaos runs are meant to propagate.
+    """
+    faults = getattr(args, "faults", None)
+    chaos_seed = getattr(args, "chaos_seed", None)
+    if faults is None and chaos_seed is None:
+        return
+    import os
+
+    from .reliability.faults import ENV_VAR, FaultPlan
+    plan = (FaultPlan.parse(faults) if faults is not None
+            else FaultPlan.from_env())
+    if plan is None:
+        if chaos_seed is not None:
+            print("warning: --chaos-seed given but no fault plan "
+                  "(--faults or $REPRO_FAULTS); nothing to seed",
+                  file=sys.stderr)
+        return
+    if chaos_seed is not None:
+        plan = plan.with_seed(chaos_seed)
+    os.environ[ENV_VAR] = plan.to_text()
 
 
 def _add_strategy_options(parser: argparse.ArgumentParser) -> None:
@@ -81,6 +122,9 @@ def _add_strategy_options(parser: argparse.ArgumentParser) -> None:
                         help="CDCL preset (default siege_like)")
     parser.add_argument("--seed", type=int, default=0,
                         help="solver seed (default 0)")
+    parser.add_argument("--engine", default="arena",
+                        choices=["arena", "legacy"],
+                        help="BCP engine (default arena)")
 
 
 def _print_solver_stats(stats) -> None:
@@ -158,6 +202,7 @@ def cmd_width(args) -> int:
 
 
 def cmd_route(args) -> int:
+    _apply_fault_options(args)
     routing = _load_routing_arg(args.circuit, args.scale)
     result = detailed_route(routing, args.width, _strategy(args),
                             limits=_limits(args))
@@ -230,6 +275,7 @@ def cmd_encode(args) -> int:
 
 
 def cmd_color(args) -> int:
+    _apply_fault_options(args)
     graph = parse_col_file(args.col_file)
     problem = ColoringProblem(graph, args.colors)
     outcome = solve_coloring(problem, _strategy(args))
@@ -241,13 +287,49 @@ def cmd_color(args) -> int:
         if args.stats:
             _print_solver_stats(outcome.solver_stats)
         return 0
+    if outcome.status is not SolveStatus.UNSAT:
+        print(f"UNDECIDED ({outcome.status})")
+        _print_stop_reason(outcome.solver_stats)
+        return 2 if outcome.status is SolveStatus.ERROR else 0
     print(f"UNSATISFIABLE: no {args.colors}-coloring exists")
     if args.stats:
         _print_solver_stats(outcome.solver_stats)
     return 1
 
 
+def cmd_audit(args) -> int:
+    _apply_fault_options(args)
+    graph = parse_col_file(args.col_file)
+    problem = ColoringProblem(graph, args.colors)
+    outcome = solve_coloring(problem, _strategy(args), limits=_limits(args),
+                             keep_model=True, proof_log=True)
+    from .reliability.audit import (DEFAULT_CROSS_CHECK_CONFLICTS,
+                                    audit_outcome)
+    budget = (args.cross_check_conflicts
+              if args.cross_check_conflicts is not None
+              else DEFAULT_CROSS_CHECK_CONFLICTS)
+    report = audit_outcome(problem, outcome,
+                           cross_check=not args.no_cross_check,
+                           cross_check_conflicts=budget)
+    if outcome.status is SolveStatus.SAT:
+        verdict = f"SATISFIABLE ({args.colors}-coloring found)"
+    elif outcome.status is SolveStatus.UNSAT:
+        verdict = f"UNSATISFIABLE (no {args.colors}-coloring exists)"
+    else:
+        verdict = f"UNDECIDED ({outcome.status})"
+    print(f"{args.col_file} with K={args.colors}: {verdict}")
+    _print_stop_reason(outcome.solver_stats)
+    print(report.summary())
+    if args.stats:
+        _print_solver_stats(outcome.solver_stats)
+    # A failed audit dominates the solver's own verdict.
+    if report.failed:
+        return 2
+    return outcome.status.exit_code
+
+
 def cmd_solve(args) -> int:
+    _apply_fault_options(args)
     cnf = parse_dimacs_file(args.cnf_file)
     limits = _limits(args)
     overrides = limits.as_config_kwargs() if limits is not None else {}
@@ -270,11 +352,12 @@ def cmd_solve(args) -> int:
 
 
 def cmd_portfolio(args) -> int:
+    _apply_fault_options(args)
     routing = _load_routing_arg(args.circuit, args.scale)
     csp = build_routing_csp(routing, args.width)
     strategies = list(PORTFOLIO_2 if args.members == 2 else PORTFOLIO_3)
     result = run_portfolio(csp.problem, strategies, timeout=args.timeout,
-                           limits=_limits(args))
+                           limits=_limits(args), audit=args.audit)
     name = routing.netlist.name
     if result.decided:
         routable = result.status is SolveStatus.SAT
@@ -283,6 +366,8 @@ def cmd_portfolio(args) -> int:
         print(f"  winner: {result.winner.label} "
               f"after {result.wall_time:.3f}s "
               f"({result.num_strategies} strategies raced)")
+        if args.audit and result.winner.label in result.audits:
+            print(f"  {result.audits[result.winner.label].summary()}")
         if args.stats:
             _print_solver_stats(result.outcome.solver_stats)
     else:
@@ -334,6 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print solver performance counters")
     _add_strategy_options(p)
     _add_budget_options(p)
+    _add_fault_options(p)
     p.set_defaults(func=cmd_route)
 
     p = sub.add_parser("portfolio",
@@ -346,7 +432,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="portfolio size: the paper's 2- or 3-member set")
     p.add_argument("--stats", action="store_true",
                    help="print the winner's solver counters")
+    p.add_argument("--audit", action="store_true",
+                   help="independently re-check candidate winners; an "
+                        "answer that fails its audit cannot win")
     _add_budget_options(p)
+    _add_fault_options(p)
     p.set_defaults(func=cmd_portfolio)
 
     p = sub.add_parser("extract",
@@ -372,7 +462,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats", action="store_true",
                    help="print solver performance counters")
     _add_strategy_options(p)
+    _add_fault_options(p)
     p.set_defaults(func=cmd_color)
+
+    p = sub.add_parser("audit",
+                       help="solve a .col instance, then independently "
+                            "re-check the answer (model check, RUP proof "
+                            "replay, or cross-engine spot-check)")
+    p.add_argument("col_file")
+    p.add_argument("--colors", type=int, required=True)
+    p.add_argument("--no-cross-check", action="store_true",
+                   help="skip the cross-engine spot-check of an UNSAT "
+                        "answer that has no recorded proof")
+    p.add_argument("--cross-check-conflicts", type=int, metavar="N",
+                   help="conflict budget of the cross-engine spot-check")
+    p.add_argument("--stats", action="store_true",
+                   help="print solver performance counters")
+    _add_strategy_options(p)
+    _add_budget_options(p)
+    _add_fault_options(p)
+    p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser("solve", help="run the CDCL solver on a DIMACS CNF")
     p.add_argument("cnf_file")
@@ -384,6 +493,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["siege_like", "minisat_like"])
     p.add_argument("--seed", type=int, default=0)
     _add_budget_options(p)
+    _add_fault_options(p)
     p.set_defaults(func=cmd_solve)
 
     return parser

@@ -14,6 +14,7 @@ from __future__ import annotations
 import io
 from typing import Sequence, TextIO
 
+from ..errors import ParseError
 from .problem import Graph
 
 
@@ -39,50 +40,83 @@ def write_col_file(graph: Graph, path: str, comments: Sequence[str] = ()) -> Non
         write_col(graph, handle, comments=comments)
 
 
-def parse_col(stream: TextIO) -> Graph:
+def parse_col(stream: TextIO, source: str = "") -> Graph:
     """Parse a DIMACS ``.col`` graph from a text stream.
 
     Tolerates duplicate edge lines and edges listed in both directions
     (both occur in published DIMACS instances); rejects self-loops and
     out-of-range vertices.
+
+    Malformed input raises :class:`~repro.errors.ParseError` (a
+    ``ValueError`` subclass) carrying the 1-based line number and
+    ``source``, never a bare ``ValueError``/``IndexError`` from
+    tokenising.
     """
     graph = None
-    pending = []
-    for raw_line in stream:
+    pending = []  # (u, v, line_no) edges seen before the problem line
+
+    def add_edge(u: int, v: int, line_no: int) -> None:
+        try:
+            graph.add_edge(u, v)
+        except ValueError as error:
+            raise ParseError(str(error), line=line_no,
+                             source=source) from None
+
+    for line_no, raw_line in enumerate(stream, start=1):
         line = raw_line.strip()
         if not line or line.startswith("c"):
             continue
         fields = line.split()
         if fields[0] == "p":
             if len(fields) != 4 or fields[1] not in ("edge", "edges", "col"):
-                raise ValueError(f"malformed DIMACS problem line: {line!r}")
+                raise ParseError(f"malformed DIMACS problem line: {line!r}",
+                                 line=line_no, source=source)
             if graph is not None:
-                raise ValueError("multiple problem lines")
-            graph = Graph(int(fields[2]))
-            for u, v in pending:
-                graph.add_edge(u, v)
+                raise ParseError("multiple problem lines",
+                                 line=line_no, source=source)
+            try:
+                num_vertices = int(fields[2])
+                int(fields[3])  # edge count: must at least be a number
+            except ValueError:
+                raise ParseError(
+                    f"non-numeric counts in problem line: {line!r}",
+                    line=line_no, source=source) from None
+            if num_vertices < 0:
+                raise ParseError(
+                    f"negative vertex count in problem line: {line!r}",
+                    line=line_no, source=source)
+            graph = Graph(num_vertices)
+            for u, v, edge_line in pending:
+                add_edge(u, v, edge_line)
             pending = []
         elif fields[0] == "e":
             if len(fields) != 3:
-                raise ValueError(f"malformed edge line: {line!r}")
-            u, v = int(fields[1]) - 1, int(fields[2]) - 1
+                raise ParseError(f"malformed edge line: {line!r}",
+                                 line=line_no, source=source)
+            try:
+                u, v = int(fields[1]) - 1, int(fields[2]) - 1
+            except ValueError:
+                raise ParseError(f"non-numeric vertex in edge line: "
+                                 f"{line!r}",
+                                 line=line_no, source=source) from None
             if graph is None:
-                pending.append((u, v))
+                pending.append((u, v, line_no))
             else:
-                graph.add_edge(u, v)
+                add_edge(u, v, line_no)
         else:
-            raise ValueError(f"unrecognised DIMACS line: {line!r}")
+            raise ParseError(f"unrecognised DIMACS line: {line!r}",
+                             line=line_no, source=source)
     if graph is None:
-        raise ValueError("missing DIMACS problem line")
+        raise ParseError("missing DIMACS problem line", source=source)
     return graph
 
 
 def parse_col_string(text: str) -> Graph:
     """Parse a DIMACS ``.col`` graph from a string."""
-    return parse_col(io.StringIO(text))
+    return parse_col(io.StringIO(text), source="<string>")
 
 
 def parse_col_file(path: str) -> Graph:
     """Parse a DIMACS ``.col`` graph from the file at ``path``."""
     with open(path, "r", encoding="ascii") as handle:
-        return parse_col(handle)
+        return parse_col(handle, source=path)

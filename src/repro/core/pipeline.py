@@ -10,10 +10,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..coloring.problem import ColoringProblem
-from ..sat.solver.cdcl import CDCLSolver
+from ..sat.model import Model
+from ..sat.solver.cdcl import BudgetExceeded, CDCLSolver
 from ..sat.status import CancelToken, SolveLimits, SolveReport, SolveStatus
 from .encodings.registry import get_encoding
 from .strategy import Strategy
@@ -44,6 +45,13 @@ class ColoringOutcome:
     #: problem to clauses vs generating symmetry-breaking clauses.
     cnf_time: float = 0.0
     symmetry_time: float = 0.0
+    #: The raw SAT assignment, retained only when ``solve_coloring`` was
+    #: called with ``keep_model=True`` (the audit layer re-checks it
+    #: against a re-encoding of the problem).
+    model: Optional[Model] = None
+    #: The recorded DRUP proof of an UNSAT answer, retained only under
+    #: ``proof_log=True`` (replayable with the independent RUP checker).
+    proof: Optional[List[Tuple[int, ...]]] = None
 
     @property
     def satisfiable(self) -> bool:
@@ -63,15 +71,40 @@ class ColoringOutcome:
         return report
 
 
+def _resolve_fault_plan(faults, strategy: Strategy):
+    """The narrowed fault plan for this run, or None (the normal path).
+
+    ``faults`` is None (``REPRO_FAULTS`` environment plan only), a
+    :class:`~repro.reliability.faults.FaultPlan`, or ``False`` to
+    disable injection (the audit layer's sentinel).  Guarded so the
+    reliability package is only imported when a plan might be active.
+    """
+    import os
+    if faults is None and not os.environ.get("REPRO_FAULTS"):
+        return None
+    from ..reliability.faults import FaultPlan
+    plan = FaultPlan.resolve(faults)
+    if plan is None:
+        return None
+    plan = plan.narrow(strategy.label)
+    return None if plan.empty else plan
+
+
 def solve_coloring(problem: ColoringProblem, strategy: Strategy,
                    graph_time: float = 0.0,
                    limits: Optional[SolveLimits] = None,
-                   cancel: Optional[CancelToken] = None) -> ColoringOutcome:
+                   cancel: Optional[CancelToken] = None, *,
+                   faults=None, keep_model: bool = False,
+                   proof_log: bool = False) -> ColoringOutcome:
     """Encode ``problem`` per ``strategy``, solve, decode and validate.
 
-    When the formula is satisfiable the decoded coloring is checked against
-    the problem before being returned — a wrong coloring is an encoding
-    bug, not a user error, hence the hard failure.
+    When the formula is satisfiable the decoded coloring is checked
+    against the problem before being returned — a model that fails to
+    decode, or decodes to an improper coloring (an encoding bug or an
+    injected ``wrong_model`` fault), degrades to an outcome with
+    ``status=SolveStatus.ERROR`` and a diagnostic ``stop_reason``
+    instead of an exception, so orchestration layers always get a
+    structured answer.
 
     ``limits`` bounds the run: the wall clock covers encoding *and*
     solving (the solver gets whatever remains after CNF generation), so
@@ -79,41 +112,87 @@ def solve_coloring(problem: ColoringProblem, strategy: Strategy,
     by the solver at conflict/decision boundaries.  A bounded run that
     stops early returns an outcome whose ``status`` is TIMEOUT or
     BUDGET_EXHAUSTED, with ``coloring=None`` and valid partial stats.
+
+    ``faults`` activates fault injection (see
+    :mod:`repro.reliability.faults`): None uses only the
+    ``REPRO_FAULTS`` environment plan, a ``FaultPlan`` is used as given,
+    and ``False`` disables injection even if the environment configures
+    it.  ``keep_model`` retains the raw SAT assignment on the outcome
+    and ``proof_log`` the recorded UNSAT proof — both are what the
+    audit layer (:mod:`repro.reliability.audit`) re-checks.
     """
     start = time.perf_counter()
+    plan = _resolve_fault_plan(faults, strategy)
     encoded = get_encoding(strategy.encoding).encode(problem)
     cnf_done = time.perf_counter()
     apply_symmetry(encoded, strategy.symmetry)
+    injected = None
+    if plan is not None:
+        from ..reliability.faults import FaultInjector
+        injected = FaultInjector(plan, label=strategy.label,
+                                 sites=("encode",)).corrupt_cnf(encoded.cnf)
     encode_done = time.perf_counter()
     cnf_time = cnf_done - start
     symmetry_time = encode_done - cnf_done
     encode_time = encode_done - start
+
+    def stopped(status: SolveStatus, stats: Dict[str, float],
+                solve_time: float = 0.0) -> ColoringOutcome:
+        return ColoringOutcome(
+            strategy=strategy, status=status, coloring=None,
+            encode_time=encode_time, solve_time=solve_time,
+            num_vars=encoded.cnf.num_vars,
+            num_clauses=encoded.cnf.num_clauses,
+            solver_stats=stats, graph_time=graph_time,
+            cnf_time=cnf_time, symmetry_time=symmetry_time)
 
     if limits is not None and limits.wall_clock_limit is not None:
         remaining = limits.wall_clock_limit - encode_time
         if remaining <= 0 or (cancel is not None and cancel.cancelled):
             # The deadline elapsed during encoding: report TIMEOUT
             # without starting the search.
-            return ColoringOutcome(
-                strategy=strategy, status=SolveStatus.TIMEOUT,
-                coloring=None, encode_time=encode_time, solve_time=0.0,
-                num_vars=encoded.cnf.num_vars,
-                num_clauses=encoded.cnf.num_clauses,
-                solver_stats={"stop_reason": "wall-clock limit "
-                                             "(during encoding)"},
-                graph_time=graph_time, cnf_time=cnf_time,
-                symmetry_time=symmetry_time)
+            return stopped(SolveStatus.TIMEOUT,
+                           {"stop_reason": "wall-clock limit "
+                                           "(during encoding)"})
         limits = limits.with_wall_clock(remaining)
 
-    solver = CDCLSolver(encoded.cnf, strategy.solver_config(limits))
-    result = solver.solve(cancel=cancel)
+    config = strategy.solver_config(limits)
+    # Hand the already-resolved plan down (False stops the engine from
+    # re-reading the environment — resolution happens exactly once).
+    config.fault_plan = plan if plan is not None else False
+    if proof_log:
+        config.proof_log = True
+
+    solver = CDCLSolver(encoded.cnf, config)
+    try:
+        result = solver.solve(cancel=cancel)
+    except BudgetExceeded:
+        raise  # an explicitly requested hard budget, not a failure
+    except Exception as error:  # crash fault or engine bug: degrade
+        return stopped(SolveStatus.ERROR,
+                       {"stop_reason": f"solver crashed: "
+                                       f"{type(error).__name__}: {error}"},
+                       solve_time=time.perf_counter() - encode_done)
+    if injected:
+        result.stats["injected_faults"] = ",".join(
+            filter(None, [str(result.stats.get("injected_faults", "")),
+                          "corrupt_input@encode"]))
 
     coloring = None
     if result.satisfiable:
-        coloring = encoded.decode(result.model)
+        try:
+            coloring = encoded.decode(result.model)
+        except Exception as error:
+            result.stats["stop_reason"] = (
+                f"model failed to decode: {type(error).__name__}: {error}")
+            return stopped(SolveStatus.ERROR, result.stats,
+                           solve_time=result.stats.get("solve_time", 0.0))
         if not problem.is_valid_coloring(coloring):
-            raise AssertionError(
-                f"encoding {strategy.encoding!r} decoded an invalid coloring")
+            result.stats["stop_reason"] = (
+                f"encoding {strategy.encoding!r} decoded an invalid "
+                f"coloring (wrong model or encoding bug)")
+            return stopped(SolveStatus.ERROR, result.stats,
+                           solve_time=result.stats.get("solve_time", 0.0))
     return ColoringOutcome(
         strategy=strategy,
         status=result.status,
@@ -126,6 +205,10 @@ def solve_coloring(problem: ColoringProblem, strategy: Strategy,
         graph_time=graph_time,
         cnf_time=cnf_time,
         symmetry_time=symmetry_time,
+        model=result.model if keep_model else None,
+        proof=(list(solver.proof)
+               if proof_log and result.status is SolveStatus.UNSAT
+               else None),
     )
 
 

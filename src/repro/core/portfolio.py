@@ -53,6 +53,10 @@ class PortfolioResult:
     member_status: Dict[str, SolveStatus] = field(default_factory=dict)
     #: Failure details for members with status ERROR, by label.
     failures: Dict[str, str] = field(default_factory=dict)
+    #: Audit reports per decided member, by label (``audit=True`` runs
+    #: only).  A member whose answer failed its audit is demoted to
+    #: ERROR and cannot win the race.
+    audits: Dict[str, object] = field(default_factory=dict)
 
     @property
     def decided(self) -> bool:
@@ -71,12 +75,46 @@ class PortfolioResult:
         return report
 
 
+def _worker_injector(faults, strategy: Strategy):
+    """The worker-site fault injector for this process, or None.
+
+    Worker-site faults (``crash@worker``, ``hang@worker``) fire *in the
+    worker process, outside the solver* — a crash kills the process
+    without a report, a hang ignores the cancel token — exercising the
+    parent's liveness polling and hard-termination backstops.
+    """
+    import os
+    if faults is None and not os.environ.get("REPRO_FAULTS"):
+        return None
+    from ..reliability.faults import FaultInjector, FaultPlan
+    plan = FaultPlan.resolve(faults)
+    if plan is None:
+        return None
+    plan = plan.narrow(strategy.label)
+    if plan.empty:
+        return None
+    return FaultInjector(plan, label=strategy.label, sites=("worker",))
+
+
 def _worker(problem: ColoringProblem, strategy: Strategy, queue: "mp.Queue",
-            cancel_event, limits: Optional[SolveLimits]) -> None:
+            cancel_event, limits: Optional[SolveLimits],
+            faults=None, audit: bool = False) -> None:
     try:
+        injector = _worker_injector(faults, strategy)
+        if injector is not None:
+            injector.maybe_exit()
+            injector.maybe_hang()
         cancel = CancelToken(cancel_event) if cancel_event is not None else None
+        # Only pass the reliability kwargs when they deviate from the
+        # defaults, so test doubles with the historical solve_coloring
+        # signature keep working.
+        kwargs = {}
+        if faults is not None:
+            kwargs["faults"] = faults
+        if audit:
+            kwargs.update(keep_model=True, proof_log=True)
         outcome = solve_coloring(problem, strategy, limits=limits,
-                                 cancel=cancel)
+                                 cancel=cancel, **kwargs)
         queue.put((strategy, outcome, None))
     except Exception as error:  # surface failures instead of hanging
         queue.put((strategy, None, repr(error)))
@@ -101,7 +139,8 @@ _CANCEL_GRACE_SECONDS = 2.0
 
 def run_portfolio(problem: ColoringProblem, strategies: Sequence[Strategy],
                   timeout: Optional[float] = None,
-                  limits: Optional[SolveLimits] = None) -> PortfolioResult:
+                  limits: Optional[SolveLimits] = None,
+                  audit: bool = False, faults=None) -> PortfolioResult:
     """Run every strategy in parallel; the first decided answer wins.
 
     ``timeout`` is the race deadline in seconds (shorthand for — and
@@ -118,6 +157,16 @@ def run_portfolio(problem: ColoringProblem, strategies: Sequence[Strategy],
     representable: all members timing out yields ``status=TIMEOUT``, all
     failing yields ``status=ERROR`` (with per-member details in
     ``failures``) — no exception is raised either way.
+
+    With ``audit=True`` every decided answer is re-verified in the
+    parent (:func:`repro.reliability.audit.audit_outcome` — the model
+    against a re-encoding, the coloring against the problem, UNSAT via
+    proof replay) before it may win; an answer that fails its audit is
+    demoted to ERROR and the race continues with the remaining members.
+    ``faults`` injects faults into the members (see
+    :mod:`repro.reliability.faults`): None activates only the
+    ``REPRO_FAULTS`` environment plan, a ``FaultPlan`` is used as
+    given, ``False`` disables injection.
     """
     if not strategies:
         raise ValueError("a portfolio needs at least one strategy")
@@ -133,27 +182,41 @@ def run_portfolio(problem: ColoringProblem, strategies: Sequence[Strategy],
     for strategy in strategies:
         processes[strategy.label] = context.Process(
             target=_worker,
-            args=(problem, strategy, queue, cancel_event, member_limits),
+            args=(problem, strategy, queue, cancel_event, member_limits,
+                  faults, audit),
             daemon=True)
     for process in processes.values():
         process.start()
 
     member_status: Dict[str, SolveStatus] = {}
     failures: Dict[str, str] = {}
+    audits: Dict[str, object] = {}
     winner: Optional[Strategy] = None
     outcome: Optional[ColoringOutcome] = None
 
     def _record(strategy: Strategy, result: Optional[ColoringOutcome],
                 error: Optional[str]) -> None:
         nonlocal winner, outcome
+        label = strategy.label
         if error is not None:
-            member_status[strategy.label] = SolveStatus.ERROR
-            failures[strategy.label] = error
-        elif result.status.decided and winner is None:
+            member_status[label] = SolveStatus.ERROR
+            failures[label] = error
+            return
+        if audit and result.status.decided:
+            from ..reliability.audit import audit_outcome
+            report = audit_outcome(problem, result)
+            audits[label] = report
+            if report.failed:
+                # A wrong answer must not win: demote the member and
+                # let the rest of the race continue.
+                member_status[label] = SolveStatus.ERROR
+                failures[label] = "audit failed: " + "; ".join(
+                    f"{check.name} ({check.detail})"
+                    for check in report.failures)
+                return
+        if result.status.decided and winner is None:
             winner, outcome = strategy, result
-            member_status[strategy.label] = result.status
-        else:
-            member_status[strategy.label] = result.status
+        member_status[label] = result.status
 
     try:
         while winner is None and len(member_status) < len(processes):
@@ -222,7 +285,8 @@ def run_portfolio(problem: ColoringProblem, strategies: Sequence[Strategy],
     return PortfolioResult(status=status, winner=winner, outcome=outcome,
                            wall_time=wall_time,
                            num_strategies=len(strategies),
-                           member_status=member_status, failures=failures)
+                           member_status=member_status, failures=failures,
+                           audits=audits)
 
 
 def virtual_portfolio_time(

@@ -7,7 +7,7 @@ operate on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from ..sat.solver.config import SolverConfig, preset
@@ -24,19 +24,26 @@ class Strategy:
     symmetry: str = "none"
     solver: str = "siege_like"
     seed: int = 0
+    #: BCP engine: "arena" (default) or the pre-arena "legacy" engine.
+    #: Both follow the same search trajectory; the batch runner falls
+    #: back to "legacy" when a job fails in an arena-specific way.
+    engine: str = "arena"
 
     def __post_init__(self) -> None:
         get_encoding(self.encoding)       # validate eagerly
         get_heuristic(self.symmetry)
         if self.solver not in ("minisat_like", "siege_like"):
             raise ValueError(f"unknown solver preset {self.solver!r}")
+        if self.engine not in ("arena", "legacy"):
+            raise ValueError(f"unknown solver engine {self.engine!r}")
 
     @property
     def label(self) -> str:
         """Display label, e.g. ``ITE-linear-2+muldirect/s1``.
 
-        Labels are unique per strategy: non-default solver presets and
-        seeds are appended so sweeps keyed by label never collide.
+        Labels are unique per strategy: non-default solver presets,
+        seeds and engines are appended so sweeps keyed by label never
+        collide.
         """
         label = self.encoding
         if self.symmetry != "none":
@@ -45,14 +52,21 @@ class Strategy:
             label += f"@{self.solver}"
         if self.seed:
             label += f"#{self.seed}"
+        if self.engine != "arena":
+            label += f"!{self.engine}"
         return label
+
+    def with_engine(self, engine: str) -> "Strategy":
+        """This strategy on another BCP engine (same trajectory)."""
+        return replace(self, engine=engine)
 
     def solver_config(self,
                       limits: Optional[SolveLimits] = None) -> SolverConfig:
         """Instantiate the solver configuration for this strategy,
         optionally bounded by a :class:`SolveLimits` budget."""
         overrides = limits.as_config_kwargs() if limits is not None else {}
-        return preset(self.solver, seed=self.seed, **overrides)
+        return preset(self.solver, seed=self.seed, engine=self.engine,
+                      **overrides)
 
 
 #: The paper's single best strategy (§6).

@@ -1,0 +1,39 @@
+"""Shared structured exceptions.
+
+The DIMACS readers (``repro.sat.cnf``, ``repro.coloring.dimacs``) parse
+text that frequently comes from other tools or from disk, so malformed
+input is an expected event, not a programming error.  They raise
+:class:`ParseError` — a :class:`ValueError` subclass carrying the
+1-based line number and (when known) the source name — instead of
+leaking bare ``IndexError`` / ``ValueError`` from ``int()`` or list
+indexing, so callers can report *where* the input broke.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ParseError(ValueError):
+    """Malformed textual input (DIMACS ``.cnf`` / ``.col``, fault specs).
+
+    Attributes
+    ----------
+    line:
+        1-based line number of the offending line, or None when the
+        error is about the input as a whole (e.g. a missing header).
+    source:
+        Name of the input (file path, "<string>", ...) when known.
+    """
+
+    def __init__(self, message: str, *, line: Optional[int] = None,
+                 source: str = "") -> None:
+        self.line = line
+        self.source = source
+        where = []
+        if source:
+            where.append(source)
+        if line is not None:
+            where.append(f"line {line}")
+        prefix = (", ".join(where) + ": ") if where else ""
+        super().__init__(prefix + message)

@@ -1,0 +1,138 @@
+"""Strategy quarantine with capped exponential backoff.
+
+The batch runner (and, in a lighter form, the portfolio) may run the
+same strategy over and over.  A strategy whose worker repeatedly
+crashes or whose answers repeatedly fail audit should not be retried at
+full rate — it burns the budget and pollutes the results.  The
+:class:`QuarantineTracker` keeps a per-strategy health record:
+
+* every crash / audit failure increments an *offence* counter;
+* after ``policy.threshold`` consecutive offences the strategy is
+  quarantined for ``base * factor ** (offences - threshold)`` seconds,
+  capped at ``policy.max_backoff`` — capped exponential backoff;
+* a success (or a clean undecided stop) resets the record.
+
+The tracker is deliberately time-source-agnostic: callers pass ``now``
+(a monotonic timestamp) so schedulers and tests control the clock.
+It is pure bookkeeping — stdlib only, no solver imports — so every
+layer can use it without dependency cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class QuarantinePolicy:
+    """When and for how long a misbehaving strategy sits out.
+
+    Attributes
+    ----------
+    threshold:
+        Consecutive offences before the first quarantine period.
+    base_backoff:
+        Length of the first quarantine period, in seconds.
+    backoff_factor:
+        Multiplier applied per additional consecutive offence.
+    max_backoff:
+        Cap on any single quarantine period, in seconds.
+    """
+
+    threshold: int = 2
+    base_backoff: float = 0.5
+    backoff_factor: float = 2.0
+    max_backoff: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if self.base_backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff durations must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def backoff(self, offences: int) -> float:
+        """Quarantine length after ``offences`` consecutive offences
+        (0.0 while still under the threshold)."""
+        if offences < self.threshold:
+            return 0.0
+        duration = self.base_backoff * (
+            self.backoff_factor ** (offences - self.threshold))
+        return min(duration, self.max_backoff)
+
+
+@dataclass
+class StrategyHealth:
+    """Mutable health record of one strategy (keyed by label)."""
+
+    label: str
+    offences: int = 0          # consecutive crashes / audit failures
+    total_offences: int = 0
+    successes: int = 0
+    quarantined_until: float = 0.0
+    last_reason: str = ""
+    history: List[str] = field(default_factory=list)
+
+    def quarantined(self, now: float) -> bool:
+        return now < self.quarantined_until
+
+
+class QuarantineTracker:
+    """Per-strategy offence bookkeeping shared by a scheduler run."""
+
+    def __init__(self, policy: Optional[QuarantinePolicy] = None) -> None:
+        self.policy = policy if policy is not None else QuarantinePolicy()
+        self._health: Dict[str, StrategyHealth] = {}
+
+    def health(self, label: str) -> StrategyHealth:
+        record = self._health.get(label)
+        if record is None:
+            record = StrategyHealth(label)
+            self._health[label] = record
+        return record
+
+    def record_success(self, label: str) -> None:
+        """A clean, audit-passing run: consecutive offences reset."""
+        record = self.health(label)
+        record.offences = 0
+        record.quarantined_until = 0.0
+        record.successes += 1
+
+    def record_offence(self, label: str, reason: str,
+                       now: float) -> float:
+        """A crash or audit failure; returns the backoff imposed (s)."""
+        record = self.health(label)
+        record.offences += 1
+        record.total_offences += 1
+        record.last_reason = reason
+        record.history.append(reason)
+        backoff = self.policy.backoff(record.offences)
+        if backoff > 0.0:
+            record.quarantined_until = max(record.quarantined_until,
+                                           now + backoff)
+        return backoff
+
+    def quarantined(self, label: str, now: float) -> bool:
+        """Is the strategy sitting out at time ``now``?"""
+        record = self._health.get(label)
+        return record is not None and record.quarantined(now)
+
+    def release_time(self, label: str) -> float:
+        """Timestamp at which the strategy may run again (0.0 = now)."""
+        record = self._health.get(label)
+        return 0.0 if record is None else record.quarantined_until
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready view of every tracked strategy, for diagnostics."""
+        return {
+            label: {
+                "offences": record.offences,
+                "total_offences": record.total_offences,
+                "successes": record.successes,
+                "quarantined_until": record.quarantined_until,
+                "last_reason": record.last_reason,
+            }
+            for label, record in sorted(self._health.items())
+        }

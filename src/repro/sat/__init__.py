@@ -10,7 +10,8 @@ from .literals import (clause_to_codes, code_to_lit, is_positive, lit_to_code,
 from .bdd import BDDLimitExceeded, BDDManager, cnf_to_bdd, solve_bdd
 from .model import Model, SolveResult
 from .status import CancelToken, SolveLimits, SolveReport, SolveStatus
-from .proof import ProofError, check_rup_proof, solve_with_proof
+from .proof import (ProofCheckResult, ProofError, check_rup_proof,
+                    solve_with_proof, verify_rup_proof)
 from .simplify import Simplification, simplify, solve_simplified
 from .solver import (BudgetExceeded, CDCLSolver, DPLLSolver, LegacyCDCLSolver,
                      SolverConfig, minisat_like, preset, siege_like, solve,
@@ -23,7 +24,8 @@ __all__ = [
     "BDDLimitExceeded", "BDDManager", "cnf_to_bdd", "solve_bdd",
     "Model", "SolveResult",
     "CancelToken", "SolveLimits", "SolveReport", "SolveStatus",
-    "ProofError", "check_rup_proof", "solve_with_proof",
+    "ProofCheckResult", "ProofError", "check_rup_proof", "solve_with_proof",
+    "verify_rup_proof",
     "Simplification", "simplify", "solve_simplified",
     "BudgetExceeded", "CDCLSolver", "DPLLSolver", "LegacyCDCLSolver",
     "SolverConfig", "minisat_like", "preset", "siege_like", "solve",

@@ -12,6 +12,7 @@ from __future__ import annotations
 import io
 from typing import Iterable, Iterator, List, Optional, Sequence, TextIO, Tuple
 
+from ..errors import ParseError
 from .literals import var_of
 
 Clause = Tuple[int, ...]
@@ -136,31 +137,51 @@ class CNF:
             self.write_dimacs(handle, comments=comments)
 
 
-def parse_dimacs(stream: TextIO) -> CNF:
+def parse_dimacs(stream: TextIO, source: str = "") -> CNF:
     """Parse a DIMACS CNF formula from a text stream.
 
     Comment lines (``c ...``) are ignored.  The ``p cnf`` header is
     optional in practice but, when present, its variable count is honoured
     even if larger than any literal.  Clauses may span lines; each is
     terminated by ``0``.
+
+    Malformed input raises :class:`~repro.errors.ParseError` (a
+    ``ValueError`` subclass) carrying the 1-based line number and
+    ``source``, never a bare ``ValueError``/``IndexError`` from
+    tokenising.
     """
     cnf = CNF()
     declared_vars = 0
     pending: List[int] = []
-    for raw_line in stream:
+    for line_no, raw_line in enumerate(stream, start=1):
         line = raw_line.strip()
         if not line or line.startswith("c"):
             continue
         if line.startswith("p"):
             fields = line.split()
             if len(fields) != 4 or fields[1] != "cnf":
-                raise ValueError(f"malformed DIMACS problem line: {line!r}")
-            declared_vars = int(fields[2])
+                raise ParseError(f"malformed DIMACS problem line: {line!r}",
+                                 line=line_no, source=source)
+            try:
+                declared_vars = int(fields[2])
+                int(fields[3])  # clause count: must at least be a number
+            except ValueError:
+                raise ParseError(
+                    f"non-numeric counts in problem line: {line!r}",
+                    line=line_no, source=source) from None
+            if declared_vars < 0:
+                raise ParseError(
+                    f"negative variable count in problem line: {line!r}",
+                    line=line_no, source=source)
             continue
         if line.startswith("%"):
             break
         for token in line.split():
-            lit = int(token)
+            try:
+                lit = int(token)
+            except ValueError:
+                raise ParseError(f"invalid literal {token!r}",
+                                 line=line_no, source=source) from None
             if lit == 0:
                 cnf.add_clause(pending)
                 pending = []
@@ -174,10 +195,10 @@ def parse_dimacs(stream: TextIO) -> CNF:
 
 def parse_dimacs_string(text: str) -> CNF:
     """Parse a DIMACS CNF formula from a string."""
-    return parse_dimacs(io.StringIO(text))
+    return parse_dimacs(io.StringIO(text), source="<string>")
 
 
 def parse_dimacs_file(path: str) -> CNF:
     """Parse a DIMACS CNF formula from the file at ``path``."""
     with open(path, "r", encoding="ascii") as handle:
-        return parse_dimacs(handle)
+        return parse_dimacs(handle, source=path)

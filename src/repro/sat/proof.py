@@ -19,6 +19,7 @@ unrelated code can validate.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from .cnf import CNF
@@ -190,6 +191,42 @@ def check_rup_proof(cnf: CNF, proof: Iterable[Sequence[int]],
     if require_empty_clause and not derived_empty:
         raise ProofError("proof does not derive the empty clause")
     return steps
+
+
+@dataclass(frozen=True)
+class ProofCheckResult:
+    """Outcome of a non-raising proof verification.
+
+    ``ok`` is True iff every step was RUP and the empty clause was
+    derived; ``steps`` counts the steps verified before success or
+    failure; ``error`` carries the checker's message when ``ok`` is
+    False.
+    """
+
+    ok: bool
+    steps: int = 0
+    error: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def verify_rup_proof(cnf: CNF, proof: Iterable[Sequence[int]],
+                     require_empty_clause: bool = True) -> ProofCheckResult:
+    """Non-raising variant of :func:`check_rup_proof`.
+
+    The audit layer (:mod:`repro.reliability.audit`) treats an invalid
+    proof as a *finding*, not an exception — this wrapper turns
+    :class:`ProofError` into a structured :class:`ProofCheckResult`.
+    """
+    proof = [tuple(clause) for clause in proof]
+    try:
+        steps = check_rup_proof(cnf, proof,
+                                require_empty_clause=require_empty_clause)
+    except ProofError as error:
+        return ProofCheckResult(ok=False, steps=len(proof),
+                                error=str(error))
+    return ProofCheckResult(ok=True, steps=steps)
 
 
 def solve_with_proof(cnf: CNF, config=None):

@@ -62,6 +62,7 @@ decision/conflict counts — the determinism fixture suite pins this.
 from __future__ import annotations
 
 import heapq
+import os
 import random
 import time
 from typing import Dict, List, Optional
@@ -695,6 +696,13 @@ class CDCLSolver:
         the root with everything learned so far.
         """
         start = time.perf_counter()
+        # Chaos hook: with a fault plan active (config.fault_plan or the
+        # REPRO_FAULTS environment variable) build the injector for this
+        # call; `None` on the normal path keeps the loop untouched.
+        injector = self._injector = self._fault_injector()
+        if injector is not None:
+            injector.maybe_hang()
+            injector.maybe_crash()
         self._props_at_start = self.stats["propagations"]
         self._cancel_until(0)  # fresh call on a reused solver
         self.stats.pop("assumption_failed", None)
@@ -737,6 +745,10 @@ class CDCLSolver:
             if conflict != -1:
                 self.stats["conflicts"] += 1
                 conflicts_since_restart += 1
+                if injector is not None:
+                    delay = injector.slowdown_delay()
+                    if delay > 0.0:
+                        time.sleep(delay)
                 if bounded:
                     stop = self._budget_stop(
                         cancel, deadline, conflict_budget,
@@ -844,17 +856,54 @@ class CDCLSolver:
             return SolveStatus.BUDGET_EXHAUSTED
         return None
 
+    def _fault_injector(self):
+        """The fault injector for this call, or None (the normal path).
+
+        Resolution is lazy and guarded so that without a configured plan
+        (explicitly or via ``REPRO_FAULTS``) no reliability module is
+        even imported.
+        """
+        plan = self.config.fault_plan
+        if plan is False:
+            return None
+        if plan is None and not os.environ.get("REPRO_FAULTS"):
+            return None
+        from ...reliability.faults import FaultInjector, FaultPlan
+        resolved = FaultPlan.resolve(plan)
+        if resolved is None or resolved.empty:
+            return None
+        return FaultInjector(resolved, label=self.config.name,
+                             sites=("solver", self._engine_site))
+
+    #: Site name this engine answers to for engine-specific fault specs
+    #: (``crash@arena`` vs ``crash@legacy``), used to test the batch
+    #: runner's engine-fallback path.
+    _engine_site = "arena"
+
     def _finish(self, status: SolveStatus, start: float) -> SolveResult:
         elapsed = time.perf_counter() - start
         self.stats["solve_time"] = elapsed
         props = self.stats["propagations"] - getattr(self, "_props_at_start", 0)
         self.stats["props_per_sec"] = props / elapsed if elapsed > 0 else 0.0
         self.stats["solver"] = self.config.name
+        injector = getattr(self, "_injector", None)
         if status is not SolveStatus.SAT:
             if status is SolveStatus.UNSAT and self.config.proof_log:
                 self.proof.append(())
+                if injector is not None:
+                    cut = injector.truncated_proof_length(len(self.proof))
+                    if cut is not None:
+                        del self.proof[cut:]
+            if injector is not None and injector.log:
+                self.stats["injected_faults"] = ",".join(injector.log)
             return SolveResult(status, stats=self.stats)
         values = [self._values[2 * v] == _TRUE for v in range(1, self.num_vars + 1)]
+        if injector is not None:
+            flip = injector.wrong_model_var(self.num_vars)
+            if flip is not None:
+                values[flip - 1] = not values[flip - 1]
+            if injector.log:
+                self.stats["injected_faults"] = ",".join(injector.log)
         return SolveResult(SolveStatus.SAT, Model(values), stats=self.stats)
 
 

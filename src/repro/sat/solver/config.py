@@ -65,6 +65,15 @@ class SolverConfig:
         Soft per-call deadline in seconds; exceeding it returns
         ``status=SolveStatus.TIMEOUT``.  Checked on conflict and
         decision boundaries.
+    fault_plan:
+        Fault-injection control (see :mod:`repro.reliability.faults`):
+        ``None`` (default) activates only faults configured via the
+        ``REPRO_FAULTS`` environment variable, a
+        :class:`~repro.reliability.faults.FaultPlan` adds explicit
+        faults on top, and ``False`` disables injection entirely (used
+        by the audit layer so its re-solves cannot be faulted).  With
+        no plan active the solver takes the exact same code path as
+        before this field existed.
     proof_log:
         When True, the solver records every learned clause (a DRUP-style
         clausal proof).  On UNSAT the recorded sequence, terminated by the
@@ -99,6 +108,11 @@ class SolverConfig:
     proof_log: bool = False
     engine: str = "arena"
     name: str = "cdcl"
+    #: None = env-configured faults only; FaultPlan = add these faults;
+    #: False = injection disabled (audit re-solves).  ``object`` rather
+    #: than an Optional[FaultPlan] annotation keeps this module free of
+    #: reliability imports (the engines resolve it lazily).
+    fault_plan: object = None
 
     def __post_init__(self) -> None:
         if self.engine not in ("arena", "legacy"):

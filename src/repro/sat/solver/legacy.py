@@ -26,7 +26,7 @@ from ..cnf import CNF
 from ..literals import clause_to_codes, lit_to_code, var_of
 from ..model import Model, SolveResult
 from ..status import CancelToken, SolveStatus
-from .cdcl import BudgetExceeded
+from .cdcl import BudgetExceeded, CDCLSolver
 from .config import SolverConfig
 from .luby import luby
 
@@ -390,6 +390,12 @@ class LegacyCDCLSolver:
         TIMEOUT / BUDGET_EXHAUSTED status instead of an exception.
         """
         start = time.perf_counter()
+        # Chaos hook, shared with the arena engine (see
+        # CDCLSolver._fault_injector); None on the normal path.
+        injector = self._injector = self._fault_injector()
+        if injector is not None:
+            injector.maybe_hang()
+            injector.maybe_crash()
         self._props_at_start = self.stats["propagations"]
         self._cancel_until(0)  # fresh call on a reused solver
         self.stats.pop("assumption_failed", None)
@@ -428,6 +434,10 @@ class LegacyCDCLSolver:
             if conflict != -1:
                 self.stats["conflicts"] += 1
                 conflicts_since_restart += 1
+                if injector is not None:
+                    delay = injector.slowdown_delay()
+                    if delay > 0.0:
+                        time.sleep(delay)
                 if bounded:
                     stop = self._budget_stop(
                         cancel, deadline, conflict_budget,
@@ -529,14 +539,32 @@ class LegacyCDCLSolver:
             return SolveStatus.BUDGET_EXHAUSTED
         return None
 
+    # Fault-injection resolution is identical to the arena engine's;
+    # only the engine-specific site name differs.
+    _fault_injector = CDCLSolver._fault_injector
+    _engine_site = "legacy"
+
     def _finish(self, status: SolveStatus, start: float) -> SolveResult:
         self.stats["solve_time"] = time.perf_counter() - start
         self.stats["solver"] = self.config.name
+        injector = getattr(self, "_injector", None)
         if status is not SolveStatus.SAT:
             if status is SolveStatus.UNSAT and self.config.proof_log:
                 self.proof.append(())
+                if injector is not None:
+                    cut = injector.truncated_proof_length(len(self.proof))
+                    if cut is not None:
+                        del self.proof[cut:]
+            if injector is not None and injector.log:
+                self.stats["injected_faults"] = ",".join(injector.log)
             return SolveResult(status, stats=self.stats)
         values = [self._values[2 * v] == _TRUE for v in range(1, self.num_vars + 1)]
+        if injector is not None:
+            flip = injector.wrong_model_var(self.num_vars)
+            if flip is not None:
+                values[flip - 1] = not values[flip - 1]
+            if injector.log:
+                self.stats["injected_faults"] = ",".join(injector.log)
         return SolveResult(SolveStatus.SAT, Model(values), stats=self.stats)
 
 

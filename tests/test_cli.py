@@ -171,3 +171,74 @@ class TestErrors:
             handle.write("p edge 2 1\ne 1 2\n")
         assert main(["color", col, "--colors", "2",
                      "--encoding", "bogus"]) == 2
+
+
+class TestAudit:
+    """The `repro audit` command and the --faults/--chaos-seed hooks."""
+
+    @pytest.fixture()
+    def cycle5(self, tmp_path):
+        col = str(tmp_path / "c5.col")
+        with open(col, "w") as handle:
+            handle.write("p edge 5 5\ne 1 2\ne 2 3\ne 3 4\ne 4 5\ne 5 1\n")
+        return col
+
+    @pytest.fixture(autouse=True)
+    def _clean_fault_env(self):
+        # --faults publishes via REPRO_FAULTS (so worker processes
+        # inherit it); scrub it on both sides of every test.
+        import os
+        os.environ.pop("REPRO_FAULTS", None)
+        yield
+        os.environ.pop("REPRO_FAULTS", None)
+
+    def test_audit_sat_passes(self, cycle5, capsys):
+        assert main(["audit", cycle5, "--colors", "3",
+                     "--encoding", "direct"]) == 10
+        out = capsys.readouterr().out
+        assert "SATISFIABLE" in out and "audit PASS" in out
+        assert "model-satisfies-cnf: PASS" in out
+
+    def test_audit_unsat_replays_proof(self, cycle5, capsys):
+        assert main(["audit", cycle5, "--colors", "2",
+                     "--encoding", "direct"]) == 20
+        out = capsys.readouterr().out
+        assert "UNSATISFIABLE" in out and "audit PASS" in out
+        assert "proof-replay: PASS" in out
+
+    def test_audit_flags_injected_wrong_model(self, cycle5, capsys):
+        code = main(["audit", cycle5, "--colors", "3",
+                     "--encoding", "direct",
+                     "--faults", "seed=1; wrong_model"])
+        # Caught either by the pipeline's own decode check (ERROR) or by
+        # the audit (FAIL) — both exit 2, never a clean SAT code.
+        assert code == 2
+        out = capsys.readouterr().out
+        assert ("audit FAIL" in out) or ("stopped:" in out)
+
+    def test_chaos_seed_without_plan_warns(self, cycle5, capsys):
+        assert main(["audit", cycle5, "--colors", "3",
+                     "--encoding", "direct", "--chaos-seed", "9"]) == 10
+        assert "nothing to seed" in capsys.readouterr().err
+
+    def test_chaos_seed_reseeds_env_plan(self, cycle5, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "crash@solver")
+        code = main(["audit", cycle5, "--colors", "3",
+                     "--encoding", "direct", "--chaos-seed", "5"])
+        assert code == 2
+        assert "stopped: solver crashed" in capsys.readouterr().out
+        import os
+        assert os.environ["REPRO_FAULTS"].startswith("seed=5")
+
+    def test_malformed_col_is_a_usage_error(self, tmp_path, capsys):
+        col = str(tmp_path / "bad.col")
+        with open(col, "w") as handle:
+            handle.write("p edge 2 1\ne 1 oops\n")
+        assert main(["audit", col, "--colors", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "line 2" in err
+
+    def test_color_with_engine_flag(self, cycle5, capsys):
+        assert main(["color", cycle5, "--colors", "3",
+                     "--engine", "legacy"]) == 0
+        assert "SATISFIABLE" in capsys.readouterr().out

@@ -1,0 +1,152 @@
+"""Property/fuzz tests for the DIMACS ``.cnf`` and ``.col`` parsers.
+
+Malformed input — random mutations of valid files and hand-picked edge
+cases — must either parse or raise :class:`repro.errors.ParseError` (a
+``ValueError`` subclass carrying the 1-based line number and source
+name), never an unhandled ``IndexError`` / ``TypeError`` / bare
+tokenising ``ValueError``.
+"""
+
+import random
+
+import pytest
+
+from repro.coloring import (cycle_graph, parse_col_string, parse_col_file,
+                            to_col_string)
+from repro.errors import ParseError
+from repro.sat import CNF, parse_dimacs_string, parse_dimacs_file
+
+VALID_CNF = CNF([(1, -2), (2, 3), (-1, -3), (1, 2, 3)]).to_dimacs()
+VALID_COL = to_col_string(cycle_graph(6))
+
+#: Junk injected into random positions of valid files.
+MUTATIONS = ["xyz", "p", "p cnf", "p cnf a b", "p edge 3", "e 1", "e 1 a",
+             "-", "1.5", "0x10", "e 0 0", "e 1 1", "e 99 100", "\x00", "??",
+             "p cnf -3 2", "p edge -1 0", "c", "%", "e 1 2 3 4"]
+
+
+def _mutate(text: str, rng: random.Random) -> str:
+    """Randomly corrupt ``text``: splice junk, truncate, or shuffle."""
+    lines = text.splitlines()
+    action = rng.randrange(4)
+    if action == 0:  # insert a junk line
+        lines.insert(rng.randint(0, len(lines)), rng.choice(MUTATIONS))
+    elif action == 1:  # replace a line with junk
+        lines[rng.randrange(len(lines))] = rng.choice(MUTATIONS)
+    elif action == 2:  # truncate mid-line
+        index = rng.randrange(len(lines))
+        line = lines[index]
+        lines[index] = line[:rng.randint(0, len(line))]
+    else:  # corrupt random characters
+        index = rng.randrange(len(lines))
+        chars = list(lines[index])
+        for _ in range(rng.randint(1, 3)):
+            if chars:
+                chars[rng.randrange(len(chars))] = rng.choice("az!-. 0")
+        lines[index] = "".join(chars)
+    return "\n".join(lines) + "\n"
+
+
+class TestCNFFuzz:
+    @pytest.mark.parametrize("seed", range(200))
+    def test_mutated_input_never_raises_unstructured(self, seed):
+        rng = random.Random(seed)
+        text = VALID_CNF
+        for _ in range(rng.randint(1, 3)):
+            text = _mutate(text, rng)
+        try:
+            parse_dimacs_string(text)
+        except ParseError as error:
+            assert error.line is None or error.line >= 1
+            assert error.source == "<string>"
+            assert "<string>" in str(error)
+
+    @pytest.mark.parametrize("text,bad_line", [
+        ("p cnf a 3\n1 0\n", 1),
+        ("c ok\np cnf 3\n", 2),
+        ("p cnf 3 2\n1 x 0\n", 2),
+        ("p cnf -3 2\n", 1),
+        ("p cnf 3 x\n", 1),
+        ("1 2 0\nfrob 0\n", 2),
+    ])
+    def test_malformed_cnf_reports_line_number(self, text, bad_line):
+        with pytest.raises(ParseError) as info:
+            parse_dimacs_string(text)
+        assert info.value.line == bad_line
+        assert f"line {bad_line}" in str(info.value)
+
+    def test_valid_cnf_round_trips(self):
+        cnf = parse_dimacs_string(VALID_CNF)
+        assert cnf.num_vars == 3 and cnf.num_clauses == 4
+
+    def test_parse_error_is_a_value_error(self):
+        # Old callers catching ValueError keep working.
+        with pytest.raises(ValueError):
+            parse_dimacs_string("p cnf a b\n")
+
+    def test_file_parser_names_the_file(self, tmp_path):
+        path = tmp_path / "bad.cnf"
+        path.write_text("p cnf oops 1\n")
+        with pytest.raises(ParseError) as info:
+            parse_dimacs_file(str(path))
+        assert info.value.source == str(path)
+        assert str(path) in str(info.value)
+
+
+class TestColFuzz:
+    @pytest.mark.parametrize("seed", range(200))
+    def test_mutated_input_never_raises_unstructured(self, seed):
+        rng = random.Random(10_000 + seed)
+        text = VALID_COL
+        for _ in range(rng.randint(1, 3)):
+            text = _mutate(text, rng)
+        try:
+            parse_col_string(text)
+        except ParseError as error:
+            assert error.line is None or error.line >= 1
+            assert error.source == "<string>"
+
+    @pytest.mark.parametrize("text,bad_line", [
+        ("p edge a 1\n", 1),
+        ("p edge 3\n", 1),
+        ("e 1 2\np edge 3 1\np edge 3 1\n", 3),
+        ("p edge 3 1\ne 1\n", 2),
+        ("p edge 3 1\ne 1 x\n", 2),
+        ("p edge 3 1\ne 1 1\n", 2),      # self-loop
+        ("p edge 3 1\ne 1 99\n", 2),     # out of range
+        ("p edge 3 1\nq 1 2\n", 2),      # unknown record
+        ("p edge -3 0\n", 1),
+    ])
+    def test_malformed_col_reports_line_number(self, text, bad_line):
+        with pytest.raises(ParseError) as info:
+            parse_col_string(text)
+        assert info.value.line == bad_line
+        assert f"line {bad_line}" in str(info.value)
+
+    def test_missing_problem_line(self):
+        with pytest.raises(ParseError) as info:
+            parse_col_string("c just a comment\ne 1 2\n")
+        assert info.value.line is None
+
+    def test_pre_header_edge_errors_name_their_own_line(self):
+        # The bad edge is buffered before the header; the error must
+        # still point at the edge's line, not the header's.
+        with pytest.raises(ParseError) as info:
+            parse_col_string("e 1 1\np edge 3 1\n")
+        assert info.value.line == 1
+
+    def test_valid_col_round_trips(self):
+        graph = parse_col_string(VALID_COL)
+        assert graph.num_vertices == 6 and graph.num_edges == 6
+
+    def test_duplicate_and_reversed_edges_tolerated(self):
+        graph = parse_col_string(
+            "p edge 3 3\ne 1 2\ne 2 1\ne 1 2\n")
+        assert graph.num_edges == 1
+
+    def test_file_parser_names_the_file(self, tmp_path):
+        path = tmp_path / "bad.col"
+        path.write_text("p edge 2 1\ne 1 5\n")
+        with pytest.raises(ParseError) as info:
+            parse_col_file(str(path))
+        assert info.value.source == str(path)
