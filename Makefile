@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-fast check chaos bench bench-quick bench-all examples clean
+.PHONY: install test test-fast check chaos trace-smoke bench bench-quick bench-all examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -23,6 +23,23 @@ check:
 chaos:
 	PYTHONPATH=src REPRO_CHAOS_SEED=1 python -m pytest -x -q \
 		tests/test_chaos.py tests/test_parser_fuzz.py
+
+# Observability smoke test: solve one small instance with --trace on,
+# assert every line of the sink parses as JSON, then render it.  See
+# docs/observability.md.
+trace-smoke:
+	rm -f trace-smoke.trace.jsonl
+	PYTHONPATH=src python -m repro width alu2 --scale 0.6 \
+		--trace trace-smoke.trace.jsonl
+	PYTHONPATH=src python -c "\
+	from repro.obs.report import parse_trace_file; \
+	records = parse_trace_file('trace-smoke.trace.jsonl'); \
+	spans = [r for r in records if r.get('type') == 'span']; \
+	assert spans, 'trace contains no spans'; \
+	assert any(r.get('type') == 'metrics' for r in records), \
+	    'trace contains no metrics snapshot'; \
+	print(f'trace-smoke: {len(records)} records, {len(spans)} spans OK')"
+	PYTHONPATH=src python -m repro trace trace-smoke.trace.jsonl
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -15,6 +15,8 @@ Layer map (each is a subpackage with its own focused API):
   paper-style tables.
 * :mod:`repro.reliability` — deterministic fault injection, end-to-end
   result auditing, and strategy quarantine (see ``docs/reliability.md``).
+* :mod:`repro.obs` — structured tracing, the metrics registry and trace
+  reporting, off by default (see ``docs/observability.md``).
 
 Quickstart::
 
@@ -54,7 +56,7 @@ from .reliability import (AuditReport, AuditVerdict, FaultPlan,
                           audit_result)
 from .sat.solver.cdcl import BudgetExceeded
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ColoringProblem", "Graph",

@@ -30,10 +30,22 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..coloring.problem import ColoringProblem
 from ..core.pipeline import ColoringOutcome, solve_coloring
 from ..core.strategy import Strategy
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from ..sat.status import CancelToken, SolveLimits, SolveStatus
+
+def _unpack(item):
+    """Unpack a result-queue item: ``(key, outcome, error)`` from
+    historical senders (test doubles), plus the telemetry slot the
+    current workers append."""
+    key, outcome, error = item[0], item[1], item[2]
+    telemetry = item[3] if len(item) > 3 else None
+    return key, outcome, error, telemetry
+
 
 #: Queue-wait interval of the scheduler loop.
 _POLL_SECONDS = 0.05
@@ -125,6 +137,9 @@ def _batch_worker(job: BatchJob, queue: "mp.Queue", cancel_event,
                   limits: Optional[SolveLimits], strategy=None,
                   faults=None, audit: bool = False) -> None:
     strategy = strategy if strategy is not None else job.strategy
+    # Fresh observability state for this process (fork inherits the
+    # parent's buffers); spans and metrics travel back on the queue.
+    obs.worker_begin()
     try:
         from ..core.portfolio import _worker_injector
         injector = _worker_injector(faults, strategy)
@@ -142,9 +157,9 @@ def _batch_worker(job: BatchJob, queue: "mp.Queue", cancel_event,
         outcome = solve_coloring(job.problem, strategy,
                                  graph_time=job.graph_time,
                                  limits=limits, cancel=cancel, **kwargs)
-        queue.put((job.key, outcome, None))
+        queue.put((job.key, outcome, None, obs.drain_telemetry()))
     except Exception as error:  # report, never hang the scheduler
-        queue.put((job.key, None, repr(error)))
+        queue.put((job.key, None, repr(error), obs.drain_telemetry()))
 
 
 class _Running:
@@ -245,6 +260,39 @@ def run_batch(jobs: Sequence[BatchJob],
         max_workers = max(1, (mp.cpu_count() or 2) - 1)
     if max_workers < 1:
         raise ValueError("max_workers must be at least 1")
+    with trace.span("batch.run", jobs=len(jobs), workers=max_workers,
+                    audit=audit) as batch_span:
+        result = _run_batch_in_span(
+            batch_span, jobs, max_workers, job_timeout, limits,
+            max_attempts, timeout, cancel, audit, faults, quarantine,
+            engine_fallback)
+        batch_span.set("settled", len(result.results))
+        batch_span.set("cancelled", result.cancelled)
+        if obs_metrics.enabled():
+            registry = obs_metrics.registry()
+            registry.inc("batch.runs")
+            registry.inc("batch.jobs", len(result.results))
+            registry.inc("batch.jobs_pending", len(result.pending))
+            for status, count in result.status_counts().items():
+                registry.inc(f"batch.status.{status}", count)
+            registry.observe("batch.wall_time", result.wall_time)
+        return result
+
+
+def _run_batch_in_span(batch_span, jobs: Sequence[BatchJob],
+                       max_workers: int, job_timeout: Optional[float],
+                       limits: Optional[SolveLimits], max_attempts: int,
+                       timeout: Optional[float],
+                       cancel: Optional[CancelToken], audit: bool, faults,
+                       quarantine, engine_fallback: bool) -> BatchResult:
+    """:func:`run_batch` scheduler loop, inside its already-open span.
+
+    Job lifecycle transitions — launch, settle, retry/requeue (with
+    backoff and engine fallback), per-job deadline kills, unreported
+    worker deaths and batch-level cancellation — become span events, and
+    the telemetry each worker ships back (span tree + metrics snapshot)
+    is grafted under this span.
+    """
     from ..reliability.quarantine import QuarantineTracker
     tracker = QuarantineTracker(quarantine)
     job_limits = (limits or SolveLimits()).with_wall_clock(job_timeout)
@@ -274,6 +322,10 @@ def run_batch(jobs: Sequence[BatchJob],
                                     deadline, pending_entry.attempt,
                                     pending_entry.strategy)
         process.start()
+        trace.event("job.launched", instance=job.instance,
+                    strategy=pending_entry.strategy.label,
+                    engine=pending_entry.strategy.engine,
+                    attempt=pending_entry.attempt)
 
     def _settle(entry: _Running, outcome: Optional[ColoringOutcome],
                 error: Optional[str],
@@ -292,6 +344,10 @@ def run_batch(jobs: Sequence[BatchJob],
                                       audit=audit_report,
                                       engine=entry.strategy.engine))
         del running[entry.job.key]
+        trace.event("job.settled", instance=entry.job.instance,
+                    strategy=entry.job.strategy.label, status=str(status),
+                    attempts=entry.attempt,
+                    **({"error": error} if error else {}))
 
     def _requeue(entry: _Running) -> None:
         """Put a failed attempt back on the queue: possibly on the
@@ -299,10 +355,18 @@ def run_batch(jobs: Sequence[BatchJob],
         strategy = entry.strategy
         if engine_fallback and strategy.engine == "arena":
             strategy = strategy.with_engine("legacy")
+        not_before = tracker.release_time(entry.job.strategy.label)
         waiting.insert(0, _Waiting(
             entry.job, entry.attempt + 1, strategy,
-            not_before=tracker.release_time(entry.job.strategy.label)))
+            not_before=not_before))
         del running[entry.job.key]
+        trace.event("job.requeued", instance=entry.job.instance,
+                    strategy=entry.job.strategy.label,
+                    next_attempt=entry.attempt + 1, engine=strategy.engine,
+                    backoff=round(max(0.0, not_before - time.perf_counter()),
+                                  3))
+        if obs_metrics.enabled():
+            obs_metrics.registry().inc("batch.retries")
 
     def _report(entry: _Running, outcome: Optional[ColoringOutcome],
                 error: Optional[str]) -> None:
@@ -342,6 +406,10 @@ def run_batch(jobs: Sequence[BatchJob],
             if externally_stopped and not stopping:
                 # Stop scheduling; ask every running job to wind down.
                 stopping = True
+                trace.event("batch.stopping",
+                            reason=("deadline" if batch_deadline is not None
+                                    and now >= batch_deadline else "cancel"),
+                            running=len(running), waiting=len(waiting))
                 for entry in running.values():
                     entry.cancel_event.set()
                     if entry.hard_deadline is None:
@@ -373,6 +441,10 @@ def run_batch(jobs: Sequence[BatchJob],
                     if entry.process.is_alive():
                         entry.process.terminate()
                         entry.process.join(timeout=5)
+                        trace.event("job.terminated",
+                                    instance=entry.job.instance,
+                                    strategy=entry.job.strategy.label,
+                                    reason="ignored cancel past grace")
                     _settle(entry, None, None,
                             forced_status=SolveStatus.TIMEOUT)
             if not running:
@@ -382,7 +454,8 @@ def run_batch(jobs: Sequence[BatchJob],
                     time.sleep(_POLL_SECONDS)
                 continue
             try:
-                key, outcome, error = result_queue.get(timeout=_POLL_SECONDS)
+                key, outcome, error, telemetry = _unpack(
+                    result_queue.get(timeout=_POLL_SECONDS))
             except queue_module.Empty:
                 # A worker that died unreported can never answer: drain
                 # its pipe once, then retry the job or record ERROR.
@@ -391,11 +464,14 @@ def run_batch(jobs: Sequence[BatchJob],
                         continue
                     entry.process.join()
                     try:
-                        key, outcome, error = result_queue.get(
-                            timeout=_DRAIN_SECONDS)
+                        key, outcome, error, telemetry = _unpack(
+                            result_queue.get(timeout=_DRAIN_SECONDS))
                     except queue_module.Empty:
                         reason = (f"worker died without reporting "
                                   f"(exit code {entry.process.exitcode})")
+                        trace.event("job.died", instance=entry.job.instance,
+                                    strategy=entry.job.strategy.label,
+                                    exit_code=entry.process.exitcode)
                         tracker.record_offence(entry.job.strategy.label,
                                                reason, time.perf_counter())
                         if entry.attempt < max_attempts and not stopping:
@@ -403,10 +479,12 @@ def run_batch(jobs: Sequence[BatchJob],
                         else:
                             _settle(entry, None, reason)
                     else:
+                        obs.ingest_telemetry(telemetry, batch_span.span_id)
                         if key in running:
                             _report(running[key], outcome, error)
                     break
                 continue
+            obs.ingest_telemetry(telemetry, batch_span.span_id)
             if key in running:  # late report after a hard kill: ignore
                 _report(running[key], outcome, error)
     finally:
@@ -420,8 +498,19 @@ def run_batch(jobs: Sequence[BatchJob],
         for entry in list(running.values()):
             if entry.process.is_alive():
                 entry.process.terminate()
+                trace.event("job.terminated", instance=entry.job.instance,
+                            strategy=entry.job.strategy.label,
+                            reason="straggler after batch end")
             entry.process.join(timeout=5)
             _settle(entry, None, None, forced_status=SolveStatus.TIMEOUT)
+        # Cancelled jobs that wound down cooperatively may still have
+        # telemetry in the pipe: drain it so their spans are not lost.
+        while True:
+            try:
+                _, _, _, telemetry = _unpack(result_queue.get_nowait())
+            except queue_module.Empty:
+                break
+            obs.ingest_telemetry(telemetry, batch_span.span_id)
 
     pending = [entry.job for entry in reversed(waiting)]
     return BatchResult(results=results, pending=pending,

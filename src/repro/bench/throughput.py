@@ -38,6 +38,7 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import metrics as obs_metrics
 from ..sat.cnf import CNF
 from ..sat.solver.cdcl import CDCLSolver
 from ..sat.solver.config import SolverConfig, preset
@@ -204,7 +205,36 @@ CONTEXT_SUITE = [
 def run_throughput_bench(*, repeats: int = 7, stress_rounds: int = 40,
                          include_context: bool = True,
                          context_repeats: int = 2) -> Dict:
-    """Run the full bench and return the BENCH_solver.json payload."""
+    """Run the full bench and return the BENCH_solver.json payload.
+
+    The metrics registry is enabled for the duration of the run and its
+    snapshot is embedded in the payload under ``"metrics"`` — the
+    aggregate solver counters (``solver.propagations``,
+    ``solver.watch_inspections``, ``solver.blocker_hits``, …) across
+    every engine and instance of the bench, in the same shape ``repro
+    metrics`` renders.  The per-solve hooks fire only at ``_finish``,
+    outside the propagation loop, so the timed waves are untouched.
+    """
+    obs_metrics.registry().reset()
+    previously_enabled = obs_metrics.enabled()
+    obs_metrics.enable()
+    try:
+        payload = _run_throughput_bench(
+            repeats=repeats, stress_rounds=stress_rounds,
+            include_context=include_context,
+            context_repeats=context_repeats)
+        registry = obs_metrics.registry()
+        registry.set_gauge("bench.headline_bcp_speedup",
+                           payload["headline_bcp_speedup"])
+        payload["metrics"] = registry.snapshot()
+        return payload
+    finally:
+        obs_metrics.enable(previously_enabled)
+
+
+def _run_throughput_bench(*, repeats: int, stress_rounds: int,
+                          include_context: bool,
+                          context_repeats: int) -> Dict:
     stress = [
         measure_instance(
             name, bcp_stress(nv, fanout, clause_len),

@@ -12,6 +12,9 @@ Exposes the paper's two-stage tool flow as composable commands::
         --encoding ITE-linear-2+muldirect --symmetry s1 --out g.cnf  # stage 2
     python -m repro solve g.cnf                      # plain CDCL on DIMACS
     python -m repro audit g.col --colors 6           # solve + re-check answer
+    python -m repro route alu2 --width 7 --trace run.jsonl  # traced run
+    python -m repro trace run.jsonl                  # render the span tree
+    python -m repro metrics run.jsonl                # render metric snapshots
 
 Every command is deterministic given its inputs, so pipelines are
 reproducible end to end.  Solving commands follow the DIMACS exit-code
@@ -110,6 +113,73 @@ def _apply_fault_options(args) -> None:
     os.environ[ENV_VAR] = plan.to_text()
 
 
+#: CLI-activated observability state: sink path and the environment
+#: values to restore at flush time (see ``_apply_obs_options``).
+_OBS_STATE: dict = {}
+
+
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="PATH", dest="trace_out",
+                        help="record a structured trace of this run as "
+                             "JSON Lines at PATH (render it with `repro "
+                             "trace PATH`); also enables the metrics "
+                             "registry, whose snapshot is appended to "
+                             "the same file (default: $REPRO_TRACE)")
+
+
+def _apply_obs_options(args) -> None:
+    """Activate tracing + metrics for ``--trace PATH``.
+
+    The sink path is also exported as ``REPRO_TRACE`` (and the registry
+    as ``REPRO_METRICS``) so worker *processes* inherit the setting —
+    they record locally and ship their telemetry back over the result
+    queues; only this process writes the file.  The previous environment
+    is remembered and restored by ``_flush_obs``.
+    """
+    path = getattr(args, "trace_out", None)
+    if not path:
+        return
+    import os
+
+    from .obs import metrics as obs_metrics
+    from .obs import trace as obs_trace
+    _OBS_STATE["path"] = path
+    _OBS_STATE["env"] = {var: os.environ.get(var)
+                         for var in (obs_trace.ENV_VAR, obs_metrics.ENV_VAR)}
+    os.environ[obs_trace.ENV_VAR] = path
+    os.environ[obs_metrics.ENV_VAR] = "1"
+    obs_trace.enable(path)
+    obs_metrics.enable()
+
+
+def _flush_obs() -> None:
+    """End of a ``--trace`` run: append the buffered spans plus a final
+    metrics snapshot to the sink, restore the environment, disable."""
+    if not _OBS_STATE:
+        return
+    import os
+
+    from .obs import metrics as obs_metrics
+    from .obs import trace as obs_trace
+    tracer = obs_trace.tracer()
+    extra = []
+    if not obs_metrics.registry().empty:
+        extra.append(obs_metrics.snapshot_record(tracer.run_id))
+    written = tracer.flush(extra_records=extra)
+    path = _OBS_STATE["path"]
+    for var, old in _OBS_STATE["env"].items():
+        if old is None:
+            os.environ.pop(var, None)
+        else:
+            os.environ[var] = old
+    obs_trace.disable()
+    obs_metrics.enable(False)
+    _OBS_STATE.clear()
+    if written:
+        print(f"wrote trace: {path} ({written} records, run "
+              f"{tracer.run_id})", file=sys.stderr)
+
+
 def _add_strategy_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--encoding", default=DEFAULT_ENCODING,
                         help=f"CSP-to-SAT encoding (default "
@@ -146,6 +216,25 @@ def _print_solver_stats(stats) -> None:
     if "arena_compactions" in stats:
         print(f"    {'arena_compactions':20s} "
               f"{int(stats['arena_compactions']):>12,}")
+
+
+def _print_outcome_report(outcome, *, show_stats: bool = False) -> None:
+    """Shared per-run report: problem size, the paper's Table-2 time
+    split (graph + encode + solve), and optional solver counters.
+
+    One helper for every solving command — route, color, audit and the
+    portfolio's winner all print the same lines, so the time split is
+    never a privilege of one code path.
+    """
+    print(f"  {outcome.num_vars} vars, {outcome.num_clauses} clauses, "
+          f"{int(outcome.solver_stats.get('conflicts', 0))} conflicts")
+    print(f"  time: graph {outcome.graph_time:.3f}s + "
+          f"encode {outcome.encode_time:.3f}s + "
+          f"solve {outcome.solve_time:.3f}s = {outcome.total_time:.3f}s")
+    if show_stats:
+        print(f"  encode split: cnf {outcome.cnf_time:.3f}s + "
+              f"symmetry {outcome.symmetry_time:.3f}s")
+        _print_solver_stats(outcome.solver_stats)
 
 
 def _load_routing_arg(circuit: str, scale: float):
@@ -216,15 +305,7 @@ def cmd_route(args) -> int:
         _print_stop_reason(outcome.solver_stats)
     print(f"  encoding {args.encoding}, symmetry {args.symmetry}, "
           f"solver {args.solver}")
-    print(f"  {outcome.num_vars} vars, {outcome.num_clauses} clauses, "
-          f"{int(outcome.solver_stats.get('conflicts', 0))} conflicts")
-    print(f"  time: graph {outcome.graph_time:.3f}s + "
-          f"encode {outcome.encode_time:.3f}s + "
-          f"solve {outcome.solve_time:.3f}s = {outcome.total_time:.3f}s")
-    if args.stats:
-        print(f"  encode split: cnf {outcome.cnf_time:.3f}s + "
-              f"symmetry {outcome.symmetry_time:.3f}s")
-        _print_solver_stats(outcome.solver_stats)
+    _print_outcome_report(outcome, show_stats=args.stats)
     if result.routable and args.tracks_out:
         with open(args.tracks_out, "w", encoding="utf-8") as handle:
             handle.write(assignment_to_json(result.assignment))
@@ -284,16 +365,14 @@ def cmd_color(args) -> int:
         if args.show:
             for vertex in range(problem.num_vertices):
                 print(f"  vertex {vertex + 1}: color {outcome.coloring[vertex]}")
-        if args.stats:
-            _print_solver_stats(outcome.solver_stats)
+        _print_outcome_report(outcome, show_stats=args.stats)
         return 0
     if outcome.status is not SolveStatus.UNSAT:
         print(f"UNDECIDED ({outcome.status})")
         _print_stop_reason(outcome.solver_stats)
         return 2 if outcome.status is SolveStatus.ERROR else 0
     print(f"UNSATISFIABLE: no {args.colors}-coloring exists")
-    if args.stats:
-        _print_solver_stats(outcome.solver_stats)
+    _print_outcome_report(outcome, show_stats=args.stats)
     return 1
 
 
@@ -319,9 +398,8 @@ def cmd_audit(args) -> int:
         verdict = f"UNDECIDED ({outcome.status})"
     print(f"{args.col_file} with K={args.colors}: {verdict}")
     _print_stop_reason(outcome.solver_stats)
+    _print_outcome_report(outcome, show_stats=args.stats)
     print(report.summary())
-    if args.stats:
-        _print_solver_stats(outcome.solver_stats)
     # A failed audit dominates the solver's own verdict.
     if report.failed:
         return 2
@@ -366,10 +444,9 @@ def cmd_portfolio(args) -> int:
         print(f"  winner: {result.winner.label} "
               f"after {result.wall_time:.3f}s "
               f"({result.num_strategies} strategies raced)")
+        _print_outcome_report(result.outcome, show_stats=args.stats)
         if args.audit and result.winner.label in result.audits:
             print(f"  {result.audits[result.winner.label].summary()}")
-        if args.stats:
-            _print_solver_stats(result.outcome.solver_stats)
     else:
         print(f"{name} @ W={args.width}: UNDECIDED ({result.status})")
         for label, status in sorted(result.member_status.items()):
@@ -378,6 +455,31 @@ def cmd_portfolio(args) -> int:
                 line += f" ({result.failures[label]})"
             print(line)
     return result.status.exit_code
+
+
+def cmd_trace(args) -> int:
+    from .obs.report import parse_trace_file, render_trace
+    records = parse_trace_file(args.trace_file)
+    print(render_trace(records, show_events=not args.no_events,
+                       max_events=args.max_events))
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    from .obs import metrics as obs_metrics
+    from .obs.report import (metrics_snapshots, parse_trace_file,
+                             render_metrics)
+    if args.trace_file:
+        snapshots = metrics_snapshots(parse_trace_file(args.trace_file))
+        if not snapshots:
+            print(f"no metrics snapshots in {args.trace_file}",
+                  file=sys.stderr)
+            return 1
+        for snapshot in snapshots:
+            print(render_metrics(snapshot))
+        return 0
+    print(render_metrics(obs_metrics.registry().snapshot()))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -406,6 +508,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="reuse one solver across widths (assumptions)")
     _add_strategy_options(p)
     _add_budget_options(p)
+    _add_obs_options(p)
     p.set_defaults(func=cmd_width)
 
     p = sub.add_parser("route", help="detailed-route at a fixed width")
@@ -420,6 +523,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_strategy_options(p)
     _add_budget_options(p)
     _add_fault_options(p)
+    _add_obs_options(p)
     p.set_defaults(func=cmd_route)
 
     p = sub.add_parser("portfolio",
@@ -437,6 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "answer that fails its audit cannot win")
     _add_budget_options(p)
     _add_fault_options(p)
+    _add_obs_options(p)
     p.set_defaults(func=cmd_portfolio)
 
     p = sub.add_parser("extract",
@@ -463,6 +568,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print solver performance counters")
     _add_strategy_options(p)
     _add_fault_options(p)
+    _add_obs_options(p)
     p.set_defaults(func=cmd_color)
 
     p = sub.add_parser("audit",
@@ -481,6 +587,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_strategy_options(p)
     _add_budget_options(p)
     _add_fault_options(p)
+    _add_obs_options(p)
     p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser("solve", help="run the CDCL solver on a DIMACS CNF")
@@ -494,7 +601,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_budget_options(p)
     _add_fault_options(p)
+    _add_obs_options(p)
     p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("trace",
+                       help="render a recorded trace file (from --trace "
+                            "or $REPRO_TRACE) as a span tree with the "
+                            "critical path marked")
+    p.add_argument("trace_file", help="JSONL trace file")
+    p.add_argument("--no-events", action="store_true",
+                   help="hide span events (show timings only)")
+    p.add_argument("--max-events", type=int, default=8, metavar="N",
+                   help="events shown per span before eliding (default 8)")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("metrics",
+                       help="render the metrics snapshots embedded in a "
+                            "trace file (or the live registry)")
+    p.add_argument("trace_file", nargs="?",
+                   help="JSONL trace file (default: this process's "
+                        "registry)")
+    p.set_defaults(func=cmd_metrics)
 
     return parser
 
@@ -502,11 +629,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _apply_obs_options(args)
     try:
         return args.func(args)
     except (ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        _flush_obs()
 
 
 if __name__ == "__main__":

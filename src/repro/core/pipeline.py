@@ -4,15 +4,23 @@ Timing is split the way Table 2 reports it — time to generate the
 graph-coloring problem (owned by the caller, e.g. the FPGA layer), time to
 translate it to CNF, and time to SAT-solve — so the benchmark harness can
 print the same "total CPU time" rows as the paper.
+
+The split is measured with :mod:`repro.obs` trace spans
+(``coloring.solve`` → ``encode`` → ``encode.cnf`` / ``encode.symmetry``,
+then ``solve``): the span objects always time their phase, and when
+tracing is enabled (``--trace`` / ``REPRO_TRACE``) the same spans are
+additionally recorded into the run's JSONL trace, with fault injections
+and the solver's finish line as span events.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..coloring.problem import ColoringProblem
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from ..sat.model import Model
 from ..sat.solver.cdcl import BudgetExceeded, CDCLSolver
 from ..sat.status import CancelToken, SolveLimits, SolveReport, SolveStatus
@@ -121,23 +129,61 @@ def solve_coloring(problem: ColoringProblem, strategy: Strategy,
     and ``proof_log`` the recorded UNSAT proof — both are what the
     audit layer (:mod:`repro.reliability.audit`) re-checks.
     """
-    start = time.perf_counter()
+    with trace.span("coloring.solve", strategy=strategy.label,
+                    encoding=strategy.encoding,
+                    symmetry=strategy.symmetry,
+                    engine=getattr(strategy, "engine", "arena")) as run_span:
+        return _solve_coloring_in_span(
+            run_span, problem, strategy, graph_time, limits, cancel,
+            faults=faults, keep_model=keep_model, proof_log=proof_log)
+
+
+def _solve_coloring_in_span(run_span, problem: ColoringProblem,
+                            strategy: Strategy, graph_time: float,
+                            limits: Optional[SolveLimits],
+                            cancel: Optional[CancelToken], *,
+                            faults, keep_model: bool,
+                            proof_log: bool) -> ColoringOutcome:
+    """:func:`solve_coloring` body, inside its already-open span.
+
+    The encode/cnf/symmetry/solve time split reported on the outcome is
+    read from the child spans' wall clocks — spans measure whether or
+    not tracing records them, so the Table-2 numbers never depend on
+    observability being switched on.
+    """
     plan = _resolve_fault_plan(faults, strategy)
-    encoded = get_encoding(strategy.encoding).encode(problem)
-    cnf_done = time.perf_counter()
-    apply_symmetry(encoded, strategy.symmetry)
-    injected = None
-    if plan is not None:
-        from ..reliability.faults import FaultInjector
-        injected = FaultInjector(plan, label=strategy.label,
-                                 sites=("encode",)).corrupt_cnf(encoded.cnf)
-    encode_done = time.perf_counter()
-    cnf_time = cnf_done - start
-    symmetry_time = encode_done - cnf_done
-    encode_time = encode_done - start
+    with trace.span("encode", encoding=strategy.encoding) as encode_span:
+        with trace.span("encode.cnf") as cnf_span:
+            encoded = get_encoding(strategy.encoding).encode(problem)
+        with trace.span("encode.symmetry",
+                        heuristic=strategy.symmetry) as symmetry_span:
+            apply_symmetry(encoded, strategy.symmetry)
+        injected = None
+        if plan is not None:
+            from ..reliability.faults import FaultInjector
+            injected = FaultInjector(plan, label=strategy.label,
+                                     sites=("encode",)).corrupt_cnf(
+                                         encoded.cnf)
+            if injected:
+                trace.event("fault.injected", kind="corrupt_input",
+                            site="encode", strategy=strategy.label)
+        encode_span.set("num_vars", encoded.cnf.num_vars)
+        encode_span.set("num_clauses", encoded.cnf.num_clauses)
+    cnf_time = cnf_span.wall
+    symmetry_time = symmetry_span.wall
+    encode_time = encode_span.wall
+    if obs_metrics.enabled():
+        registry = obs_metrics.registry()
+        registry.inc("pipeline.solves")
+        registry.observe("pipeline.encode_time", encode_time)
+        registry.observe("pipeline.cnf_vars", encoded.cnf.num_vars)
+        registry.observe("pipeline.cnf_clauses", encoded.cnf.num_clauses)
 
     def stopped(status: SolveStatus, stats: Dict[str, float],
                 solve_time: float = 0.0) -> ColoringOutcome:
+        run_span.set("status", str(status))
+        if obs_metrics.enabled():
+            obs_metrics.registry().inc(f"pipeline.status.{status}")
         return ColoringOutcome(
             strategy=strategy, status=status, coloring=None,
             encode_time=encode_time, solve_time=solve_time,
@@ -165,14 +211,17 @@ def solve_coloring(problem: ColoringProblem, strategy: Strategy,
 
     solver = CDCLSolver(encoded.cnf, config)
     try:
-        result = solver.solve(cancel=cancel)
+        with trace.span("solve", engine=getattr(strategy, "engine",
+                                                "arena"),
+                        solver=config.name) as solve_span:
+            result = solver.solve(cancel=cancel)
     except BudgetExceeded:
         raise  # an explicitly requested hard budget, not a failure
     except Exception as error:  # crash fault or engine bug: degrade
         return stopped(SolveStatus.ERROR,
                        {"stop_reason": f"solver crashed: "
                                        f"{type(error).__name__}: {error}"},
-                       solve_time=time.perf_counter() - encode_done)
+                       solve_time=solve_span.wall)
     if injected:
         result.stats["injected_faults"] = ",".join(
             filter(None, [str(result.stats.get("injected_faults", "")),
@@ -193,6 +242,9 @@ def solve_coloring(problem: ColoringProblem, strategy: Strategy,
                 f"coloring (wrong model or encoding bug)")
             return stopped(SolveStatus.ERROR, result.stats,
                            solve_time=result.stats.get("solve_time", 0.0))
+    run_span.set("status", str(result.status))
+    if obs_metrics.enabled():
+        obs_metrics.registry().inc(f"pipeline.status.{result.status}")
     return ColoringOutcome(
         strategy=strategy,
         status=result.status,

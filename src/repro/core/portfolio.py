@@ -27,7 +27,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence
 
+from .. import obs
 from ..coloring.problem import ColoringProblem
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from ..sat.status import CancelToken, SolveLimits, SolveReport, SolveStatus
 from .pipeline import ColoringOutcome, solve_coloring
 from .strategy import Strategy
@@ -99,6 +102,10 @@ def _worker_injector(faults, strategy: Strategy):
 def _worker(problem: ColoringProblem, strategy: Strategy, queue: "mp.Queue",
             cancel_event, limits: Optional[SolveLimits],
             faults=None, audit: bool = False) -> None:
+    # Fresh observability state for this process (fork inherits the
+    # parent's buffers); the worker's spans and metrics travel back on
+    # the result queue rather than being written here.
+    obs.worker_begin()
     try:
         injector = _worker_injector(faults, strategy)
         if injector is not None:
@@ -115,9 +122,9 @@ def _worker(problem: ColoringProblem, strategy: Strategy, queue: "mp.Queue",
             kwargs.update(keep_model=True, proof_log=True)
         outcome = solve_coloring(problem, strategy, limits=limits,
                                  cancel=cancel, **kwargs)
-        queue.put((strategy, outcome, None))
+        queue.put((strategy, outcome, None, obs.drain_telemetry()))
     except Exception as error:  # surface failures instead of hanging
-        queue.put((strategy, None, repr(error)))
+        queue.put((strategy, None, repr(error), obs.drain_telemetry()))
 
 
 #: Queue-wait interval for the race loop: short enough that a crashed
@@ -170,6 +177,37 @@ def run_portfolio(problem: ColoringProblem, strategies: Sequence[Strategy],
     """
     if not strategies:
         raise ValueError("a portfolio needs at least one strategy")
+    with trace.span("portfolio.race", members=len(strategies),
+                    strategies=",".join(s.label for s in strategies),
+                    audit=audit) as race_span:
+        result = _race_in_span(race_span, problem, strategies, timeout,
+                               limits, audit, faults)
+        race_span.set("status", str(result.status))
+        if result.winner is not None:
+            race_span.set("winner", result.winner.label)
+        if obs_metrics.enabled():
+            registry = obs_metrics.registry()
+            registry.inc("portfolio.races")
+            registry.inc("portfolio.decided" if result.decided
+                         else "portfolio.undecided")
+            registry.observe("portfolio.wall_time", result.wall_time)
+        return result
+
+
+def _race_in_span(race_span, problem: ColoringProblem,
+                  strategies: Sequence[Strategy],
+                  timeout: Optional[float], limits: Optional[SolveLimits],
+                  audit: bool, faults) -> PortfolioResult:
+    """:func:`run_portfolio` body, inside its already-open race span.
+
+    Every lifecycle transition of the race — members launched, answers
+    reported, the winner emerging, audit demotions, deadline expiry,
+    cooperative cancellation and hard termination of stragglers —
+    becomes a span event, and the telemetry each worker ships back on
+    the result queue (its own span tree plus a metrics snapshot) is
+    grafted under this span, so ``repro trace`` renders the whole race
+    as one tree.
+    """
     member_limits = (limits or SolveLimits()).with_wall_clock(timeout)
     context = mp.get_context("fork" if "fork" in mp.get_all_start_methods()
                              else "spawn")
@@ -187,6 +225,7 @@ def run_portfolio(problem: ColoringProblem, strategies: Sequence[Strategy],
             daemon=True)
     for process in processes.values():
         process.start()
+    trace.event("race.started", members=len(processes))
 
     member_status: Dict[str, SolveStatus] = {}
     failures: Dict[str, str] = {}
@@ -195,12 +234,14 @@ def run_portfolio(problem: ColoringProblem, strategies: Sequence[Strategy],
     outcome: Optional[ColoringOutcome] = None
 
     def _record(strategy: Strategy, result: Optional[ColoringOutcome],
-                error: Optional[str]) -> None:
+                error: Optional[str], telemetry=None) -> None:
         nonlocal winner, outcome
         label = strategy.label
+        obs.ingest_telemetry(telemetry, race_span.span_id)
         if error is not None:
             member_status[label] = SolveStatus.ERROR
             failures[label] = error
+            trace.event("member.failed", label=label, error=error)
             return
         if audit and result.status.decided:
             from ..reliability.audit import audit_outcome
@@ -213,9 +254,16 @@ def run_portfolio(problem: ColoringProblem, strategies: Sequence[Strategy],
                 failures[label] = "audit failed: " + "; ".join(
                     f"{check.name} ({check.detail})"
                     for check in report.failures)
+                trace.event("member.demoted", label=label,
+                            reason=failures[label])
                 return
         if result.status.decided and winner is None:
             winner, outcome = strategy, result
+            trace.event("member.won", label=label,
+                        status=str(result.status))
+        else:
+            trace.event("member.reported", label=label,
+                        status=str(result.status))
         member_status[label] = result.status
 
     try:
@@ -228,15 +276,18 @@ def run_portfolio(problem: ColoringProblem, strategies: Sequence[Strategy],
                 # partial stats), with a hard stop as backstop.
                 cancel_event.set()
                 hard_deadline = now + _CANCEL_GRACE_SECONDS
+                trace.event("race.deadline", timeout=timeout)
             if hard_deadline is not None and now >= hard_deadline:
                 for label, process in processes.items():
                     if label not in member_status:
                         if process.is_alive():
                             process.terminate()
+                            trace.event("member.terminated", label=label,
+                                        reason="ignored cancel past grace")
                         member_status[label] = SolveStatus.TIMEOUT
                 break
             try:
-                strategy, result, error = queue.get(timeout=_POLL_SECONDS)
+                item = queue.get(timeout=_POLL_SECONDS)
             except queue_module.Empty:
                 # A worker that died before reporting can never answer;
                 # record it so the race is not held hostage by a corpse.
@@ -246,32 +297,53 @@ def run_portfolio(problem: ColoringProblem, strategies: Sequence[Strategy],
                         # One last drain: its answer may still be in
                         # the pipe from the child's queue feeder.
                         try:
-                            strategy, result, error = queue.get(
-                                timeout=_DRAIN_SECONDS)
+                            item = queue.get(timeout=_DRAIN_SECONDS)
                         except queue_module.Empty:
                             member_status[label] = SolveStatus.ERROR
                             failures[label] = (
                                 f"worker died without reporting "
                                 f"(exit code {process.exitcode})")
+                            trace.event("member.died", label=label,
+                                        exit_code=process.exitcode)
                         else:
-                            _record(strategy, result, error)
+                            _record(*_unpack(item))
                         break
                 continue
-            _record(strategy, result, error)
+            _record(*_unpack(item))
         wall_time = time.perf_counter() - start
     finally:
         # Stop the losers: cooperative first, terminate stragglers.
+        if winner is not None:
+            trace.event("race.cancel_losers", winner=winner.label)
         cancel_event.set()
         grace_until = time.perf_counter() + _CANCEL_GRACE_SECONDS
         for process in processes.values():
             remaining = grace_until - time.perf_counter()
             if remaining > 0:
                 process.join(timeout=remaining)
-        for process in processes.values():
+        for label, process in processes.items():
             if process.is_alive():
                 process.terminate()
+                trace.event("member.terminated", label=label,
+                            reason="straggler after race end")
         for process in processes.values():
             process.join(timeout=5)
+        # Losers that wound down cooperatively after the winner emerged
+        # may still have telemetry (and results) in the pipe: drain it
+        # so their spans are not lost, without changing the verdict.
+        while True:
+            try:
+                item = queue.get_nowait()
+            except queue_module.Empty:
+                break
+            strategy, result, error, telemetry = _unpack(item)
+            obs.ingest_telemetry(telemetry, race_span.span_id)
+            label = strategy.label
+            if label not in member_status and error is None \
+                    and result is not None:
+                member_status[label] = result.status
+                trace.event("member.reported", label=label,
+                            status=str(result.status))
 
     if winner is not None:
         status = outcome.status
@@ -287,6 +359,15 @@ def run_portfolio(problem: ColoringProblem, strategies: Sequence[Strategy],
                            num_strategies=len(strategies),
                            member_status=member_status, failures=failures,
                            audits=audits)
+
+
+def _unpack(item):
+    """Unpack a result-queue item: ``(strategy, outcome, error)`` from
+    historical senders (test doubles), plus the telemetry slot the
+    current workers append."""
+    strategy, result, error = item[0], item[1], item[2]
+    telemetry = item[3] if len(item) > 3 else None
+    return strategy, result, error, telemetry
 
 
 def virtual_portfolio_time(

@@ -38,6 +38,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from ..sat.cnf import CNF
 from ..sat.model import Model, SolveResult
 from ..sat.proof import verify_rup_proof
@@ -142,6 +144,31 @@ class AuditReport:
         }
 
 
+def _observe_checks(checks: Sequence[AuditCheck]) -> None:
+    """Mirror audit checks into the observability layer: one
+    ``audit.check`` span event and one per-verdict counter each.  Must
+    run while the audit's span is still open so the events attach to it;
+    a no-op when tracing and metrics are both disabled."""
+    if trace.enabled():
+        for check in checks:
+            trace.event("audit.check", check=check.name,
+                        verdict=str(check.verdict),
+                        **({"detail": check.detail} if check.detail else {}))
+    if obs_metrics.enabled():
+        registry = obs_metrics.registry()
+        for check in checks:
+            registry.inc(f"audit.checks.{check.verdict}".lower())
+
+
+def _observe_report(report: AuditReport, audit_span) -> None:
+    """Close out one audit's observability: verdict attribute on the
+    span, check events, and the per-verdict report counter."""
+    audit_span.set("verdict", str(report.verdict))
+    _observe_checks(report.checks)
+    if obs_metrics.enabled():
+        obs_metrics.registry().inc(f"audit.{report.verdict}".lower())
+
+
 def _check_model(report: AuditReport, cnf: CNF,
                  model: Optional[Model]) -> None:
     """SAT-side check: the model satisfies every clause of the CNF."""
@@ -214,20 +241,24 @@ def audit_solve(cnf: CNF, result: SolveResult,
     """
     start = time.perf_counter()
     report = AuditReport(subject=subject)
-    if result.status is SolveStatus.SAT:
-        _check_model(report, cnf, result.model)
-    elif result.status is SolveStatus.UNSAT:
-        if proof is not None:
-            _check_proof(report, cnf, proof)
-        elif cross_check:
-            _cross_check_unsat(report, cnf, engine, cross_check_conflicts)
+    with trace.span("audit", kind="solve", subject=subject,
+                    status=str(result.status)) as audit_span:
+        if result.status is SolveStatus.SAT:
+            _check_model(report, cnf, result.model)
+        elif result.status is SolveStatus.UNSAT:
+            if proof is not None:
+                _check_proof(report, cnf, proof)
+            elif cross_check:
+                _cross_check_unsat(report, cnf, engine,
+                                   cross_check_conflicts)
+            else:
+                report.add("unsat-claim", None,
+                           "no proof recorded and cross-check disabled")
         else:
-            report.add("unsat-claim", None,
-                       "no proof recorded and cross-check disabled")
-    else:
-        report.add("status", None,
-                   f"nothing to audit for {result.status}")
-    report.wall_time = time.perf_counter() - start
+            report.add("status", None,
+                       f"nothing to audit for {result.status}")
+        report.wall_time = time.perf_counter() - start
+        _observe_report(report, audit_span)
     return report
 
 
@@ -256,36 +287,39 @@ def audit_outcome(problem, outcome, *,
     start = time.perf_counter()
     strategy = outcome.strategy
     report = AuditReport(subject=strategy.label)
-    if outcome.status is SolveStatus.SAT:
-        coloring = outcome.coloring
-        if coloring is None:
-            report.add("coloring-present", False,
-                       "SAT answer carries no coloring")
+    with trace.span("audit", kind="outcome", subject=strategy.label,
+                    status=str(outcome.status)) as audit_span:
+        if outcome.status is SolveStatus.SAT:
+            coloring = outcome.coloring
+            if coloring is None:
+                report.add("coloring-present", False,
+                           "SAT answer carries no coloring")
+            else:
+                ok = problem.is_valid_coloring(coloring)
+                report.add("coloring-proper", ok,
+                           "" if ok else "decoded coloring has a conflict "
+                                         "or an out-of-range color")
+            model = getattr(outcome, "model", None)
+            if model is not None:
+                _check_model(report, _encode(problem, strategy), model)
+        elif outcome.status is SolveStatus.UNSAT:
+            proof = getattr(outcome, "proof", None)
+            if proof is not None:
+                _check_proof(report, _encode(problem, strategy), proof)
+            elif cross_check:
+                engine = getattr(strategy, "engine", "arena")
+                _cross_check_unsat(report, _encode(problem, strategy),
+                                   engine, cross_check_conflicts)
+            else:
+                report.add("unsat-claim", None,
+                           "no proof recorded and cross-check disabled")
         else:
-            ok = problem.is_valid_coloring(coloring)
-            report.add("coloring-proper", ok,
-                       "" if ok else "decoded coloring has a conflict "
-                                     "or an out-of-range color")
-        model = getattr(outcome, "model", None)
-        if model is not None:
-            _check_model(report, _encode(problem, strategy), model)
-    elif outcome.status is SolveStatus.UNSAT:
-        proof = getattr(outcome, "proof", None)
-        if proof is not None:
-            _check_proof(report, _encode(problem, strategy), proof)
-        elif cross_check:
-            engine = getattr(strategy, "engine", "arena")
-            _cross_check_unsat(report, _encode(problem, strategy), engine,
-                               cross_check_conflicts)
-        else:
-            report.add("unsat-claim", None,
-                       "no proof recorded and cross-check disabled")
-    else:
-        detail = str(outcome.solver_stats.get("stop_reason", ""))
-        report.add("status", None,
-                   f"nothing to audit for {outcome.status}"
-                   + (f" ({detail})" if detail else ""))
-    report.wall_time = time.perf_counter() - start
+            detail = str(outcome.solver_stats.get("stop_reason", ""))
+            report.add("status", None,
+                       f"nothing to audit for {outcome.status}"
+                       + (f" ({detail})" if detail else ""))
+        report.wall_time = time.perf_counter() - start
+        _observe_report(report, audit_span)
     return report
 
 
@@ -300,16 +334,22 @@ def audit_routing(result, *,
                            cross_check=cross_check,
                            cross_check_conflicts=cross_check_conflicts)
     start = time.perf_counter()
-    if result.status is SolveStatus.SAT:
-        if result.assignment is None:
-            report.add("track-exclusivity", False,
-                       "routable answer carries no track assignment")
-        else:
-            from ..fpga.tracks import verify_track_assignment
-            violations = verify_track_assignment(result.assignment)
-            report.add("track-exclusivity", not violations,
-                       "; ".join(violations[:3]))
-    report.wall_time += time.perf_counter() - start
+    checked = len(report.checks)
+    with trace.span("audit.routing", subject=report.subject) as audit_span:
+        if result.status is SolveStatus.SAT:
+            if result.assignment is None:
+                report.add("track-exclusivity", False,
+                           "routable answer carries no track assignment")
+            else:
+                from ..fpga.tracks import verify_track_assignment
+                violations = verify_track_assignment(result.assignment)
+                report.add("track-exclusivity", not violations,
+                           "; ".join(violations[:3]))
+        report.wall_time += time.perf_counter() - start
+        audit_span.set("verdict", str(report.verdict))
+        # Only the routing-level checks: the inner audit_outcome span
+        # already observed the rest.
+        _observe_checks(report.checks[checked:])
     return report
 
 

@@ -14,14 +14,20 @@ full rate — it burns the budget and pollutes the results.  The
 
 The tracker is deliberately time-source-agnostic: callers pass ``now``
 (a monotonic timestamp) so schedulers and tests control the clock.
-It is pure bookkeeping — stdlib only, no solver imports — so every
-layer can use it without dependency cycles.
+It is pure bookkeeping — no solver imports, only the stdlib and the
+equally dependency-free :mod:`repro.obs` — so every layer can use it
+without dependency cycles.  State transitions (offence recorded,
+quarantine entered, record reset) are mirrored as trace events and
+counters when observability is on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 
 
 @dataclass(frozen=True)
@@ -96,6 +102,11 @@ class QuarantineTracker:
     def record_success(self, label: str) -> None:
         """A clean, audit-passing run: consecutive offences reset."""
         record = self.health(label)
+        if record.offences:
+            trace.event("quarantine.reset", label=label,
+                        offences=record.offences)
+            if obs_metrics.enabled():
+                obs_metrics.registry().inc("quarantine.resets")
         record.offences = 0
         record.quarantined_until = 0.0
         record.successes += 1
@@ -109,9 +120,20 @@ class QuarantineTracker:
         record.last_reason = reason
         record.history.append(reason)
         backoff = self.policy.backoff(record.offences)
+        trace.event("quarantine.offence", label=label, reason=reason,
+                    offences=record.offences)
         if backoff > 0.0:
             record.quarantined_until = max(record.quarantined_until,
                                            now + backoff)
+            trace.event("quarantine.entered", label=label,
+                        backoff=round(backoff, 3),
+                        offences=record.offences)
+        if obs_metrics.enabled():
+            registry = obs_metrics.registry()
+            registry.inc("quarantine.offences")
+            if backoff > 0.0:
+                registry.inc("quarantine.entered")
+                registry.observe("quarantine.backoff", backoff)
         return backoff
 
     def quarantined(self, label: str, now: float) -> bool:

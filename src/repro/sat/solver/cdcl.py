@@ -67,6 +67,8 @@ import random
 import time
 from typing import Dict, List, Optional
 
+from ...obs import metrics as obs_metrics
+from ...obs import trace as obs_trace
 from ..cnf import CNF
 from ..literals import clause_to_codes, lit_to_code, var_of
 from ..model import Model, SolveResult
@@ -880,6 +882,32 @@ class CDCLSolver:
     #: runner's engine-fallback path.
     _engine_site = "arena"
 
+    def _observe(self, status: SolveStatus, elapsed: float) -> None:
+        """Report this call to the observability layer (metrics absorb
+        + a span event), strictly outside the search loop.  One boolean
+        check each on the disabled path; trajectories are untouched
+        either way because nothing here feeds back into the search.
+        """
+        if obs_metrics.enabled():
+            # Stats are cumulative across calls on a reused solver, so
+            # the absorb is delta-based via the returned marker.
+            self._obs_prev = obs_metrics.absorb_solver_stats(
+                self.stats, engine=self._engine_site,
+                prev=getattr(self, "_obs_prev", None))
+        if obs_trace.enabled():
+            obs_trace.event(
+                "solver.finish", status=str(status),
+                engine=self._engine_site, solver=self.config.name,
+                conflicts=int(self.stats["conflicts"]),
+                decisions=int(self.stats["decisions"]),
+                propagations=int(self.stats["propagations"]),
+                solve_time=round(elapsed, 6))
+            injector = getattr(self, "_injector", None)
+            if injector is not None and injector.log:
+                obs_trace.event("fault.injected",
+                                site=self._engine_site,
+                                faults=",".join(injector.log))
+
     def _finish(self, status: SolveStatus, start: float) -> SolveResult:
         elapsed = time.perf_counter() - start
         self.stats["solve_time"] = elapsed
@@ -896,6 +924,7 @@ class CDCLSolver:
                         del self.proof[cut:]
             if injector is not None and injector.log:
                 self.stats["injected_faults"] = ",".join(injector.log)
+            self._observe(status, elapsed)
             return SolveResult(status, stats=self.stats)
         values = [self._values[2 * v] == _TRUE for v in range(1, self.num_vars + 1)]
         if injector is not None:
@@ -904,6 +933,9 @@ class CDCLSolver:
                 values[flip - 1] = not values[flip - 1]
             if injector.log:
                 self.stats["injected_faults"] = ",".join(injector.log)
+        # Observe after fault application so an injected wrong_model /
+        # truncated_proof shows up in the fault.injected event.
+        self._observe(status, elapsed)
         return SolveResult(SolveStatus.SAT, Model(values), stats=self.stats)
 
 

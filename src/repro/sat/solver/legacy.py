@@ -543,9 +543,13 @@ class LegacyCDCLSolver:
     # only the engine-specific site name differs.
     _fault_injector = CDCLSolver._fault_injector
     _engine_site = "legacy"
+    # Observability hook (metrics absorb + solve-finish span event) is
+    # shared with the arena engine; the site name distinguishes them.
+    _observe = CDCLSolver._observe
 
     def _finish(self, status: SolveStatus, start: float) -> SolveResult:
-        self.stats["solve_time"] = time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.stats["solve_time"] = elapsed
         self.stats["solver"] = self.config.name
         injector = getattr(self, "_injector", None)
         if status is not SolveStatus.SAT:
@@ -557,6 +561,7 @@ class LegacyCDCLSolver:
                         del self.proof[cut:]
             if injector is not None and injector.log:
                 self.stats["injected_faults"] = ",".join(injector.log)
+            self._observe(status, elapsed)
             return SolveResult(status, stats=self.stats)
         values = [self._values[2 * v] == _TRUE for v in range(1, self.num_vars + 1)]
         if injector is not None:
@@ -565,6 +570,9 @@ class LegacyCDCLSolver:
                 values[flip - 1] = not values[flip - 1]
             if injector.log:
                 self.stats["injected_faults"] = ",".join(injector.log)
+        # Observe after fault application so an injected wrong_model /
+        # truncated_proof shows up in the fault.injected event.
+        self._observe(status, elapsed)
         return SolveResult(SolveStatus.SAT, Model(values), stats=self.stats)
 
 

@@ -1,0 +1,157 @@
+"""Edge cases for repro.reliability.quarantine.
+
+The chaos suite exercises quarantine end to end through the batch
+runner; these tests pin the tracker's own arithmetic — the backoff cap
+boundary, reset-after-success semantics, and the requeue ordering that
+emerges when several strategies fail in an interleaved sequence.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
+from repro.reliability.quarantine import (QuarantinePolicy,
+                                          QuarantineTracker)
+
+
+class TestBackoffCap:
+    def test_exponential_growth_hits_the_cap_exactly(self):
+        policy = QuarantinePolicy(threshold=1, base_backoff=1.0,
+                                  backoff_factor=2.0, max_backoff=4.0)
+        # 1, 2, 4 — the third offence lands exactly on the cap, and
+        # every later offence stays pinned there.
+        assert policy.backoff(1) == 1.0
+        assert policy.backoff(2) == 2.0
+        assert policy.backoff(3) == 4.0
+        assert policy.backoff(4) == 4.0
+        assert policy.backoff(100) == 4.0
+
+    def test_cap_below_base_clamps_the_first_period(self):
+        policy = QuarantinePolicy(threshold=1, base_backoff=5.0,
+                                  backoff_factor=2.0, max_backoff=2.0)
+        assert policy.backoff(1) == 2.0
+
+    def test_under_threshold_is_free(self):
+        policy = QuarantinePolicy(threshold=3, base_backoff=1.0)
+        assert policy.backoff(1) == 0.0
+        assert policy.backoff(2) == 0.0
+        assert policy.backoff(3) == 1.0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            QuarantinePolicy(threshold=0)
+        with pytest.raises(ValueError):
+            QuarantinePolicy(base_backoff=-1.0)
+        with pytest.raises(ValueError):
+            QuarantinePolicy(backoff_factor=0.5)
+
+
+class TestResetAfterSuccess:
+    def test_success_resets_consecutive_but_not_totals(self):
+        tracker = QuarantineTracker(QuarantinePolicy(
+            threshold=1, base_backoff=1.0, backoff_factor=2.0))
+        tracker.record_offence("direct", "crash", now=0.0)
+        tracker.record_offence("direct", "crash", now=0.0)
+        record = tracker.health("direct")
+        assert record.offences == 2
+        assert tracker.quarantined("direct", now=0.5)
+
+        tracker.record_success("direct")
+        assert record.offences == 0
+        assert record.total_offences == 2        # history survives
+        assert record.successes == 1
+        assert record.quarantined_until == 0.0   # released immediately
+        assert not tracker.quarantined("direct", now=0.5)
+
+    def test_backoff_restarts_from_base_after_a_reset(self):
+        tracker = QuarantineTracker(QuarantinePolicy(
+            threshold=1, base_backoff=1.0, backoff_factor=2.0))
+        assert tracker.record_offence("direct", "crash", now=0.0) == 1.0
+        assert tracker.record_offence("direct", "crash", now=0.0) == 2.0
+        tracker.record_success("direct")
+        # The streak is broken: the next offence is a *first* offence.
+        assert tracker.record_offence("direct", "crash", now=10.0) == 1.0
+
+    def test_success_on_a_clean_record_is_not_an_event(self):
+        trace.tracer().reset()
+        trace.enable()
+        tracker = QuarantineTracker()
+        tracker.record_success("direct")         # nothing to reset
+        assert trace.tracer().drain_spans() == []
+        trace.tracer().reset()
+
+
+class TestRequeueOrdering:
+    def test_interleaved_failures_order_release_times(self):
+        """Three strategies fail in an interleaved sequence; the order
+        they become runnable again must follow offence count and time,
+        which is what the batch runner's not-before requeue sorts on."""
+        policy = QuarantinePolicy(threshold=1, base_backoff=1.0,
+                                  backoff_factor=2.0, max_backoff=30.0)
+        tracker = QuarantineTracker(policy)
+        tracker.record_offence("a", "crash", now=0.0)   # until 1.0
+        tracker.record_offence("b", "crash", now=0.0)   # until 1.0
+        tracker.record_offence("a", "audit", now=0.5)   # until 2.5
+        tracker.record_offence("c", "crash", now=0.6)   # until 1.6
+        tracker.record_offence("b", "crash", now=1.0)   # until 3.0
+
+        order = sorted("abc", key=tracker.release_time)
+        assert order == ["c", "a", "b"]
+        assert tracker.release_time("a") == pytest.approx(2.5)
+        assert tracker.release_time("b") == pytest.approx(3.0)
+        assert tracker.release_time("c") == pytest.approx(1.6)
+        # Everyone is out at 1.2 except c's near release at 1.6.
+        assert tracker.quarantined("a", now=1.2)
+        assert tracker.quarantined("b", now=1.2)
+        assert tracker.quarantined("c", now=1.2)
+        assert not tracker.quarantined("c", now=1.7)
+        assert not tracker.quarantined("b", now=3.0)    # boundary: >=
+
+    def test_overlapping_offence_never_shortens_quarantine(self):
+        """An offence recorded at an *earlier* now (stale worker report
+        arriving late) must not pull the release time backwards."""
+        tracker = QuarantineTracker(QuarantinePolicy(
+            threshold=1, base_backoff=10.0, backoff_factor=1.0))
+        tracker.record_offence("a", "crash", now=5.0)   # until 15.0
+        tracker.record_offence("a", "crash", now=0.0)   # 10.0 < 15.0
+        assert tracker.release_time("a") == pytest.approx(15.0)
+
+    def test_unknown_strategy_is_never_quarantined(self):
+        tracker = QuarantineTracker()
+        assert not tracker.quarantined("never-seen", now=100.0)
+        assert tracker.release_time("never-seen") == 0.0
+
+
+class TestObservabilityHooks:
+    @pytest.fixture(autouse=True)
+    def _clean_obs(self):
+        obs.reset()
+        yield
+        obs.reset()
+
+    def test_offence_and_reset_emit_events_and_counters(self):
+        trace.enable()
+        obs_metrics.enable()
+        tracker = QuarantineTracker(QuarantinePolicy(
+            threshold=1, base_backoff=2.0))
+        tracker.record_offence("direct", "audit-fail", now=0.0)
+        tracker.record_success("direct")
+        events = trace.tracer().drain_spans()
+        names = [r["name"] for r in events]
+        assert names == ["quarantine.offence", "quarantine.entered",
+                         "quarantine.reset"]
+        entered = events[1]["attrs"]
+        assert entered["label"] == "direct" and entered["backoff"] == 2.0
+        snap = obs_metrics.registry().snapshot()
+        assert snap["counters"]["quarantine.offences"] == 1
+        assert snap["counters"]["quarantine.entered"] == 1
+        assert snap["counters"]["quarantine.resets"] == 1
+        assert snap["histograms"]["quarantine.backoff"]["max"] == 2.0
+
+    def test_disabled_tracker_records_no_telemetry(self):
+        tracker = QuarantineTracker()
+        tracker.record_offence("direct", "crash", now=0.0)
+        tracker.record_success("direct")
+        assert trace.tracer().drain_spans() == []
+        assert obs_metrics.registry().empty
