@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-fast check chaos trace-smoke bench bench-quick bench-all examples clean
+.PHONY: install test test-fast check chaos fuzz-smoke fuzz-nightly trace-smoke bench bench-quick bench-all examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -23,6 +23,22 @@ check:
 chaos:
 	PYTHONPATH=src REPRO_CHAOS_SEED=1 python -m pytest -x -q \
 		tests/test_chaos.py tests/test_parser_fuzz.py
+
+# Differential-fuzzing smoke: a 60-second budgeted campaign on the
+# quick matrix.  Any disagreement between strategies fails the target
+# and leaves a minimized reproducer bundle under fuzz-bundles/.  See
+# docs/testing.md.
+fuzz-smoke:
+	PYTHONPATH=src python -m repro fuzz --seeds 3 --matrix quick \
+		--budget-seconds 60 --out fuzz-bundles
+
+# The nightly campaign: full 15x2x2 matrix, rotating seed base (CI
+# passes FUZZ_SEED_BASE from the run number), fixed wall budget.
+FUZZ_SEED_BASE ?= 1
+fuzz-nightly:
+	PYTHONPATH=src python -m repro fuzz --seeds 25 \
+		--seed-base $(FUZZ_SEED_BASE) --matrix full \
+		--budget-seconds 1200 --out fuzz-bundles
 
 # Observability smoke test: solve one small instance with --trace on,
 # assert every line of the sink parses as JSON, then render it.  See

@@ -15,6 +15,7 @@ Exposes the paper's two-stage tool flow as composable commands::
     python -m repro route alu2 --width 7 --trace run.jsonl  # traced run
     python -m repro trace run.jsonl                  # render the span tree
     python -m repro metrics run.jsonl                # render metric snapshots
+    python -m repro fuzz --seeds 5 --out bundles     # differential fuzzing
 
 Every command is deterministic given its inputs, so pipelines are
 reproducible end to end.  Solving commands follow the DIMACS exit-code
@@ -457,6 +458,31 @@ def cmd_portfolio(args) -> int:
     return result.status.exit_code
 
 
+def cmd_fuzz(args) -> int:
+    _apply_fault_options(args)
+    from .qa import StrategyMatrix, run_fuzz
+    try:
+        matrix = StrategyMatrix.parse(args.matrix)
+    except ValueError as error:
+        print(f"error: bad --matrix: {error}", file=sys.stderr)
+        return 2
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+    limits = SolveLimits(conflict_budget=args.conflict_budget,
+                         wall_clock_limit=args.timeout)
+    report = run_fuzz(seeds, matrix=matrix,
+                      budget_seconds=args.budget_seconds,
+                      shrink=not args.no_shrink,
+                      metamorphic=not args.no_metamorphic,
+                      include_routing=not args.no_routing,
+                      out_dir=args.out, limits=limits,
+                      progress=lambda message: print(message,
+                                                     file=sys.stderr))
+    print(report.summary())
+    # 0 = campaign clean, 1 = at least one finding (bundles written
+    # under --out), 2 = reserved for usage errors above.
+    return 0 if report.ok else 1
+
+
 def cmd_trace(args) -> int:
     from .obs.report import parse_trace_file, render_trace
     records = parse_trace_file(args.trace_file)
@@ -603,6 +629,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_options(p)
     _add_obs_options(p)
     p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("fuzz",
+                       help="differential fuzzing: race seeded instances "
+                            "through an encoding x symmetry x engine "
+                            "matrix, cross-check every answer, shrink "
+                            "and bundle any disagreement")
+    p.add_argument("--seeds", type=int, default=5, metavar="N",
+                   help="number of generator seeds to fuzz (default 5)")
+    p.add_argument("--seed-base", type=int, default=1, metavar="N",
+                   help="first generator seed (nightly CI rotates this; "
+                        "default 1)")
+    p.add_argument("--budget-seconds", type=float, metavar="SECONDS",
+                   help="stop the campaign after this much wall time "
+                        "(instances are never cut mid-matrix)")
+    p.add_argument("--matrix", default="full",
+                   help="strategy matrix: 'full', 'quick', 'engines', or "
+                        "'encodings=...;symmetry=...;engine=...' "
+                        "(default full)")
+    p.add_argument("--out", metavar="DIR",
+                   help="write minimized reproducer bundles under DIR")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report failures without ddmin minimization")
+    p.add_argument("--no-metamorphic", action="store_true",
+                   help="skip the metamorphic oracles")
+    p.add_argument("--no-routing", action="store_true",
+                   help="skip the FPGA routing-derived instances")
+    p.add_argument("--timeout", type=float, metavar="SECONDS",
+                   default=10.0,
+                   help="per-solve wall-clock limit (default 10)")
+    p.add_argument("--conflict-budget", type=int, metavar="N",
+                   default=50_000,
+                   help="per-solve conflict budget (default 50000)")
+    _add_fault_options(p)
+    _add_obs_options(p)
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("trace",
                        help="render a recorded trace file (from --trace "

@@ -19,11 +19,17 @@ from .problem import Graph
 
 
 def write_col(graph: Graph, stream: TextIO, comments: Sequence[str] = ()) -> None:
-    """Write ``graph`` to ``stream`` in DIMACS ``.col`` format."""
+    """Write ``graph`` to ``stream`` in DIMACS ``.col`` format.
+
+    Edges are emitted in sorted order, so the output is a pure function
+    of the graph — ``Graph.edges()`` iterates adjacency sets whose order
+    depends on insertion history, which would make otherwise-equal
+    graphs serialize differently (and reproducer bundles unstable).
+    """
     for comment in comments:
         stream.write(f"c {comment}\n")
     stream.write(f"p edge {graph.num_vertices} {graph.num_edges}\n")
-    for u, v in graph.edges():
+    for u, v in sorted(graph.edges()):
         stream.write(f"e {u + 1} {v + 1}\n")
 
 

@@ -165,7 +165,8 @@ def _solve_coloring_in_span(run_span, problem: ColoringProblem,
                                      sites=("encode",)).corrupt_cnf(
                                          encoded.cnf)
             if injected:
-                trace.event("fault.injected", kind="corrupt_input",
+                trace.event("fault.injected",
+                            kind=injected.split(":", 1)[0],
                             site="encode", strategy=strategy.label)
         encode_span.set("num_vars", encoded.cnf.num_vars)
         encode_span.set("num_clauses", encoded.cnf.num_clauses)
@@ -225,7 +226,7 @@ def _solve_coloring_in_span(run_span, problem: ColoringProblem,
     if injected:
         result.stats["injected_faults"] = ",".join(
             filter(None, [str(result.stats.get("injected_faults", "")),
-                          "corrupt_input@encode"]))
+                          f"{injected.split(':', 1)[0]}@encode"]))
 
     coloring = None
     if result.satisfiable:

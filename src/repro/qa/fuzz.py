@@ -1,0 +1,218 @@
+"""The fuzzing campaign: generate → differential → metamorphic → shrink.
+
+One :func:`run_fuzz` call is one campaign: a deterministic instance
+stream (from the seed list), each instance raced through the strategy
+matrix and cross-checked, metamorphic oracles applied on a rotating
+strategy, every failure minimized by the shrinker and written to disk
+as a reproducer bundle.  A wall-clock budget bounds the whole campaign
+— the CLI's ``repro fuzz --budget-seconds`` — and the report says how
+far it got, so a short CI smoke run and a long nightly run share this
+one entry point.
+
+Everything is observable: the campaign runs inside a ``qa.fuzz`` trace
+span with one ``qa.instance`` child per instance, and the ``qa.*``
+metrics (instances, solves, failures, shrink probes) land in the run's
+metrics snapshot when ``--trace`` / ``REPRO_METRICS`` is active.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from ..obs import metrics as obs_metrics
+from ..obs import trace
+from ..sat.status import SolveLimits
+from .differential import (DEFAULT_SOLVE_LIMITS, FailureSignature,
+                           StrategyMatrix, run_differential)
+from .generators import QAInstance, generate_instances
+from .metamorphic import run_metamorphic
+from .shrink import ReproducerBundle, ShrinkResult, shrink_failure
+
+
+@dataclass
+class FuzzFinding:
+    """One failure the campaign found (and possibly minimized)."""
+
+    instance: QAInstance
+    signature: FailureSignature
+    shrunk: Optional[ShrinkResult] = None
+    bundle_path: Optional[str] = None
+
+    def describe(self) -> str:
+        text = f"{self.instance.name}: {self.signature}"
+        if self.shrunk is not None:
+            text += (f" [shrunk {self.instance.num_vertices}->"
+                     f"{self.shrunk.num_vertices} vertices, "
+                     f"{self.shrunk.probes} probes]")
+        if self.bundle_path:
+            text += f" -> {self.bundle_path}"
+        return text
+
+
+@dataclass
+class FuzzReport:
+    """What one campaign covered and what it found."""
+
+    matrix: StrategyMatrix
+    seeds_requested: int = 0
+    seeds_completed: int = 0
+    instances: int = 0
+    solves: int = 0
+    metamorphic_checks: int = 0
+    findings: List[FuzzFinding] = field(default_factory=list)
+    budget_exhausted: bool = False
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> str:
+        verdict = "CLEAN" if self.ok else f"{len(self.findings)} FAILURES"
+        lines = [
+            f"fuzz {verdict}: {self.instances} instances x "
+            f"{self.matrix.size} strategies "
+            f"({self.solves} solves, {self.metamorphic_checks} metamorphic "
+            f"checks) in {self.wall_time:.1f}s",
+            f"  seeds: {self.seeds_completed}/{self.seeds_requested} "
+            f"completed" + (" (budget exhausted)"
+                            if self.budget_exhausted else ""),
+            f"  matrix: {self.matrix.describe()}",
+        ]
+        lines.extend(f"  ! {finding.describe()}" for finding in self.findings)
+        return "\n".join(lines)
+
+
+def run_fuzz(seeds: Iterable[int], *,
+             matrix: Optional[StrategyMatrix] = None,
+             budget_seconds: Optional[float] = None,
+             shrink: bool = True,
+             metamorphic: bool = True,
+             include_routing: bool = True,
+             out_dir: Optional[str] = None,
+             limits: Optional[SolveLimits] = DEFAULT_SOLVE_LIMITS,
+             faults=None,
+             progress=None) -> FuzzReport:
+    """Run one differential-fuzzing campaign.
+
+    ``seeds`` drives the deterministic instance stream; the campaign
+    stops early when ``budget_seconds`` elapses (instances are never
+    interrupted mid-matrix, so every reported instance was checked
+    under the *whole* matrix).  ``faults`` forwards a fault plan to the
+    solving pipeline — how a deliberate encoding bug is injected to
+    validate the harness end to end.  ``progress`` is an optional
+    ``callable(str)`` for CLI live output.
+    """
+    matrix = matrix or StrategyMatrix()
+    strategies = matrix.strategies()
+    seeds = list(seeds)
+    report = FuzzReport(matrix=matrix, seeds_requested=len(seeds))
+    deadline = (time.monotonic() + budget_seconds
+                if budget_seconds is not None else None)
+    start = time.perf_counter()
+
+    def out_of_budget() -> bool:
+        return deadline is not None and time.monotonic() >= deadline
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    with trace.span("qa.fuzz", seeds=len(seeds),
+                    matrix=matrix.describe()) as span:
+        instance_counter = 0
+        for seed in seeds:
+            if out_of_budget():
+                report.budget_exhausted = True
+                break
+            for instance in generate_instances(
+                    seed, include_routing=include_routing):
+                if out_of_budget():
+                    report.budget_exhausted = True
+                    break
+                _fuzz_one(instance, strategies, report,
+                          instance_counter, matrix,
+                          shrink=shrink, metamorphic=metamorphic,
+                          out_dir=out_dir, limits=limits, faults=faults,
+                          note=note)
+                instance_counter += 1
+            else:
+                report.seeds_completed += 1
+                continue
+            break
+        report.wall_time = time.perf_counter() - start
+        span.set("instances", report.instances)
+        span.set("findings", len(report.findings))
+        if obs_metrics.enabled():
+            obs_metrics.registry().observe("qa.campaign_time",
+                                           report.wall_time)
+    return report
+
+
+def _fuzz_one(instance: QAInstance, strategies, report: FuzzReport,
+              counter: int, matrix: StrategyMatrix, *,
+              shrink: bool, metamorphic: bool, out_dir: Optional[str],
+              limits, faults, note) -> None:
+    """Differential + metamorphic checks for one instance."""
+    with trace.span("qa.instance", instance=instance.name,
+                    kind=instance.kind,
+                    vertices=instance.num_vertices,
+                    colors=instance.num_colors) as span:
+        report.instances += 1
+        if obs_metrics.enabled():
+            obs_metrics.registry().inc("qa.instances")
+        diff = run_differential(instance.problem, strategies,
+                                limits=limits, oracle=instance.expected,
+                                faults=faults)
+        report.solves += len(diff.outcomes)
+        signatures = list(diff.failures)
+        if metamorphic:
+            # One rotating strategy per instance: over a campaign every
+            # strategy gets metamorphic coverage at 1/len(matrix) of the
+            # differential cost.
+            probe = strategies[counter % len(strategies)]
+            meta = run_metamorphic(instance.problem, probe,
+                                   seed=instance.seed, limits=limits,
+                                   faults=faults)
+            report.metamorphic_checks += len(meta.checked)
+            report.solves += 1 + len(meta.checked)
+            signatures.extend(meta.violations)
+        span.set("failures", len(signatures))
+        for signature in signatures:
+            finding = _handle_failure(instance, strategies, signature,
+                                      shrink=shrink, out_dir=out_dir,
+                                      limits=limits, faults=faults)
+            report.findings.append(finding)
+            note(f"FAIL {finding.describe()}")
+
+
+def _handle_failure(instance: QAInstance, strategies,
+                    signature: FailureSignature, *,
+                    shrink: bool, out_dir: Optional[str],
+                    limits, faults) -> FuzzFinding:
+    """Minimize one failure and write its reproducer bundle."""
+    finding = FuzzFinding(instance=instance, signature=signature)
+    problem = instance.problem
+    if shrink and signature.kind != "metamorphic":
+        shrunk, narrowed = shrink_failure(problem, strategies, signature,
+                                          limits=limits, faults=faults)
+        finding.shrunk = shrunk
+        finding.signature = narrowed
+        problem = shrunk.problem
+    if out_dir is not None:
+        from ..reliability.faults import FaultPlan
+        plan = FaultPlan.resolve(faults)
+        bundle = ReproducerBundle(
+            name=f"{instance.name}-{finding.signature.kind}",
+            problem=problem,
+            signature=finding.signature,
+            seed=instance.seed,
+            instance_kind=instance.kind,
+            faults=plan.to_text() if plan is not None else "",
+            original_vertices=instance.num_vertices,
+            shrink_probes=(finding.shrunk.probes
+                           if finding.shrunk is not None else 0))
+        finding.bundle_path = bundle.write(out_dir)
+    return finding

@@ -1,0 +1,264 @@
+"""Seeded instance generators for the differential-testing harness.
+
+Every generator is a pure function of its seed, so a fuzzing campaign
+that found a disagreement at seed S reproduces it bit-for-bit from S —
+the same discipline the chaos suite follows.  Three instance families:
+
+* **random coloring graphs** — G(n, p) over a spread of densities and
+  color budgets straddling the chromatic number (the near-critical
+  region is where encoding bugs hide);
+* **FPGA routing configs** — small synthetic circuits run through the
+  real global router and the routing-to-coloring reduction, at channel
+  widths bracketing the critical width (routable *and* provably
+  unroutable configurations);
+* **adversarial shapes** — cliques with chordal appendages, disconnected
+  components, isolated vertices, and the K=1 / K>|V| extremes that
+  exercise encoder edge cases rather than solver strength.
+
+Instances stay tiny on purpose (≤ :data:`MAX_ORACLE_VERTICES` vertices
+by default): the differential matrix multiplies every instance by dozens
+of strategies, and graphs this small still reach every code path of the
+encoders while keeping the brute-force oracle affordable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..coloring.brute import chromatic_number
+from ..coloring.dimacs import to_col_string
+from ..coloring.problem import ColoringProblem, Graph
+
+#: Largest instance for which the brute-force oracle is consulted.
+MAX_ORACLE_VERTICES = 10
+
+#: Generator family names, in generation order.
+INSTANCE_KINDS = ("random", "near-critical", "clique-chord",
+                  "disconnected", "edge-case", "routing")
+
+
+@dataclass
+class QAInstance:
+    """One generated test instance: a coloring problem plus provenance.
+
+    ``expected`` is the ground-truth satisfiability when the generator
+    knows it (via the brute-force oracle on tiny graphs, or by
+    construction), else None — the differential harness then relies on
+    cross-strategy agreement alone.
+    """
+
+    name: str
+    kind: str
+    problem: ColoringProblem
+    seed: int
+    expected: Optional[bool] = None
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_vertices(self) -> int:
+        return self.problem.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.problem.graph.num_edges
+
+    @property
+    def num_colors(self) -> int:
+        return self.problem.num_colors
+
+    def to_col(self) -> str:
+        """The instance graph in DIMACS ``.col`` format (byte-stable)."""
+        return to_col_string(self.problem.graph,
+                             comments=[f"qa instance {self.name}",
+                                       f"kind {self.kind}, seed {self.seed}",
+                                       f"color with K={self.num_colors}"])
+
+    def __repr__(self) -> str:
+        return (f"QAInstance({self.name!r}, kind={self.kind!r}, "
+                f"n={self.num_vertices}, m={self.num_edges}, "
+                f"K={self.num_colors})")
+
+
+def _random_graph(rng: random.Random, num_vertices: int,
+                  edge_probability: float) -> Graph:
+    graph = Graph(num_vertices)
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if rng.random() < edge_probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def _oracle(graph: Graph, num_colors: int) -> Optional[bool]:
+    """Ground truth for tiny graphs (None when too large to brute)."""
+    if graph.num_vertices > MAX_ORACLE_VERTICES:
+        return None
+    if graph.num_vertices == 0:
+        return True
+    return chromatic_number(graph) <= num_colors
+
+
+def random_instances(seed: int, count: int = 4,
+                     max_vertices: int = 9) -> Iterator[QAInstance]:
+    """G(n, p) instances over a density spread, K near the critical value."""
+    rng = random.Random(f"qa.random|{seed}")
+    for index in range(count):
+        n = rng.randint(3, max_vertices)
+        p = rng.choice((0.2, 0.4, 0.6, 0.8))
+        graph = _random_graph(rng, n, p)
+        chi = chromatic_number(graph) if n <= MAX_ORACLE_VERTICES else None
+        if chi is not None and chi > 0:
+            # Straddle the threshold: K ∈ {χ-1, χ, χ+1}, clipped to ≥1.
+            k = max(1, chi + rng.choice((-1, 0, 1)))
+        else:
+            k = rng.randint(1, max(2, n // 2))
+        yield QAInstance(name=f"random-{seed}-{index}", kind="random",
+                        problem=ColoringProblem(graph, k), seed=seed,
+                        expected=_oracle(graph, k),
+                        notes={"p": p, "chi": chi})
+
+
+def near_critical_instances(seed: int, count: int = 2) -> Iterator[QAInstance]:
+    """Instances pinned exactly at and just below the chromatic number —
+    the SAT/UNSAT boundary every encoding must place identically."""
+    rng = random.Random(f"qa.critical|{seed}")
+    for index in range(count):
+        n = rng.randint(4, 8)
+        graph = _random_graph(rng, n, 0.5)
+        chi = chromatic_number(graph)
+        for offset, verdict in ((0, True), (-1, False)):
+            k = chi + offset
+            if k < 1:
+                continue
+            yield QAInstance(
+                name=f"critical-{seed}-{index}{'+' if offset == 0 else '-'}",
+                kind="near-critical",
+                problem=ColoringProblem(graph, k), seed=seed,
+                expected=verdict, notes={"chi": chi})
+
+
+def clique_chord_instances(seed: int, count: int = 2) -> Iterator[QAInstance]:
+    """A clique core with chordal appendages hanging off it.
+
+    The clique pins the chromatic number; the appendages add the
+    low-degree structure symmetry heuristics reorder, so b1/s1 sequences
+    differ meaningfully from the vertex numbering.
+    """
+    rng = random.Random(f"qa.clique|{seed}")
+    for index in range(count):
+        core = rng.randint(3, 5)
+        extra = rng.randint(1, 3)
+        graph = Graph(core + extra)
+        for u in range(core):
+            for v in range(u + 1, core):
+                graph.add_edge(u, v)
+        for w in range(core, core + extra):
+            # Attach each appendage vertex to a random 2-subset of the
+            # clique (a chord path around the core).
+            for u in rng.sample(range(core), 2):
+                graph.add_edge(u, w)
+        k = core + rng.choice((-1, 0))
+        if k < 1:
+            k = 1
+        yield QAInstance(name=f"clique-{seed}-{index}", kind="clique-chord",
+                        problem=ColoringProblem(graph, k), seed=seed,
+                        expected=_oracle(graph, k),
+                        notes={"core": core, "extra": extra})
+
+
+def disconnected_instances(seed: int, count: int = 2) -> Iterator[QAInstance]:
+    """Multiple components plus isolated vertices: the status is decided
+    by the hardest component, and the isolated vertices exercise decode
+    paths for unconstrained variable blocks."""
+    rng = random.Random(f"qa.disconnected|{seed}")
+    for index in range(count):
+        parts: List[Graph] = []
+        for _ in range(rng.randint(2, 3)):
+            parts.append(_random_graph(rng, rng.randint(2, 4), 0.7))
+        isolated = rng.randint(1, 2)
+        total = sum(part.num_vertices for part in parts) + isolated
+        graph = Graph(total)
+        offset = 0
+        for part in parts:
+            for u, v in part.edges():
+                graph.add_edge(offset + u, offset + v)
+            offset += part.num_vertices
+        chi = chromatic_number(graph)
+        k = max(1, chi + rng.choice((-1, 0, 1)))
+        yield QAInstance(name=f"disconnected-{seed}-{index}",
+                        kind="disconnected",
+                        problem=ColoringProblem(graph, k), seed=seed,
+                        expected=_oracle(graph, k),
+                        notes={"components": len(parts) + isolated})
+
+
+def edge_case_instances(seed: int) -> Iterator[QAInstance]:
+    """Encoder edge cases: K=1, K > |V|, single vertex, empty edge set."""
+    rng = random.Random(f"qa.edge|{seed}")
+    n = rng.randint(2, 5)
+    graph = _random_graph(rng, n, 0.5)
+    has_edges = graph.num_edges > 0
+    yield QAInstance(name=f"edge-k1-{seed}", kind="edge-case",
+                    problem=ColoringProblem(graph, 1), seed=seed,
+                    expected=not has_edges)
+    yield QAInstance(name=f"edge-kbig-{seed}", kind="edge-case",
+                    problem=ColoringProblem(graph, n + rng.randint(1, 3)),
+                    seed=seed, expected=True)
+    yield QAInstance(name=f"edge-single-{seed}", kind="edge-case",
+                    problem=ColoringProblem(Graph(1), rng.randint(1, 3)),
+                    seed=seed, expected=True)
+    yield QAInstance(name=f"edge-edgeless-{seed}", kind="edge-case",
+                    problem=ColoringProblem(Graph(rng.randint(1, 4)), 1),
+                    seed=seed, expected=True)
+
+
+def routing_instances(seed: int, count: int = 1) -> Iterator[QAInstance]:
+    """Real routing-to-coloring reductions at near-critical widths.
+
+    A tiny synthetic circuit goes through the actual global router and
+    conflict-graph construction; the channel width is then set at the
+    conflict graph's chromatic number (routable by the paper's
+    equivalence) and one below it (provably unroutable).
+    """
+    from ..fpga.generate import CircuitSpec, generate_netlist
+    from ..fpga.global_route import route_netlist
+
+    rng = random.Random(f"qa.routing|{seed}")
+    for index in range(count):
+        spec = CircuitSpec(name=f"qa{seed}-{index}",
+                           cols=rng.randint(2, 3), rows=rng.randint(2, 3),
+                           num_nets=rng.randint(3, 6),
+                           seed=rng.randrange(1 << 30))
+        routing = route_netlist(generate_netlist(spec))
+        from ..fpga.detailed import build_routing_csp
+        base = build_routing_csp(routing, 1)
+        graph = base.problem.graph
+        if graph.num_vertices == 0 or \
+                graph.num_vertices > MAX_ORACLE_VERTICES:
+            continue
+        chi = max(1, chromatic_number(graph))
+        for width, verdict in ((chi, True), (chi - 1, False)):
+            if width < 1:
+                continue
+            yield QAInstance(
+                name=f"routing-{seed}-{index}-w{width}", kind="routing",
+                problem=base.problem.with_colors(width), seed=seed,
+                expected=verdict,
+                notes={"circuit": spec.name, "width": width,
+                       "critical_width": chi})
+
+
+def generate_instances(seed: int, *,
+                       include_routing: bool = True) -> List[QAInstance]:
+    """The full deterministic instance batch for one fuzzing seed."""
+    instances: List[QAInstance] = []
+    instances.extend(random_instances(seed))
+    instances.extend(near_critical_instances(seed))
+    instances.extend(clique_chord_instances(seed))
+    instances.extend(disconnected_instances(seed))
+    instances.extend(edge_case_instances(seed))
+    if include_routing:
+        instances.extend(routing_instances(seed))
+    return instances

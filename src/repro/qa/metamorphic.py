@@ -1,0 +1,191 @@
+"""Metamorphic oracles: status-preserving and status-monotone transforms.
+
+Differential testing needs at least two strategies to disagree; these
+oracles catch bugs a *single* strategy exhibits, by checking known
+relations between an instance and a transformed twin:
+
+* **vertex relabeling** — permuting vertex ids is a graph isomorphism:
+  the status must be identical (and a decoded coloring, pushed through
+  the permutation, must stay proper);
+* **color relabeling** — colors are anonymous: any permutation of a
+  decoded coloring's colors must still validate (exercises the
+  validator's symmetry, not the solver);
+* **isolated vertex** — adding a degree-0 vertex never changes the
+  status (K >= 1 always colors it);
+* **edge removal** — deleting a constraint is a relaxation: SAT can
+  never become UNSAT;
+* **color increment** — raising K (one more track per channel, in
+  routing terms) is a relaxation: routable can never become unroutable.
+
+Every violated relation becomes a :class:`FailureSignature` with kind
+``metamorphic``, shrinkable and bundleable like any differential
+disagreement (the signature's answer slot names the violated oracle).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..coloring.problem import ColoringProblem, Graph
+from ..core.pipeline import solve_coloring
+from ..core.strategy import Strategy
+from ..obs import metrics as obs_metrics
+from ..obs import trace
+from ..sat.status import SolveLimits, SolveStatus
+from .differential import DEFAULT_SOLVE_LIMITS, FailureSignature
+
+#: Oracle names, in the order they are checked.
+ORACLES = ("vertex-relabel", "color-relabel", "isolated-vertex",
+           "edge-removal", "color-increment")
+
+
+def relabel_vertices(problem: ColoringProblem,
+                     permutation: Sequence[int]) -> ColoringProblem:
+    """The isomorphic problem with vertex ``v`` renamed to
+    ``permutation[v]``."""
+    n = problem.num_vertices
+    if sorted(permutation) != list(range(n)):
+        raise ValueError("not a permutation of the vertex set")
+    graph = Graph(n)
+    for u, v in problem.graph.edges():
+        graph.add_edge(permutation[u], permutation[v])
+    names = None
+    if problem.vertex_names is not None:
+        names = [""] * n
+        for old, new in enumerate(permutation):
+            names[new] = problem.vertex_names[old]
+    return ColoringProblem(graph, problem.num_colors, names)
+
+
+def add_isolated_vertex(problem: ColoringProblem) -> ColoringProblem:
+    graph = problem.graph.copy()
+    graph.add_vertex()
+    names = None
+    if problem.vertex_names is not None:
+        names = list(problem.vertex_names) + ["isolated"]
+    return ColoringProblem(graph, problem.num_colors, names)
+
+
+def remove_random_edge(problem: ColoringProblem,
+                       rng: random.Random) -> Optional[ColoringProblem]:
+    edges = sorted(problem.graph.edges())
+    if not edges:
+        return None
+    drop = edges[rng.randrange(len(edges))]
+    graph = Graph(problem.num_vertices)
+    for edge in edges:
+        if edge != drop:
+            graph.add_edge(*edge)
+    return ColoringProblem(graph, problem.num_colors, problem.vertex_names)
+
+
+def increment_colors(problem: ColoringProblem) -> ColoringProblem:
+    return problem.with_colors(problem.num_colors + 1)
+
+
+@dataclass
+class MetamorphicReport:
+    """Outcome of one metamorphic session on one (instance, strategy)."""
+
+    strategy: Strategy
+    base_status: SolveStatus
+    checked: List[str]
+    violations: List[FailureSignature]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_metamorphic(problem: ColoringProblem, strategy: Strategy, *,
+                    seed: int = 0,
+                    limits: Optional[SolveLimits] = DEFAULT_SOLVE_LIMITS,
+                    faults=None) -> MetamorphicReport:
+    """Check every applicable metamorphic oracle for one strategy.
+
+    Transforms are seeded, so a violation found at ``seed`` replays.
+    Undecided statuses (timeout / budget) void the relations that
+    involve them; an ERROR status is reported by the differential
+    checks, not here.
+    """
+    rng = random.Random(f"qa.metamorphic|{seed}")
+    violations: List[FailureSignature] = []
+    checked: List[str] = []
+
+    def solve(candidate: ColoringProblem) -> SolveStatus:
+        return solve_coloring(candidate, strategy, limits=limits,
+                              faults=faults).status
+
+    def violation(oracle: str, detail: str) -> None:
+        violations.append(FailureSignature(
+            kind="metamorphic", members=((strategy.label, oracle),),
+            detail=detail))
+
+    with trace.span("qa.metamorphic", strategy=strategy.label,
+                    vertices=problem.num_vertices) as span:
+        base = solve_coloring(problem, strategy, limits=limits,
+                              faults=faults)
+        if base.status.decided:
+            _check_relabelings(problem, strategy, base, solve, rng,
+                               checked, violation)
+            checked.append("isolated-vertex")
+            grown = solve(add_isolated_vertex(problem))
+            if grown.decided and grown is not base.status:
+                violation("isolated-vertex",
+                          f"{base.status} became {grown} after adding an "
+                          f"isolated vertex")
+            if base.status is SolveStatus.SAT:
+                relaxed_problem = remove_random_edge(problem, rng)
+                if relaxed_problem is not None:
+                    checked.append("edge-removal")
+                    relaxed = solve(relaxed_problem)
+                    if relaxed is SolveStatus.UNSAT:
+                        violation("edge-removal",
+                                  "removing an edge flipped SAT to UNSAT")
+                checked.append("color-increment")
+                wider = solve(increment_colors(problem))
+                if wider is SolveStatus.UNSAT:
+                    violation("color-increment",
+                              f"SAT at K={problem.num_colors} but UNSAT "
+                              f"at K={problem.num_colors + 1}")
+        span.set("violations", len(violations))
+        if violations and trace.enabled():
+            for failure in violations:
+                trace.event("qa.metamorphic.violation", detail=str(failure))
+        if obs_metrics.enabled():
+            registry = obs_metrics.registry()
+            registry.inc("qa.metamorphic_runs")
+            registry.inc("qa.metamorphic_checks", len(checked))
+            registry.inc("qa.metamorphic_violations", len(violations))
+    return MetamorphicReport(strategy=strategy, base_status=base.status,
+                             checked=checked, violations=violations)
+
+
+def _check_relabelings(problem: ColoringProblem, strategy: Strategy,
+                       base, solve, rng: random.Random,
+                       checked: List[str],
+                       violation: Callable[[str, str], None]) -> None:
+    """The two relabeling oracles (vertex isomorphism, color anonymity)."""
+    if problem.num_vertices > 1:
+        checked.append("vertex-relabel")
+        permutation = list(range(problem.num_vertices))
+        rng.shuffle(permutation)
+        relabeled = relabel_vertices(problem, permutation)
+        twin = solve(relabeled)
+        if twin.decided and twin is not base.status:
+            violation("vertex-relabel",
+                      f"isomorphic instance answered {twin}, original "
+                      f"answered {base.status}")
+    if base.status is SolveStatus.SAT and base.coloring is not None \
+            and problem.num_colors > 1:
+        checked.append("color-relabel")
+        colors = list(range(problem.num_colors))
+        rng.shuffle(colors)
+        recolored: Dict[int, int] = {v: colors[c]
+                                     for v, c in base.coloring.items()}
+        if not problem.is_valid_coloring(recolored):
+            violation("color-relabel",
+                      "a proper coloring became improper under a color "
+                      "permutation")

@@ -1,0 +1,284 @@
+"""Delta-debugging shrinker and reproducer bundles.
+
+A fuzzing campaign that finds a disagreement on a 9-vertex instance
+under a 60-strategy matrix is not yet debuggable.  This module minimizes
+the failing instance while preserving its :class:`FailureSignature` —
+classic ddmin over the vertex set, then greedy edge removal, then color
+budget reduction — and serialises the result as a *reproducer bundle*:
+a directory with the minimized ``.col`` graph, the strategy pair, the
+seed and the failure signature, everything needed to replay the bug from
+a CI artifact with two commands (see ``docs/testing.md``).
+
+The shrinker only ever re-runs the strategies the signature names (a
+pair, for a status disagreement), so each probe costs two tiny solves,
+not a matrix sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..coloring.dimacs import to_col_string
+from ..coloring.problem import ColoringProblem, Graph
+from ..core.strategy import Strategy
+from ..obs import metrics as obs_metrics
+from ..obs import trace
+from .differential import (DEFAULT_SOLVE_LIMITS, FailureSignature,
+                           recheck_failure)
+
+#: Hard cap on shrinker probes — ddmin converges long before this on the
+#: instance sizes the generators produce; the cap is a runaway backstop.
+MAX_PROBES = 2000
+
+Predicate = Callable[[ColoringProblem], bool]
+
+
+def induced_subproblem(problem: ColoringProblem,
+                       keep: Sequence[int]) -> ColoringProblem:
+    """The subproblem induced by the kept vertices (ids renumbered in
+    ascending order of the original ids)."""
+    kept = sorted(set(keep))
+    renumber = {old: new for new, old in enumerate(kept)}
+    graph = Graph(len(kept))
+    for u, v in problem.graph.edges():
+        if u in renumber and v in renumber:
+            graph.add_edge(renumber[u], renumber[v])
+    names = None
+    if problem.vertex_names is not None:
+        names = [problem.vertex_names[old] for old in kept]
+    return ColoringProblem(graph, problem.num_colors, names)
+
+
+def without_edge(problem: ColoringProblem, edge: Tuple[int, int]
+                 ) -> ColoringProblem:
+    """The same problem minus one edge."""
+    graph = Graph(problem.num_vertices)
+    for u, v in problem.graph.edges():
+        if (u, v) != edge:
+            graph.add_edge(u, v)
+    return ColoringProblem(graph, problem.num_colors, problem.vertex_names)
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized problem plus how the shrinker got there."""
+
+    problem: ColoringProblem
+    probes: int = 0
+    reductions: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def num_vertices(self) -> int:
+        return self.problem.num_vertices
+
+
+class _Shrinker:
+    """One shrinking session: counts probes, enforces the cap."""
+
+    def __init__(self, predicate: Predicate, max_probes: int) -> None:
+        self._predicate = predicate
+        self._max_probes = max_probes
+        self.probes = 0
+        self.reductions = 0
+
+    def holds(self, candidate: ColoringProblem) -> bool:
+        if self.probes >= self._max_probes:
+            return False
+        self.probes += 1
+        return self._predicate(candidate)
+
+    def ddmin_vertices(self, problem: ColoringProblem) -> ColoringProblem:
+        """Zeller-style ddmin over the vertex set (complement testing)."""
+        vertices = list(range(problem.num_vertices))
+        granularity = 2
+        while len(vertices) >= 2:
+            chunk = max(1, len(vertices) // granularity)
+            reduced = False
+            for start in range(0, len(vertices), chunk):
+                complement = vertices[:start] + vertices[start + chunk:]
+                if not complement:
+                    continue
+                candidate = induced_subproblem(problem, complement)
+                if self.holds(candidate):
+                    vertices = complement
+                    granularity = max(2, granularity - 1)
+                    self.reductions += 1
+                    reduced = True
+                    break
+            if not reduced:
+                if granularity >= len(vertices):
+                    break
+                granularity = min(len(vertices), granularity * 2)
+        return induced_subproblem(problem, vertices)
+
+    def drop_edges(self, problem: ColoringProblem) -> ColoringProblem:
+        """Greedy one-pass edge removal (each survivor edge is needed)."""
+        for edge in sorted(problem.graph.edges()):
+            if not problem.graph.has_edge(*edge):
+                continue  # removed by an earlier candidate
+            candidate = without_edge(problem, edge)
+            if self.holds(candidate):
+                problem = candidate
+                self.reductions += 1
+        return problem
+
+    def lower_colors(self, problem: ColoringProblem) -> ColoringProblem:
+        while problem.num_colors > 1:
+            candidate = problem.with_colors(problem.num_colors - 1)
+            if not self.holds(candidate):
+                break
+            problem = candidate
+            self.reductions += 1
+        return problem
+
+
+def shrink_problem(problem: ColoringProblem, predicate: Predicate, *,
+                   max_probes: int = MAX_PROBES) -> ShrinkResult:
+    """Minimize ``problem`` while ``predicate`` (failure reproduces)
+    stays True.
+
+    The caller guarantees ``predicate(problem)`` is True on entry; the
+    result is 1-minimal with respect to the reduction operators (no
+    single vertex, edge or color can be removed without losing the
+    failure), barring the probe cap.
+    """
+    start = time.perf_counter()
+    shrinker = _Shrinker(predicate, max_probes)
+    with trace.span("qa.shrink", vertices=problem.num_vertices,
+                    edges=problem.graph.num_edges) as span:
+        current = problem
+        while True:
+            before = shrinker.reductions
+            current = shrinker.ddmin_vertices(current)
+            current = shrinker.drop_edges(current)
+            current = shrinker.lower_colors(current)
+            if shrinker.reductions == before:
+                break
+        span.set("final_vertices", current.num_vertices)
+        span.set("probes", shrinker.probes)
+        if obs_metrics.enabled():
+            registry = obs_metrics.registry()
+            registry.inc("qa.shrink_runs")
+            registry.inc("qa.shrink_probes", shrinker.probes)
+            registry.observe("qa.shrink_final_vertices",
+                             current.num_vertices)
+    return ShrinkResult(problem=current, probes=shrinker.probes,
+                        reductions=shrinker.reductions,
+                        wall_time=time.perf_counter() - start)
+
+
+def minimal_members(signature: FailureSignature
+                    ) -> Tuple[Tuple[str, str], ...]:
+    """A representative subset of a signature's members to shrink
+    against: for a status disagreement, one strategy per side; for
+    everything else, the first offender.  Shrinking against a pair keeps
+    every probe at two tiny solves."""
+    if signature.kind == "status-disagreement":
+        by_answer: Dict[str, Tuple[str, str]] = {}
+        for label, answer in signature.members:
+            by_answer.setdefault(answer, (label, answer))
+        return tuple(sorted(by_answer.values(), key=lambda m: m[1]))
+    return signature.members[:1]
+
+
+def shrink_failure(problem: ColoringProblem,
+                   strategies: Sequence[Strategy],
+                   signature: FailureSignature, *,
+                   limits=DEFAULT_SOLVE_LIMITS,
+                   faults=None,
+                   max_probes: int = MAX_PROBES
+                   ) -> Tuple[ShrinkResult, FailureSignature]:
+    """Minimize a differential failure found by
+    :func:`~repro.qa.differential.run_differential`.
+
+    Returns the shrink result and the *narrowed* signature (the
+    representative strategy pair actually preserved), which is what the
+    reproducer bundle records.
+    """
+    narrowed = FailureSignature(kind=signature.kind,
+                                members=minimal_members(signature),
+                                detail=signature.detail)
+    involved = [strategy for strategy in strategies
+                if strategy.label in set(narrowed.labels)]
+
+    def predicate(candidate: ColoringProblem) -> bool:
+        return recheck_failure(candidate, involved, narrowed,
+                               limits=limits, faults=faults)
+
+    if not predicate(problem):
+        # The narrowed pair alone does not reproduce (e.g. an oracle
+        # mismatch that needs the full member set): fall back to the
+        # original signature.
+        narrowed = signature
+        involved = [strategy for strategy in strategies
+                    if strategy.label in set(narrowed.labels)]
+    return shrink_problem(problem, predicate, max_probes=max_probes), narrowed
+
+
+@dataclass
+class ReproducerBundle:
+    """Everything needed to replay one minimized failure from disk."""
+
+    name: str
+    problem: ColoringProblem
+    signature: FailureSignature
+    seed: int
+    instance_kind: str = ""
+    faults: str = ""
+    original_vertices: int = 0
+    shrink_probes: int = 0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def meta(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "instance_kind": self.instance_kind,
+            "num_vertices": self.problem.num_vertices,
+            "num_edges": self.problem.graph.num_edges,
+            "num_colors": self.problem.num_colors,
+            "signature": self.signature.to_dict(),
+            "strategies": list(self.signature.labels),
+            "faults": self.faults,
+            "original_vertices": self.original_vertices,
+            "shrink_probes": self.shrink_probes,
+            **self.extra,
+        }
+
+    def write(self, directory: str) -> str:
+        """Write the bundle under ``directory`` and return its path.
+
+        Layout: ``<directory>/<name>/instance.col`` (byte-stable DIMACS)
+        plus ``meta.json`` (sorted keys).  Idempotent: writing the same
+        bundle twice produces identical bytes.
+        """
+        bundle_dir = os.path.join(directory, self.name)
+        os.makedirs(bundle_dir, exist_ok=True)
+        col_text = to_col_string(
+            self.problem.graph,
+            comments=[f"qa reproducer {self.name}",
+                      f"color with K={self.problem.num_colors}",
+                      f"signature: {self.signature.kind}"])
+        with open(os.path.join(bundle_dir, "instance.col"), "w",
+                  encoding="ascii") as handle:
+            handle.write(col_text)
+        with open(os.path.join(bundle_dir, "meta.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump(self.meta(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return bundle_dir
+
+
+def load_bundle(bundle_dir: str) -> Tuple[ColoringProblem, Dict[str, object]]:
+    """Load a reproducer bundle back: (problem, metadata)."""
+    from ..coloring.dimacs import parse_col_file
+    with open(os.path.join(bundle_dir, "meta.json"), "r",
+              encoding="utf-8") as handle:
+        meta = json.load(handle)
+    graph = parse_col_file(os.path.join(bundle_dir, "instance.col"))
+    return ColoringProblem(graph, int(meta["num_colors"])), meta

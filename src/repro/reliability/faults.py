@@ -45,6 +45,13 @@ corrupt_input
             flip the sign of one literal of the encoded CNF before
             solving — the answer may silently change; auditing catches
             it end to end.
+drop_clause
+            delete one deterministically chosen clause of the encoded
+            CNF before solving — the canonical *encoding bug* (a
+            dropped exclusivity constraint): the formula is weaker, so
+            a SAT answer may decode to an improper coloring or an
+            UNSAT instance may "solve".  The differential harness
+            (:mod:`repro.qa`) must flag it as a disagreement.
 ========== ============================================================
 
 Sites: ``solver`` (both CDCL engines), ``arena`` / ``legacy`` (one
@@ -75,7 +82,7 @@ from ..errors import ParseError
 
 #: Recognised fault kinds (see module docstring).
 FAULT_KINDS = ("crash", "hang", "slowdown", "wrong_model",
-               "truncated_proof", "corrupt_input")
+               "truncated_proof", "corrupt_input", "drop_clause")
 
 #: Recognised injection sites.
 FAULT_SITES = ("*", "solver", "arena", "legacy", "encode", "worker")
@@ -381,25 +388,50 @@ class FaultInjector:
         return self._rng(index).randint(0, proof_length - 1) // 2
 
     def corrupt_cnf(self, cnf) -> Optional[str]:
-        """Flip the sign of one literal of ``cnf`` in place.
+        """Corrupt the encoded formula in place (encode-site faults).
 
-        Returns a description of the corruption, or None when the fault
-        does not fire (or the formula has no literals to corrupt).
+        Tries ``corrupt_input`` (flip the sign of one literal), then
+        ``drop_clause`` (delete one clause — the injected *encoding
+        bug*).  Returns a description of the corruption, or None when
+        no fault fires (or the formula has nothing to corrupt).
         ``cnf`` is duck-typed: anything with a ``clauses`` list of
         literal tuples works.
         """
         index = self._fire("corrupt_input")
+        if index >= 0:
+            clauses = cnf.clauses
+            candidates = [i for i, clause in enumerate(clauses) if clause]
+            if not candidates:
+                return None
+            rng = self._rng(index)
+            target = candidates[rng.randrange(len(candidates))]
+            clause = list(clauses[target])
+            position = rng.randrange(len(clause))
+            clause[position] = -clause[position]
+            clauses[target] = tuple(clause)
+            return (f"corrupt_input: flipped literal {position} of clause "
+                    f"{target}")
+        return self.drop_cnf_clause(cnf)
+
+    def drop_cnf_clause(self, cnf) -> Optional[str]:
+        """Delete one deterministically chosen clause of ``cnf`` in place.
+
+        Prefers multi-literal clauses (conflict/exclusivity constraints)
+        over units, so the dropped constraint weakens the formula the
+        way a real encoder bug would.
+        """
+        index = self._fire("drop_clause")
         if index < 0:
             return None
         clauses = cnf.clauses
-        candidates = [i for i, clause in enumerate(clauses) if clause]
+        candidates = [i for i, clause in enumerate(clauses)
+                      if len(clause) >= 2]
+        if not candidates:
+            candidates = [i for i, clause in enumerate(clauses) if clause]
         if not candidates:
             return None
-        rng = self._rng(index)
-        target = candidates[rng.randrange(len(candidates))]
-        clause = list(clauses[target])
-        position = rng.randrange(len(clause))
-        clause[position] = -clause[position]
-        clauses[target] = tuple(clause)
-        return (f"corrupt_input: flipped literal {position} of clause "
-                f"{target}")
+        target = candidates[self._rng(index).randrange(len(candidates))]
+        dropped = clauses[target]
+        del clauses[target]
+        return (f"drop_clause: removed clause {target} "
+                f"{tuple(dropped)}")

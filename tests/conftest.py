@@ -1,61 +1,21 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures for the test suite.
+
+The instance builders and hypothesis strategies live in
+:mod:`tests.strategies`; they are re-exported here so existing
+``from .conftest import ...`` imports keep working.
+"""
 
 from __future__ import annotations
 
-import random
-
 import pytest
-from hypothesis import strategies as st
 
 from repro.coloring import Graph
-from repro.sat import CNF
 
+from .strategies import (make_random_cnf, make_random_graph, small_cnfs,
+                         small_graphs)
 
-def make_random_cnf(num_vars: int, num_clauses: int, seed: int,
-                    max_clause_len: int = 3) -> CNF:
-    """Seeded random CNF used by solver cross-check tests."""
-    rng = random.Random(seed)
-    cnf = CNF(num_vars=num_vars)
-    for _ in range(num_clauses):
-        length = rng.randint(1, max_clause_len)
-        cnf.add_clause([rng.choice([1, -1]) * rng.randint(1, num_vars)
-                        for _ in range(length)])
-    return cnf
-
-
-def make_random_graph(num_vertices: int, edge_probability: float,
-                      seed: int) -> Graph:
-    rng = random.Random(seed)
-    graph = Graph(num_vertices)
-    for u in range(num_vertices):
-        for v in range(u + 1, num_vertices):
-            if rng.random() < edge_probability:
-                graph.add_edge(u, v)
-    return graph
-
-
-@st.composite
-def small_graphs(draw, max_vertices: int = 8):
-    """Hypothesis strategy for small random graphs."""
-    n = draw(st.integers(min_value=1, max_value=max_vertices))
-    edges = []
-    for u in range(n):
-        for v in range(u + 1, n):
-            if draw(st.booleans()):
-                edges.append((u, v))
-    return Graph(n, edges)
-
-
-@st.composite
-def small_cnfs(draw, max_vars: int = 8, max_clauses: int = 20):
-    """Hypothesis strategy for small CNF formulas."""
-    num_vars = draw(st.integers(min_value=1, max_value=max_vars))
-    num_clauses = draw(st.integers(min_value=0, max_value=max_clauses))
-    literal = st.integers(min_value=1, max_value=num_vars).flatmap(
-        lambda v: st.sampled_from([v, -v]))
-    clauses = draw(st.lists(
-        st.lists(literal, min_size=1, max_size=4), max_size=num_clauses))
-    return CNF(clauses, num_vars=num_vars)
+__all__ = ["make_random_cnf", "make_random_graph", "small_cnfs",
+           "small_graphs", "triangle", "square", "pentagon"]
 
 
 @pytest.fixture

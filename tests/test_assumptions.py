@@ -4,7 +4,7 @@ import pytest
 
 from repro.sat import CNF, solve_by_enumeration
 from repro.sat.solver.cdcl import CDCLSolver
-from .conftest import make_random_cnf
+from .strategies import make_random_cnf
 
 
 class TestAssumptions:
@@ -92,7 +92,7 @@ class TestIncrementalReuse:
 
 class TestIncrementalColoring:
     def _problem(self, seed=5, n=9, p=0.5):
-        from .conftest import make_random_graph
+        from .strategies import make_random_graph
         from repro.coloring import ColoringProblem
         return ColoringProblem(make_random_graph(n, p, seed), 1)
 

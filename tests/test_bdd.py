@@ -7,7 +7,7 @@ from repro.sat import CNF, solve_by_enumeration
 from repro.sat.bdd import (BDDLimitExceeded, BDDManager, ONE, ZERO,
                            cnf_to_bdd, solve_bdd)
 from repro.sat.solver.enumerate import count_models
-from .conftest import make_random_cnf, small_cnfs
+from .strategies import make_random_cnf, small_cnfs
 
 
 class TestManager:

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 
 from repro.sat import (CNF, BudgetExceeded, CDCLSolver, SolverConfig,
                        minisat_like, siege_like, solve, solve_by_enumeration)
-from .conftest import make_random_cnf, small_cnfs
+from .strategies import make_random_cnf, small_cnfs
 
 
 def pigeonhole(holes: int) -> CNF:

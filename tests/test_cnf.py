@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 
 from repro.sat import CNF, parse_dimacs_string
-from .conftest import small_cnfs
+from .strategies import small_cnfs
 
 
 class TestConstruction:

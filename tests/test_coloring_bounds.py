@@ -7,7 +7,7 @@ from repro.coloring import (chromatic_number, clique_lower_bound,
                             complete_graph, cycle_graph, dsatur_coloring,
                             find_coloring, greedy_clique, greedy_coloring,
                             greedy_num_colors, is_colorable, Graph)
-from .conftest import small_graphs
+from .strategies import small_graphs
 
 
 class TestGreedyColoring:

@@ -5,7 +5,7 @@ from hypothesis import given
 
 from repro.coloring import (Graph, parse_col_string, to_col_string,
                             parse_col_file, write_col_file)
-from .conftest import small_graphs
+from .strategies import small_graphs
 
 
 class TestWrite:
@@ -67,3 +67,24 @@ class TestRoundTrip:
         parsed = parse_col_string(to_col_string(graph))
         assert parsed.num_vertices == graph.num_vertices
         assert sorted(parsed.edges()) == sorted(graph.edges())
+
+
+class TestByteStability:
+    """The writer is a pure function of the graph: equal graphs produce
+    identical bytes, whatever order their edges were inserted in.
+    Reproducer bundles (repro.qa) depend on this to diff cleanly."""
+
+    def test_insertion_order_does_not_leak(self):
+        forward = Graph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        backward = Graph(4, [(0, 3), (2, 3), (1, 2), (0, 1)])
+        assert to_col_string(forward) == to_col_string(backward)
+
+    def test_edges_emitted_sorted(self):
+        graph = Graph(3, [(1, 2), (0, 2), (0, 1)])
+        assert to_col_string(graph) == \
+            "p edge 3 3\ne 1 2\ne 1 3\ne 2 3\n"
+
+    @given(small_graphs())
+    def test_write_parse_write_fixpoint(self, graph):
+        first = to_col_string(graph)
+        assert to_col_string(parse_col_string(first)) == first

@@ -5,7 +5,7 @@ from hypothesis import given
 
 from repro.coloring import (ColoringProblem, Graph, complete_graph,
                             cycle_graph, random_graph)
-from .conftest import small_graphs
+from .strategies import small_graphs
 
 
 class TestGraph:

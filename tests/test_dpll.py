@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.sat import CNF, solve_dpll, solve_by_enumeration
-from .conftest import make_random_cnf, small_cnfs
+from .strategies import make_random_cnf, small_cnfs
 
 
 class TestDPLL:

@@ -13,7 +13,7 @@ from repro.core.encodings import (ALL_ENCODINGS, get_encoding,
                                   parse_encoding)
 from repro.core.patterns import pattern_holds, patterns_are_distinct
 from repro.sat import solve
-from .conftest import make_random_graph
+from .strategies import make_random_graph
 
 DOMAIN_SIZES = [1, 2, 3, 4, 5, 7, 8, 9, 13, 16]
 

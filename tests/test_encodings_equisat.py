@@ -1,6 +1,7 @@
 """The central correctness property of the whole encoding layer:
 
-for every one of the paper's 15 encodings, the generated CNF is
+for every one of the paper's 15 encodings — with or without the
+``b1``/``s1`` symmetry-breaking clauses — the generated CNF is
 satisfiable **iff** the coloring problem is solvable, and every decoded
 model is a proper coloring.  The oracle is brute-force backtracking.
 """
@@ -11,22 +12,28 @@ from hypothesis import given, settings, strategies as st
 from repro.coloring import (ColoringProblem, Graph, complete_graph,
                             cycle_graph, is_colorable)
 from repro.core.encodings import ALL_ENCODINGS, get_encoding
+from repro.core.symmetry import apply_symmetry
 from repro.sat import solve
-from .conftest import make_random_graph, small_graphs
+from .strategies import make_random_graph, small_graphs
+
+#: The paper's two symmetry-breaking heuristics (§4).
+SYMMETRY_HEURISTICS = ("b1", "s1")
 
 
-def check_encoding(graph, num_colors, name):
+def check_encoding(graph, num_colors, name, symmetry="none"):
     problem = ColoringProblem(graph, num_colors)
     encoded = get_encoding(name).encode(problem)
+    if symmetry != "none":
+        apply_symmetry(encoded, symmetry)
     result = solve(encoded.cnf)
     expected = is_colorable(graph, num_colors)
     assert result.satisfiable == expected, (
-        f"{name}: SAT={result.satisfiable} but colorable={expected} "
-        f"(n={graph.num_vertices}, K={num_colors})")
+        f"{name}+{symmetry}: SAT={result.satisfiable} but "
+        f"colorable={expected} (n={graph.num_vertices}, K={num_colors})")
     if result.satisfiable:
         coloring = encoded.decode(result.model)
         assert problem.is_valid_coloring(coloring), (
-            f"{name}: decoded coloring invalid")
+            f"{name}+{symmetry}: decoded coloring invalid")
 
 
 @pytest.mark.parametrize("name", ALL_ENCODINGS)
@@ -74,9 +81,36 @@ def test_random_graphs_all_color_counts(name, seed):
         check_encoding(graph, num_colors, name)
 
 
+@pytest.mark.parametrize("symmetry", SYMMETRY_HEURISTICS)
+@pytest.mark.parametrize("name", ALL_ENCODINGS)
+@pytest.mark.parametrize("seed", range(4))
+def test_full_registry_with_symmetry(name, symmetry, seed):
+    """Every registry encoding x every symmetry heuristic, pinned seeds.
+
+    Symmetry breaking removes solutions but never changes
+    satisfiability — run the whole equisatisfiability check with the
+    b1/s1 clauses appended, at K below, at, and above the chromatic
+    boundary of a pinned random graph.
+    """
+    graph = make_random_graph(6, 0.5, seed=seed + 100)
+    for num_colors in range(1, 5):
+        check_encoding(graph, num_colors, name, symmetry=symmetry)
+
+
+@pytest.mark.parametrize("symmetry", SYMMETRY_HEURISTICS)
+@pytest.mark.parametrize("name", ALL_ENCODINGS)
+def test_symmetry_on_crafted_boundaries(name, symmetry):
+    """Cliques and odd cycles at the exact K boundary, under symmetry."""
+    check_encoding(complete_graph(4), 3, name, symmetry=symmetry)
+    check_encoding(complete_graph(4), 4, name, symmetry=symmetry)
+    check_encoding(cycle_graph(5), 2, name, symmetry=symmetry)
+    check_encoding(cycle_graph(5), 3, name, symmetry=symmetry)
+
+
 @settings(max_examples=25, deadline=None)
 @given(graph=small_graphs(max_vertices=7),
        num_colors=st.integers(min_value=1, max_value=5),
-       name=st.sampled_from(ALL_ENCODINGS))
-def test_equisatisfiability_property(graph, num_colors, name):
-    check_encoding(graph, num_colors, name)
+       name=st.sampled_from(ALL_ENCODINGS),
+       symmetry=st.sampled_from(("none",) + SYMMETRY_HEURISTICS))
+def test_equisatisfiability_property(graph, num_colors, name, symmetry):
+    check_encoding(graph, num_colors, name, symmetry=symmetry)

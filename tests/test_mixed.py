@@ -9,7 +9,7 @@ from repro.core.encodings import (DIRECT, ITE_LINEAR, ITE_LOG, Level,
                                   encode_mixed)
 from repro.core.patterns import patterns_are_distinct
 from repro.sat import solve
-from .conftest import make_random_graph, small_graphs
+from .strategies import make_random_graph, small_graphs
 
 SCHEMES = [DIRECT, MULDIRECT, LOG, ITE_LINEAR, ITE_LOG]
 

@@ -1,0 +1,145 @@
+"""Dedicated coverage for the brute-force testing oracles.
+
+``repro.coloring.brute`` and ``repro.sat.solver.enumerate`` anchor the
+whole differential/property test pyramid — every other suite trusts
+them — yet they only ever ran *as* oracles, never *under* test.  These
+tests pin their behaviour directly (known chromatic numbers, exact
+model counts, the size guards) and close the loop with the acceptance
+check: on every generated graph small enough to brute-force, the CDCL
+pipeline agrees with the oracle under all 15 encodings.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.coloring import (ColoringProblem, Graph, complete_graph,
+                            cycle_graph)
+from repro.coloring.brute import (chromatic_number, find_coloring,
+                                  is_colorable)
+from repro.core import Strategy, solve_coloring
+from repro.core.encodings import ALL_ENCODINGS
+from repro.qa import generate_instances
+from repro.sat import CNF, SolveStatus, solve
+from repro.sat.solver.enumerate import (all_models, count_models,
+                                        enumerate_models,
+                                        solve_by_enumeration)
+from .strategies import make_random_cnf, small_cnfs, small_graphs
+
+
+class TestBruteColoring:
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_complete_graph_chromatic_number(self, n):
+        assert chromatic_number(complete_graph(n)) == n
+
+    @pytest.mark.parametrize("n,chi", [(4, 2), (5, 3), (6, 2), (7, 3)])
+    def test_cycle_chromatic_number(self, n, chi):
+        assert chromatic_number(cycle_graph(n)) == chi
+
+    def test_edgeless_graph_needs_one_color(self):
+        assert chromatic_number(Graph(5)) == 1
+
+    def test_empty_graph(self):
+        assert chromatic_number(Graph(0)) == 0
+
+    def test_found_coloring_is_proper(self):
+        graph = complete_graph(4)
+        coloring = find_coloring(graph, 4)
+        assert coloring is not None
+        assert ColoringProblem(graph, 4).is_valid_coloring(coloring)
+
+    def test_no_coloring_below_chromatic_number(self):
+        assert find_coloring(complete_graph(4), 3) is None
+        assert not is_colorable(cycle_graph(5), 2)
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            find_coloring(Graph(17), 3)
+
+    def test_rejects_zero_colors(self):
+        with pytest.raises(ValueError):
+            find_coloring(Graph(2), 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_graphs(max_vertices=6))
+    def test_monotone_in_colors(self, graph):
+        """K-colorable implies (K+1)-colorable; chromatic_number is the
+        exact threshold."""
+        chi = chromatic_number(graph)
+        if chi > 1:
+            assert not is_colorable(graph, chi - 1)
+        assert is_colorable(graph, chi)
+        assert is_colorable(graph, chi + 1)
+
+
+class TestEnumeration:
+    def test_unconstrained_counts_all_assignments(self):
+        assert count_models(CNF(num_vars=3)) == 8
+
+    def test_single_unit_halves_the_space(self):
+        assert count_models(CNF([[1]], num_vars=3)) == 4
+
+    def test_contradiction_has_no_models(self):
+        cnf = CNF([[1], [-1]])
+        assert count_models(cnf) == 0
+        assert not solve_by_enumeration(cnf).satisfiable
+
+    def test_exact_models_of_xor(self):
+        # x XOR y: exactly the two assignments with differing values.
+        cnf = CNF([[1, 2], [-1, -2]])
+        models = all_models(cnf)
+        assert len(models) == 2
+        assert {(m.value(1), m.value(2)) for m in models} == \
+            {(True, False), (False, True)}
+
+    def test_every_enumerated_model_satisfies(self):
+        cnf = make_random_cnf(num_vars=6, num_clauses=15, seed=11)
+        models = list(enumerate_models(cnf))
+        assert all(m.satisfies(cnf) for m in models)
+        assert count_models(cnf) == len(models)
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            next(enumerate_models(CNF(num_vars=25)))
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_agrees_with_cdcl(self, seed):
+        cnf = make_random_cnf(num_vars=8, num_clauses=28, seed=seed + 2000)
+        assert solve_by_enumeration(cnf).satisfiable == \
+            solve(cnf).satisfiable
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_cnfs(max_vars=6, max_clauses=14))
+    def test_agrees_with_cdcl_property(self, cnf):
+        assert solve_by_enumeration(cnf).satisfiable == \
+            solve(cnf).satisfiable
+
+
+def _small_generated_problems(max_vertices=6):
+    """Generated qa instances small enough for the brute oracle."""
+    problems = []
+    for seed in (1, 2, 3):
+        for instance in generate_instances(seed):
+            if 1 <= instance.num_vertices <= max_vertices:
+                problems.append((instance.name, instance.problem))
+    return problems
+
+
+@pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+def test_brute_oracle_agreement_all_encodings(encoding):
+    """Acceptance: on every generated graph of <= 6 vertices, the CDCL
+    pipeline agrees with the brute-force oracle under each of the 15
+    encodings, and every SAT answer decodes to a proper coloring."""
+    problems = _small_generated_problems()
+    assert problems, "generators produced no small instances"
+    strategy = Strategy(encoding, "none")
+    for name, problem in problems:
+        expected = is_colorable(problem.graph, problem.num_colors)
+        outcome = solve_coloring(problem, strategy)
+        assert outcome.status in (SolveStatus.SAT, SolveStatus.UNSAT), \
+            f"{name}: unbounded solve did not decide"
+        assert outcome.satisfiable == expected, (
+            f"{name}: {encoding} answered {outcome.status}, oracle says "
+            f"colorable={expected}")
+        if outcome.satisfiable:
+            assert problem.is_valid_coloring(outcome.coloring), \
+                f"{name}: {encoding} decoded an improper coloring"

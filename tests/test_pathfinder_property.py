@@ -44,7 +44,7 @@ def _csp_from_graph(graph, width):
 def test_negotiation_soundness_property(data):
     """When negotiation claims success, the assignment is legal; it never
     'succeeds' below the chromatic number."""
-    from .conftest import make_random_graph
+    from .strategies import make_random_graph
     n = data.draw(st.integers(min_value=2, max_value=8))
     seed = data.draw(st.integers(min_value=0, max_value=100))
     graph = make_random_graph(n, 0.5, seed)
@@ -66,7 +66,7 @@ def test_negotiation_soundness_property(data):
 def test_negotiation_completeness_with_slack(seed):
     """With one extra track over chi, negotiation converges on small
     graphs."""
-    from .conftest import make_random_graph
+    from .strategies import make_random_graph
     graph = make_random_graph(7, 0.4, seed)
     chi = chromatic_number(graph)
     result = negotiate_tracks(_csp_from_graph(graph, chi + 1),

@@ -5,7 +5,7 @@ import pytest
 from repro.coloring import ColoringProblem, complete_graph, cycle_graph
 from repro.core import (BEST_SINGLE_STRATEGY, Strategy, minimum_colors,
                         solve_coloring)
-from .conftest import make_random_graph
+from .strategies import make_random_graph
 
 
 class TestStrategy:

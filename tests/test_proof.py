@@ -5,7 +5,7 @@ import pytest
 from repro.sat import (CNF, ProofError, SolverConfig, check_rup_proof,
                        solve_by_enumeration, solve_with_proof)
 from repro.sat.solver.cdcl import CDCLSolver
-from .conftest import make_random_cnf
+from .strategies import make_random_cnf
 from .test_cdcl import pigeonhole
 
 

@@ -9,7 +9,7 @@ from repro.core.encodings import (EXTENSION_ENCODINGS, SEQDIRECT,
 from repro.sat import solve
 from repro.sat.solver.enumerate import enumerate_models
 from repro.sat.cnf import CNF
-from .conftest import make_random_graph, small_graphs
+from .strategies import make_random_graph, small_graphs
 
 
 class TestScheme:

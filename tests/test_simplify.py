@@ -5,7 +5,7 @@ from hypothesis import given, settings
 
 from repro.sat import CNF, solve, solve_by_enumeration
 from repro.sat.simplify import simplify, solve_simplified
-from .conftest import make_random_cnf, small_cnfs
+from .strategies import make_random_cnf, small_cnfs
 
 
 class TestUnits:
@@ -91,6 +91,46 @@ class TestEquisatisfiability:
             assert not expected
         else:
             assert solve(result.cnf).satisfiable == expected
+
+
+class TestModelExtension:
+    def test_forced_and_pure_assignments_restored(self):
+        # 1 is forced, 3 is pure; the residual formula decides 2.
+        cnf = CNF([[1], [-1, 2, 3], [2, -2]])
+        result = simplify(cnf)
+        assert not result.contradiction
+        solved = solve(result.cnf)
+        lifted = result.extend_model(solved.model)
+        assert lifted.value(1) is True
+        assert lifted.satisfies(cnf)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_cnfs(max_vars=6, max_clauses=14))
+    def test_extension_property(self, cnf):
+        """Any model of the simplified formula lifts to a model of the
+        original — the contract the solver integration relies on."""
+        result = simplify(cnf)
+        if result.contradiction:
+            return
+        solved = solve(result.cnf)
+        if solved.satisfiable:
+            assert result.extend_model(solved.model).satisfies(cnf)
+
+
+class TestIdempotence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_second_pass_finds_nothing(self, seed):
+        """simplify is a fixpoint: re-simplifying its output forces no
+        further units and eliminates no further pure literals."""
+        cnf = make_random_cnf(num_vars=8, num_clauses=30, seed=seed + 1300)
+        first = simplify(cnf)
+        if first.contradiction:
+            return
+        second = simplify(first.cnf)
+        assert not second.contradiction
+        assert not second.forced
+        assert not second.pure
+        assert second.stats.get("subsumed", 0) == 0
 
 
 class TestSolveSimplified:

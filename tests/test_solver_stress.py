@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.sat import (CNF, SolverConfig, minisat_like, siege_like, solve,
                        solve_by_enumeration, solve_dpll)
 from repro.sat.solver.cdcl import CDCLSolver
-from .conftest import make_random_cnf
+from .strategies import make_random_cnf
 
 
 def xor_chain(length: int, parity: bool) -> CNF:

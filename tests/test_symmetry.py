@@ -9,7 +9,7 @@ from repro.core.encodings import ALL_ENCODINGS, get_encoding
 from repro.core.symmetry import (apply_symmetry, b1_sequence, c1_sequence,
                                  get_heuristic, s1_sequence, symmetry_clauses)
 from repro.sat import solve
-from .conftest import make_random_graph, small_graphs
+from .strategies import make_random_graph, small_graphs
 
 
 def star_with_tail():
