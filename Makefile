@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-fast check chaos fuzz-smoke fuzz-nightly trace-smoke bench bench-quick bench-all examples clean
+.PHONY: install test test-fast check chaos fuzz-smoke fuzz-nightly trace-smoke bench bench-quick bench-smoke bench-all examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -25,9 +25,11 @@ chaos:
 		tests/test_chaos.py tests/test_parser_fuzz.py
 
 # Differential-fuzzing smoke: a 60-second budgeted campaign on the
-# quick matrix.  Any disagreement between strategies fails the target
-# and leaves a minimized reproducer bundle under fuzz-bundles/.  See
-# docs/testing.md.
+# quick matrix — which races the stock arena engine against
+# arena+inprocess (inprocessing + tier reduction), so every new solver
+# flag is differentially fuzzed on each CI push.  Any disagreement
+# between strategies fails the target and leaves a minimized reproducer
+# bundle under fuzz-bundles/.  See docs/testing.md.
 fuzz-smoke:
 	PYTHONPATH=src python -m repro fuzz --seeds 3 --matrix quick \
 		--budget-seconds 60 --out fuzz-bundles
@@ -60,10 +62,18 @@ trace-smoke:
 bench:
 	pytest benchmarks/ --benchmark-only
 
-# Solver BCP throughput (arena vs legacy engine); finishes in well under
-# a minute and writes BENCH_solver.json at the repository root.
+# Solver throughput (BCP stress, context and conflict-heavy suites);
+# finishes in about a minute and writes BENCH_solver.json at the
+# repository root.
 bench-quick:
 	PYTHONPATH=src python -m repro.bench.throughput --quick
+
+# bench-quick plus the checked-in performance floor: fails on a >25%
+# regression of any figure pinned in benchmarks/floor.json (props/sec,
+# BCP speedup, conflict-suite speedup).  This is the CI bench gate.
+bench-smoke:
+	PYTHONPATH=src python -m repro.bench.throughput --quick \
+		-o bench-smoke.json --check-floor benchmarks/floor.json
 
 # The previous bench-quick: a scaled-down pass of every paper table.
 bench-all:

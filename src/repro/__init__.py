@@ -56,7 +56,7 @@ from .reliability import (AuditReport, AuditVerdict, FaultPlan,
                           audit_result)
 from .sat.solver.cdcl import BudgetExceeded
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ColoringProblem", "Graph",

@@ -1,12 +1,16 @@
 """BCP throughput benchmark: arena engine vs the legacy baseline.
 
-Measures raw unit-propagation speed of the two CDCL engines
+Measures raw unit-propagation speed of the CDCL engines
 (:class:`~repro.sat.solver.cdcl.CDCLSolver`, the flat clause-arena engine
 with blocker literals, and :class:`~repro.sat.solver.legacy.LegacyCDCLSolver`,
 the pre-arena clause-object engine) *in the same process and the same run*,
 so the reported speedup is an apples-to-apples before/after comparison.
+The array-packed engine (``engine="packed"``) is also registered in
+:data:`_ENGINES` for ad-hoc races, though the reported suites pit arena
+against legacy (same trajectory) and arena against itself with
+inprocessing + tiered reduction (the conflict suite).
 
-Two instance families:
+Three instance families:
 
 * **Stress suite** (the headline number) — synthetic BCP workloads built
   by :func:`bcp_stress`: a long implication chain ``x1 -> x2 -> ... -> xn``
@@ -21,6 +25,14 @@ Two instance families:
   share the profile with skips, so the engines land close to parity; the
   numbers are reported so the headline cannot be mistaken for an
   end-to-end search speedup.
+* **Conflict suite** — near-critical UNSAT coloring instances from
+  :func:`repro.qa.generators.conflict_instances` (a hidden clique buried
+  in noise, one color short), the analysis/reduction-dominated regime
+  the BCP suites deliberately avoid.  This suite races the arena engine
+  against *itself* with inprocessing and tier-based clause-DB reduction
+  enabled, and reports a per-phase time split
+  (propagate / analyze / reduce / inprocess) for both configurations —
+  ``headline_conflict_speedup`` is where the inprocessing work pays off.
 
 Timing methodology: the container's wall clock is noisy (identical code
 can swing ~30% between runs), so each measurement uses
@@ -43,6 +55,7 @@ from ..sat.cnf import CNF
 from ..sat.solver.cdcl import CDCLSolver
 from ..sat.solver.config import SolverConfig, preset
 from ..sat.solver.legacy import LegacyCDCLSolver
+from ..sat.solver.packed import PackedCDCLSolver
 
 
 # ----------------------------------------------------------------------
@@ -103,7 +116,8 @@ def pigeonhole(holes: int) -> CNF:
 # Measurement
 # ----------------------------------------------------------------------
 
-_ENGINES = {"arena": CDCLSolver, "legacy": LegacyCDCLSolver}
+_ENGINES = {"arena": CDCLSolver, "legacy": LegacyCDCLSolver,
+            "packed": PackedCDCLSolver}
 
 
 def _stress_runner(cnf: CNF, config: SolverConfig, rounds: int):
@@ -186,6 +200,99 @@ def measure_instance(name: str, cnf: CNF, *, runner: Callable,
     }
 
 
+#: Phase-timing stat keys, in reporting order.
+_PHASE_KEYS = ("time_propagate", "time_analyze", "time_reduce",
+               "time_inprocess")
+
+#: Inprocessing counters reported for the tuned configuration.
+_INPROCESS_KEYS = ("inprocess_passes", "subsumed_clauses",
+                   "strengthened_clauses", "vivified_clauses",
+                   "eliminated_vars", "bve_resolvents")
+
+
+def conflict_configs(seed: int = 1) -> Dict[str, SolverConfig]:
+    """The two configurations the conflict suite races.
+
+    ``baseline`` is the stock arena engine; ``tuned`` is the same engine
+    with inter-restart inprocessing and tier-based clause-DB reduction
+    — the configuration the ``arena+inprocess`` strategy engine maps to.
+    Both carry ``phase_timing`` so the payload can show *where* the
+    time went, not just how much.
+    """
+    return {
+        "baseline": preset("minisat_like", seed=seed, phase_timing=True),
+        "tuned": preset("minisat_like", seed=seed, phase_timing=True,
+                        inprocessing=True, reduce_policy="tier"),
+    }
+
+
+def measure_conflict_instance(name: str, cnf: CNF, *,
+                              repeats: int) -> Dict:
+    """Race baseline vs tuned arena configs on one conflict-heavy CNF.
+
+    Same methodology as :func:`measure_instance` (interleaved,
+    min-over-repeats ``process_time``), plus a per-phase time split
+    taken from each configuration's fastest run.
+    """
+    times: Dict[str, List[float]] = {"baseline": [], "tuned": []}
+    solvers: Dict[str, object] = {}
+    for _ in range(max(1, repeats)):
+        for label, config in conflict_configs().items():
+            solver = CDCLSolver(cnf.copy(), config)
+            start = time.process_time()
+            solver.solve()
+            elapsed = time.process_time() - start
+            if not times[label] or elapsed <= min(times[label]):
+                solvers[label] = solver
+            times[label].append(elapsed)
+    results: Dict[str, Dict] = {}
+    for label, solver in solvers.items():
+        stats = solver.stats
+        best = min(times[label])
+        record = {
+            "time": round(best, 6),
+            "conflicts": int(stats["conflicts"]),
+            "decisions": int(stats["decisions"]),
+            "propagations": int(stats["propagations"]),
+            "watch_inspections": int(stats["watch_inspections"]),
+            "learned_clauses": int(stats["learned_clauses"]),
+            "deleted_clauses": int(stats["deleted_clauses"]),
+            "phase_split": {key[len("time_"):]: round(stats.get(key, 0.0), 6)
+                            for key in _PHASE_KEYS},
+        }
+        if label == "tuned":
+            record["inprocessing"] = {
+                key: int(stats.get(key, 0)) for key in _INPROCESS_KEYS}
+        results[label] = record
+    base_t = results["baseline"]["time"]
+    tuned_t = results["tuned"]["time"]
+    return {
+        "name": name,
+        "num_vars": cnf.num_vars,
+        "num_clauses": len(cnf.clauses),
+        "baseline": results["baseline"],
+        "tuned": results["tuned"],
+        "speedup": round(base_t / tuned_t, 3) if tuned_t > 0 else None,
+    }
+
+
+def conflict_suite_instances(*, count: int = 4) -> List[Tuple[str, CNF]]:
+    """The conflict-heavy suite: planted-clique UNSAT coloring CNFs.
+
+    Deterministic (fixed generator seed), by-construction UNSAT, sized
+    so the baseline spends a few seconds per instance in conflict
+    analysis — large enough that clause-DB growth dominates, which is
+    the regime tier reduction and inprocessing target.
+    """
+    from ..core.encodings.registry import get_encoding
+    from ..qa.generators import conflict_instances
+    encoding = get_encoding("muldirect")
+    return [(inst.name, encoding.encode(inst.problem).cnf)
+            for inst in conflict_instances(
+                7, count=count, num_vertices=48,
+                edge_probability=0.42, clique_size=8)]
+
+
 # ----------------------------------------------------------------------
 # Suites
 # ----------------------------------------------------------------------
@@ -204,7 +311,10 @@ CONTEXT_SUITE = [
 
 def run_throughput_bench(*, repeats: int = 7, stress_rounds: int = 40,
                          include_context: bool = True,
-                         context_repeats: int = 2) -> Dict:
+                         context_repeats: int = 2,
+                         include_conflict: bool = True,
+                         conflict_count: int = 4,
+                         conflict_repeats: int = 2) -> Dict:
     """Run the full bench and return the BENCH_solver.json payload.
 
     The metrics registry is enabled for the duration of the run and its
@@ -222,10 +332,16 @@ def run_throughput_bench(*, repeats: int = 7, stress_rounds: int = 40,
         payload = _run_throughput_bench(
             repeats=repeats, stress_rounds=stress_rounds,
             include_context=include_context,
-            context_repeats=context_repeats)
+            context_repeats=context_repeats,
+            include_conflict=include_conflict,
+            conflict_count=conflict_count,
+            conflict_repeats=conflict_repeats)
         registry = obs_metrics.registry()
         registry.set_gauge("bench.headline_bcp_speedup",
                            payload["headline_bcp_speedup"])
+        if "headline_conflict_speedup" in payload:
+            registry.set_gauge("bench.headline_conflict_speedup",
+                               payload["headline_conflict_speedup"])
         payload["metrics"] = registry.snapshot()
         return payload
     finally:
@@ -233,8 +349,9 @@ def run_throughput_bench(*, repeats: int = 7, stress_rounds: int = 40,
 
 
 def _run_throughput_bench(*, repeats: int, stress_rounds: int,
-                          include_context: bool,
-                          context_repeats: int) -> Dict:
+                          include_context: bool, context_repeats: int,
+                          include_conflict: bool, conflict_count: int,
+                          conflict_repeats: int) -> Dict:
     stress = [
         measure_instance(
             name, bcp_stress(nv, fanout, clause_len),
@@ -273,6 +390,22 @@ def _run_throughput_bench(*, repeats: int, stress_rounds: int,
         payload["context_note"] = (
             "conflict-heavy search workloads where analysis and watch "
             "moves dominate; engines are expected near parity here")
+    if include_conflict:
+        conflict = [
+            measure_conflict_instance(name, cnf, repeats=conflict_repeats)
+            for name, cnf in conflict_suite_instances(count=conflict_count)
+        ]
+        base_time = sum(r["baseline"]["time"] for r in conflict)
+        tuned_time = sum(r["tuned"]["time"] for r in conflict)
+        payload["conflict_suite"] = conflict
+        payload["headline_conflict_speedup"] = round(
+            base_time / tuned_time, 3) if tuned_time else None
+        payload["conflict_note"] = (
+            "planted-clique UNSAT coloring instances (muldirect "
+            "encoding): arena baseline vs arena with inprocessing + "
+            "tier reduction; both trajectories legitimately differ, so "
+            "the speedup is end-to-end refutation time, with phase "
+            "splits showing where it comes from")
     return payload
 
 
@@ -281,6 +414,33 @@ def write_report(path: str, payload: Dict) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=False)
         handle.write("\n")
+
+
+def check_floor(payload: Dict, floor_path: str, *,
+                slack: float = 0.75) -> List[str]:
+    """Compare the run against a checked-in performance floor.
+
+    The floor file pins minimum acceptable throughput figures (see
+    ``benchmarks/floor.json``); a measurement below ``slack`` of its
+    floor — i.e. a regression of more than ``1 - slack`` — fails.  The
+    generous slack absorbs machine-to-machine and CI-runner variance
+    while still catching order-of-magnitude regressions.  Returns a
+    list of failure messages (empty = pass).
+    """
+    with open(floor_path, "r", encoding="utf-8") as handle:
+        floors = json.load(handle)
+    failures = []
+    for key, floor in floors.items():
+        if key.startswith("_"):
+            continue  # comment keys
+        value = payload.get(key)
+        if value is None:
+            failures.append(f"{key}: missing from bench payload")
+            continue
+        if value < floor * slack:
+            failures.append(
+                f"{key}: {value} < {slack:.0%} of floor {floor}")
+    return failures
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -292,10 +452,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="fewer repeats; finishes well under a minute")
     parser.add_argument("-o", "--output", default="BENCH_solver.json",
                         help="output JSON path (default: BENCH_solver.json)")
+    parser.add_argument("--check-floor", metavar="PATH", default=None,
+                        help="compare against a floor file (e.g. "
+                             "benchmarks/floor.json); exit 1 on a >25%% "
+                             "regression of any pinned figure")
     args = parser.parse_args(argv)
     if args.quick:
         payload = run_throughput_bench(repeats=3, stress_rounds=25,
-                                       context_repeats=1)
+                                       context_repeats=1,
+                                       conflict_count=2,
+                                       conflict_repeats=1)
     else:
         payload = run_throughput_bench()
     try:
@@ -312,7 +478,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for record in payload.get("context_suite", []):
         print(f"  {record['name']} [context]: {record['speedup']}x "
               f"({record['sanity']})")
+    if "headline_conflict_speedup" in payload:
+        print(f"headline conflict-suite speedup (inprocessing + tier "
+              f"over baseline arena): {payload['headline_conflict_speedup']}x")
+        for record in payload["conflict_suite"]:
+            tuned = record["tuned"]
+            print(f"  {record['name']} [conflict]: {record['speedup']}x "
+                  f"(conflicts {record['baseline']['conflicts']} -> "
+                  f"{tuned['conflicts']}, deleted {tuned['deleted_clauses']}, "
+                  f"inprocess {tuned['phase_split']['inprocess']}s)")
     print(f"wrote {args.output}")
+    if args.check_floor:
+        failures = check_floor(payload, args.check_floor)
+        if failures:
+            for failure in failures:
+                print(f"FLOOR REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"floor check passed ({args.check_floor})")
     return 0
 
 

@@ -194,8 +194,12 @@ def _add_strategy_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0,
                         help="solver seed (default 0)")
     parser.add_argument("--engine", default="arena",
-                        choices=["arena", "legacy"],
-                        help="BCP engine (default arena)")
+                        choices=["arena", "legacy", "packed",
+                                 "arena+inprocess"],
+                        help="BCP engine (default arena); "
+                             "'arena+inprocess' is the arena engine "
+                             "with inprocessing + tier reduction (see "
+                             "docs/performance.md)")
 
 
 def _print_solver_stats(stats) -> None:

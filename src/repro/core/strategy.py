@@ -24,9 +24,12 @@ class Strategy:
     symmetry: str = "none"
     solver: str = "siege_like"
     seed: int = 0
-    #: BCP engine: "arena" (default) or the pre-arena "legacy" engine.
-    #: Both follow the same search trajectory; the batch runner falls
-    #: back to "legacy" when a job fails in an arena-specific way.
+    #: BCP engine: "arena" (default), the pre-arena "legacy" engine
+    #: (same search trajectory; the batch runner falls back to it when
+    #: a job fails in an arena-specific way), the typed-array "packed"
+    #: engine, or "arena+inprocess" — the arena engine with
+    #: inter-restart inprocessing and tiered DB reduction switched on
+    #: (the performance configuration for conflict-heavy instances).
     engine: str = "arena"
 
     def __post_init__(self) -> None:
@@ -34,7 +37,8 @@ class Strategy:
         get_heuristic(self.symmetry)
         if self.solver not in ("minisat_like", "siege_like"):
             raise ValueError(f"unknown solver preset {self.solver!r}")
-        if self.engine not in ("arena", "legacy"):
+        if self.engine not in ("arena", "legacy", "packed",
+                               "arena+inprocess"):
             raise ValueError(f"unknown solver engine {self.engine!r}")
 
     @property
@@ -65,6 +69,12 @@ class Strategy:
         """Instantiate the solver configuration for this strategy,
         optionally bounded by a :class:`SolveLimits` budget."""
         overrides = limits.as_config_kwargs() if limits is not None else {}
+        if self.engine == "arena+inprocess":
+            # Not a separate engine: the arena engine with the
+            # inprocessing + tier-reduction flags on.
+            return preset(self.solver, seed=self.seed, engine="arena",
+                          inprocessing=True, reduce_policy="tier",
+                          **overrides)
         return preset(self.solver, seed=self.seed, engine=self.engine,
                       **overrides)
 

@@ -57,7 +57,8 @@ class StrategyMatrix:
     ``quick``, ``engines``) or ``;``-separated dimensions::
 
         encodings=all|table2|extensions|<name>,...;
-        symmetry=none,b1,s1,c1; engine=arena,legacy
+        symmetry=none,b1,s1,c1;
+        engine=arena,legacy,packed,arena+inprocess
 
     Unspecified dimensions keep the ``full`` defaults.
     """
@@ -90,12 +91,17 @@ class StrategyMatrix:
         if not spec or spec == "full":
             return cls()
         if spec == "quick":
+            # The fuzz-smoke matrix: inprocessing on vs off rides along
+            # on every quick run, so the flag set added for the
+            # conflict-heavy suite is differentially checked for free.
             return cls(encodings=tuple(TABLE2_ENCODINGS),
-                       symmetries=("none", "s1"), engines=("arena",))
+                       symmetries=("none", "s1"),
+                       engines=("arena", "arena+inprocess"))
         if spec == "engines":
-            # Pure engine differential: one encoding, both engines.
+            # Pure engine differential: one encoding, every engine.
             return cls(encodings=("muldirect",), symmetries=("none", "s1"),
-                       engines=("arena", "legacy"))
+                       engines=("arena", "legacy", "packed",
+                                "arena+inprocess"))
         kwargs: Dict[str, Tuple[str, ...]] = {}
         for item in spec.split(";"):
             item = item.strip()

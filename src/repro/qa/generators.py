@@ -250,6 +250,45 @@ def routing_instances(seed: int, count: int = 1) -> Iterator[QAInstance]:
                        "critical_width": chi})
 
 
+def conflict_instances(seed: int, count: int = 3, *,
+                       num_vertices: int = 26,
+                       edge_probability: float = 0.35,
+                       clique_size: Optional[int] = None
+                       ) -> Iterator[QAInstance]:
+    """Conflict-heavy UNSAT coloring instances, hard by construction.
+
+    Each instance plants a hidden ``(K+1)``-clique on a random vertex
+    subset and overlays ``G(n, p)`` noise edges, then asks for a
+    ``K``-coloring — unsatisfiable *by construction* (no brute-force
+    oracle needed, so these can be far larger than the
+    :data:`MAX_ORACLE_VERTICES` differential instances).  Refuting them
+    forces the solver deep into clause learning: the clique is buried
+    in noise, so the search has to rediscover it through conflicts —
+    exactly the analysis/reduction-dominated regime the conflict-heavy
+    benchmark suite (:mod:`repro.bench.throughput`) measures, as
+    opposed to the propagation-dominated BCP stress suites.
+
+    Not part of :func:`generate_instances`: the differential matrix
+    multiplies every instance by dozens of strategies, and these are
+    deliberately too hard for that.
+    """
+    rng = random.Random(f"qa.conflict|{seed}")
+    for index in range(count):
+        core = clique_size if clique_size is not None \
+            else rng.randint(5, 6)
+        graph = _random_graph(rng, num_vertices, edge_probability)
+        members = rng.sample(range(num_vertices), core)
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                graph.add_edge(u, v)
+        k = core - 1  # one color short of the planted clique
+        yield QAInstance(
+            name=f"conflict-{seed}-{index}", kind="conflict",
+            problem=ColoringProblem(graph, k), seed=seed,
+            expected=False,
+            notes={"clique": core, "p": edge_probability})
+
+
 def generate_instances(seed: int, *,
                        include_routing: bool = True) -> List[QAInstance]:
     """The full deterministic instance batch for one fuzzing seed."""

@@ -52,12 +52,25 @@ drop_clause
             a SAT answer may decode to an improper coloring or an
             UNSAT instance may "solve".  The differential harness
             (:mod:`repro.qa`) must flag it as a disagreement.
+drop_resolvent
+            during bounded variable elimination
+            (:mod:`repro.sat.inprocess`), silently omit one resolvent —
+            the classic BVE implementation bug: the reduced formula is
+            weaker than the original, so a model of it may not extend,
+            or an UNSAT instance may "solve".  Audit / differential
+            must catch the consequences.
+skip_occurrence
+            during inprocessing subsumption, act on a stale
+            occurrence-list entry: delete a clause the subsumption
+            check did *not* actually cover.  Same failure surface as
+            ``drop_resolvent`` (a silently weakened formula).
 ========== ============================================================
 
-Sites: ``solver`` (both CDCL engines), ``arena`` / ``legacy`` (one
-specific engine — used to test the engine-fallback path), ``encode``
-(CNF generation in the pipeline), ``worker`` (the portfolio / batch
-worker process itself), or ``*`` (everywhere).
+Sites: ``solver`` (all CDCL engines), ``arena`` / ``legacy`` /
+``packed`` (one specific engine — used to test the engine-fallback
+path), ``inprocess`` (the inter-restart simplification phases),
+``encode`` (CNF generation in the pipeline), ``worker`` (the
+portfolio / batch worker process itself), or ``*`` (everywhere).
 
 ``REPRO_FAULTS`` grammar (items separated by ``;``)::
 
@@ -82,10 +95,12 @@ from ..errors import ParseError
 
 #: Recognised fault kinds (see module docstring).
 FAULT_KINDS = ("crash", "hang", "slowdown", "wrong_model",
-               "truncated_proof", "corrupt_input", "drop_clause")
+               "truncated_proof", "corrupt_input", "drop_clause",
+               "drop_resolvent", "skip_occurrence")
 
 #: Recognised injection sites.
-FAULT_SITES = ("*", "solver", "arena", "legacy", "encode", "worker")
+FAULT_SITES = ("*", "solver", "arena", "legacy", "packed", "inprocess",
+               "encode", "worker")
 
 #: Environment variable consulted by the pipeline and the worker
 #: processes; its value is a :meth:`FaultPlan.parse` string.

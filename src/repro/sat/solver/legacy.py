@@ -333,16 +333,18 @@ class LegacyCDCLSolver:
     # Learned-clause database reduction
     # ------------------------------------------------------------------
 
-    def _is_reason(self, index: int) -> bool:
-        lits = self._clauses[index]
-        first = lits[0]
-        return (self._values[first] == _TRUE
-                and self._reason[first >> 1] == index)
-
     def _reduce_db(self) -> None:
+        # Clauses currently acting as reason for a trail literal must
+        # survive the reduction *unconditionally* — deleting one would
+        # leave a dangling _reason index for _analyze.  An explicit set
+        # over the trail replaces the old slot-0 heuristic, so the
+        # guarantee no longer depends on watch normalisation.
+        reason = self._reason
+        protected = {reason[code >> 1] for code in self._trail}
+        protected.discard(-1)
         candidates = [i for i in range(len(self._clauses))
                       if self._learnt[i] and self._clauses[i] is not None
-                      and len(self._clauses[i]) > 2 and not self._is_reason(i)]
+                      and len(self._clauses[i]) > 2 and i not in protected]
         candidates.sort(key=lambda i: self._clause_act[i])
         for i in candidates[:len(candidates) // 2]:
             self._clauses[i] = None

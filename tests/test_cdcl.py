@@ -190,6 +190,35 @@ class TestClauseDatabase:
         # Local minimisation should fire at least once on PHP.
         assert solver.stats["minimized_literals"] >= 0
 
+    @pytest.mark.parametrize("policy", ["activity", "tier"])
+    def test_reduce_db_never_deletes_a_trail_reason(self, policy):
+        # Regression guard: deleting a clause that is the reason for a
+        # trail literal leaves ``_reason`` dangling and corrupts the
+        # next conflict analysis.  ``_protected_refs`` must shield
+        # reasons from *every* deletion path, under both policies.
+        class ReasonChecked(CDCLSolver):
+            def _delete_clause(self, ref):
+                live = {self._reason[code >> 1] for code in self._trail}
+                assert ref not in live, \
+                    f"deleted ref {ref} is a live trail reason"
+                CDCLSolver._delete_clause(self, ref)
+
+        config = SolverConfig(max_learnts_factor=0.01,
+                              max_learnts_growth=1.0,
+                              reduce_policy=policy)
+        solver = ReasonChecked(pigeonhole(6), config)
+        assert not solver.solve().satisfiable
+        assert solver.stats["deleted_clauses"] > 0
+
+    def test_protected_refs_tracks_trail_reasons(self):
+        solver = CDCLSolver(pigeonhole(4))
+        solver.solve()
+        # At a root-level fixpoint the trail holds only decisions-free
+        # propagations; every non-(-1) reason must be reported.
+        expected = {solver._reason[code >> 1] for code in solver._trail}
+        expected.discard(-1)
+        assert solver._protected_refs() == expected
+
 
 class TestOracleCrossCheck:
     @pytest.mark.parametrize("seed", range(40))

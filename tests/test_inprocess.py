@@ -1,0 +1,131 @@
+"""Tests for inter-restart inprocessing (repro.sat.inprocess).
+
+The contract under test, per technique:
+
+* **BVE** keeps the formula equisatisfiable and the solver extends SAT
+  models back over eliminated variables, so callers always see a model
+  of the *original* CNF.
+* **Subsumption / self-subsuming resolution** reaches a fixpoint: a
+  second pass over an already-processed database finds nothing new.
+* **Vivification** (and every other technique) logs its derivations,
+  so UNSAT answers still carry a machine-checkable RUP proof.
+* Assumptions over BVE-eliminated variables are rejected loudly — the
+  solver no longer tracks them, and guessing would be unsound.
+"""
+
+import pytest
+
+from repro.bench.throughput import pigeonhole, random_3sat
+from repro.sat import (CNF, CDCLSolver, SolveStatus, solve,
+                       verify_rup_proof)
+from repro.sat.inprocess import Inprocessor
+from repro.sat.solver.config import SolverConfig, minisat_like
+
+
+def _tuned(**overrides) -> SolverConfig:
+    return minisat_like(phase_timing=True, inprocessing=True,
+                        reduce_policy="tier", **overrides)
+
+
+class TestEquisatisfiability:
+    """Inprocessing on vs off must agree on every instance, and SAT
+    models — after BVE extension — must satisfy the original CNF."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_3sat_agrees_with_baseline(self, seed):
+        # 4.3 clauses/var sits near the phase transition, so the batch
+        # mixes SAT and UNSAT instances.
+        cnf = random_3sat(24, 103, seed=seed)
+        base = solve(cnf, minisat_like())
+        tuned = solve(cnf, _tuned())
+        assert tuned.status is base.status
+        if tuned.status is SolveStatus.SAT:
+            assert tuned.model.satisfies(cnf)
+
+    def test_model_extends_over_eliminated_variables(self):
+        # Variable 1 has one positive and one negative occurrence, so
+        # BVE always eliminates it; the reduced formula never mentions
+        # it, yet the returned model must still assign it correctly.
+        cnf = CNF([(1, 2), (-1, 3), (-2, 4), (-3, 4), (2, 3, 4)])
+        solver = CDCLSolver(cnf, _tuned())
+        result = solver.solve()
+        assert result.status is SolveStatus.SAT
+        assert solver._inpro.eliminated_count > 0
+        assert result.model.satisfies(cnf)
+
+    def test_pigeonhole_still_unsat(self):
+        result = solve(pigeonhole(4), _tuned())
+        assert result.status is SolveStatus.UNSAT
+
+
+class TestSubsumptionIdempotence:
+    def test_second_pass_finds_nothing(self):
+        # (1,2) subsumes (1,2,3); (1,2) self-subsumes (-1,2,4) to
+        # (2,4), which then subsumes (2,4,5).
+        cnf = CNF([(1, 2), (1, 2, 3), (-1, 2, 4), (2, 4, 5),
+                   (-2, 5), (3, -4, -5), (-3, -5, 6)])
+        config = minisat_like(inprocessing=True, inprocess_bve=False,
+                              inprocess_vivify=False)
+        solver = CDCLSolver(cnf, config)
+        Inprocessor(solver).run()
+        assert solver.stats["subsumed_clauses"] > 0
+        before = (solver.stats["subsumed_clauses"],
+                  solver.stats["strengthened_clauses"])
+        # A fresh Inprocessor re-runs the full first-pass fixpoint from
+        # scratch — on an already-reduced database it must be a no-op.
+        Inprocessor(solver).run()
+        after = (solver.stats["subsumed_clauses"],
+                 solver.stats["strengthened_clauses"])
+        assert after == before
+
+    def test_subsumed_formula_still_solves(self):
+        cnf = CNF([(1, 2), (1, 2, 3), (-1, 2, 4), (-2, -4), (-2, 4, -1)])
+        base = solve(cnf, minisat_like())
+        tuned = solve(cnf, _tuned())
+        assert tuned.status is base.status
+        if tuned.status is SolveStatus.SAT:
+            assert tuned.model.satisfies(cnf)
+
+
+class TestProofLogging:
+    """Every inprocessing derivation lands in the DRUP log, so UNSAT
+    proofs replay through the independent RUP checker."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_unsat_proofs_verify_with_inprocessing(self, seed):
+        cnf = random_3sat(16, 110, seed=seed)  # well past the threshold
+        solver = CDCLSolver(cnf, _tuned(proof_log=True))
+        result = solver.solve()
+        assert result.status is SolveStatus.UNSAT
+        assert solver.stats["inprocess_passes"] >= 1
+        check = verify_rup_proof(cnf, solver.proof)
+        assert check.ok, check.error
+
+    def test_pigeonhole_proof_verifies_with_inprocessing(self):
+        cnf = pigeonhole(4)
+        solver = CDCLSolver(cnf, _tuned(proof_log=True))
+        assert solver.solve().status is SolveStatus.UNSAT
+        check = verify_rup_proof(cnf, solver.proof)
+        assert check.ok, check.error
+
+
+class TestEliminatedAssumptions:
+    def test_assuming_an_eliminated_variable_raises(self):
+        cnf = CNF([(1, 2), (-1, 3), (-2, 4), (-3, 4), (2, 3, 4)])
+        solver = CDCLSolver(cnf, _tuned())
+        assert solver.solve().status is SolveStatus.SAT
+        eliminated = [var for var in range(1, cnf.num_vars + 1)
+                      if solver._eliminated[var]]
+        assert eliminated
+        with pytest.raises(ValueError, match="eliminated"):
+            solver.solve(assumptions=[eliminated[0]])
+
+    def test_frozen_assumptions_are_never_eliminated(self):
+        cnf = CNF([(1, 2), (-1, 3), (-2, 4), (-3, 4), (2, 3, 4)])
+        solver = CDCLSolver(cnf, _tuned())
+        # Assumed on the *first* call: var 1 is frozen, stays in the
+        # formula, and the call succeeds.
+        result = solver.solve(assumptions=[1])
+        assert result.status is SolveStatus.SAT
+        assert not solver._eliminated[1]
+        assert result.model.value(1) is True

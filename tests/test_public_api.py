@@ -25,7 +25,7 @@ class TestExports:
         assert len(module.__all__) == len(set(module.__all__))
 
     def test_version(self):
-        assert repro.__version__ == "1.4.0"
+        assert repro.__version__ == "1.5.0"
 
     def test_status_api_exported_at_top_level(self):
         from repro import (BudgetExceeded, CancelToken, SolveLimits,

@@ -101,12 +101,16 @@ class TestStrategyMatrix:
         assert matrix.size == len(matrix.encodings) * 2 * 2
         assert len(matrix.strategies()) == matrix.size
 
-    def test_quick_preset_is_single_engine(self):
-        assert StrategyMatrix.parse("quick").engines == ("arena",)
+    def test_quick_preset_covers_inprocessing(self):
+        # The quick (fuzz-smoke) matrix must differentially exercise
+        # the inprocessing + tier-reduction flag set against the plain
+        # arena engine.
+        assert StrategyMatrix.parse("quick").engines == \
+            ("arena", "arena+inprocess")
 
     def test_engines_preset_races_engines(self):
         assert StrategyMatrix.parse("engines").engines == \
-            ("arena", "legacy")
+            ("arena", "legacy", "packed", "arena+inprocess")
 
     def test_custom_spec(self):
         matrix = StrategyMatrix.parse(
