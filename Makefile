@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-fast check chaos fuzz-smoke fuzz-nightly trace-smoke bench bench-quick bench-smoke bench-all examples clean
+.PHONY: install test test-fast check chaos fuzz-smoke fuzz-nightly trace-smoke serve-smoke bench bench-quick bench-smoke bench-all examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -58,6 +58,15 @@ trace-smoke:
 	    'trace contains no metrics snapshot'; \
 	print(f'trace-smoke: {len(records)} records, {len(spans)} spans OK')"
 	PYTHONPATH=src python -m repro trace trace-smoke.trace.jsonl
+
+# Solver-as-a-service smoke: boot the asyncio solve service on an
+# ephemeral loopback port, submit a small SAT/UNSAT corpus twice over
+# the JSON-lines protocol, and assert the second pass is served almost
+# entirely from the content-addressed, audit-verified result cache,
+# that the metrics dump carries the serve.cache.* counters, and that
+# the server shuts down cleanly.  See docs/serving.md.
+serve-smoke:
+	PYTHONPATH=src python -m repro.serve.smoke
 
 bench:
 	pytest benchmarks/ --benchmark-only

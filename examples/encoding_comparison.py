@@ -24,7 +24,7 @@ rows = []
 for encoding in ALL_ENCODINGS:
     for symmetry in ("none", "s1"):
         outcome = solve_coloring(csp.problem, Strategy(encoding, symmetry))
-        assert not outcome.satisfiable, "encodings must agree on UNSAT"
+        assert not outcome.is_sat, "encodings must agree on UNSAT"
         rows.append([
             encoding, symmetry,
             str(outcome.num_vars), str(outcome.num_clauses),

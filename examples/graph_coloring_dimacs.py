@@ -35,9 +35,9 @@ print(f"chromatic number: {chi}")
 
 # A certified coloring at chi, and a certified refutation at chi - 1.
 sat = solve_coloring(problem.with_colors(chi), strategy)
-assert sat.satisfiable and problem.with_colors(chi).is_valid_coloring(sat.coloring)
+assert sat.is_sat and problem.with_colors(chi).is_valid_coloring(sat.coloring)
 unsat = solve_coloring(problem.with_colors(chi - 1), strategy)
-assert not unsat.satisfiable
+assert not unsat.is_sat
 print(f"verified {chi}-coloring found; {chi - 1} colors proven impossible "
       f"({int(unsat.solver_stats['conflicts'])} conflicts)")
 

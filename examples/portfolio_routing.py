@@ -33,7 +33,7 @@ for strategy in PORTFOLIO_3:
     start = time.perf_counter()
     outcome = solve_coloring(csp.problem, strategy)
     member_times[strategy.label] = time.perf_counter() - start
-    assert not outcome.satisfiable
+    assert not outcome.is_sat
 
 print("\nsequential member times:")
 for label, seconds in member_times.items():

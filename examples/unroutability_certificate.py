@@ -29,7 +29,7 @@ print(f"encoded W={width - 1} with ITE-log/s1: "
       f"{encoded.cnf.num_vars} vars, {encoded.cnf.num_clauses} clauses")
 
 result, proof = solve_with_proof(encoded.cnf)
-assert not result.satisfiable
+assert not result.is_sat
 print(f"UNSAT in {result.stats['solve_time']:.3f}s "
       f"({int(result.stats['conflicts'])} conflicts); "
       f"proof has {len(proof)} clauses "

@@ -17,6 +17,12 @@ Layer map (each is a subpackage with its own focused API):
   result auditing, and strategy quarantine (see ``docs/reliability.md``).
 * :mod:`repro.obs` — structured tracing, the metrics registry and trace
   reporting, off by default (see ``docs/observability.md``).
+* :mod:`repro.api` — the canonical :class:`SolveRequest` /
+  :class:`SolveResponse` contract every entrypoint routes through, with
+  content-addressed cache keys and wire codecs (see ``docs/api.md``).
+* :mod:`repro.serve` — the solver as a long-running service: asyncio
+  front end, persistent worker pool, content-addressed audit-verified
+  result cache, admission control (see ``docs/serving.md``).
 
 Quickstart::
 
@@ -39,6 +45,8 @@ Every solving entry point reports a five-way :class:`SolveStatus`
 a :class:`CancelToken` for cooperative cancellation; see ``docs/api.md``.
 """
 
+from . import api
+from .api import SolveRequest, SolveResponse
 from .bench import BatchJob, BatchResult, run_batch
 from .coloring import ColoringProblem, Graph
 from .errors import ParseError
@@ -56,9 +64,10 @@ from .reliability import (AuditReport, AuditVerdict, FaultPlan,
                           audit_result)
 from .sat.solver.cdcl import BudgetExceeded
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
+    "api", "SolveRequest", "SolveResponse",
     "ColoringProblem", "Graph",
     "ALL_ENCODINGS", "BEST_SINGLE_STRATEGY", "NEW_ENCODINGS", "PORTFOLIO_2",
     "PORTFOLIO_3", "PREVIOUS_ENCODINGS", "TABLE2_ENCODINGS", "Strategy",

@@ -73,7 +73,7 @@ class SweepResult:
             stats = outcome.solver_stats
             record = {
                 "status": str(outcome.status),
-                "satisfiable": outcome.satisfiable,
+                "satisfiable": outcome.is_sat,
                 "total_time": outcome.total_time,
                 "solve_time": outcome.solve_time,
                 "encode_time": outcome.encode_time,
@@ -155,11 +155,11 @@ def sweep(instances: Sequence[BenchmarkInstance],
                 outcome = solve_coloring(instance.csp.problem, strategy,
                                          graph_time=instance.csp.build_time)
                 if expect_satisfiable is not None \
-                        and outcome.satisfiable != expect_satisfiable:
+                        and outcome.is_sat != expect_satisfiable:
                     raise AssertionError(
                         f"{instance.name} @ W={instance.width} with "
                         f"{strategy.label}: got "
-                        f"{'SAT' if outcome.satisfiable else 'UNSAT'}, "
+                        f"{'SAT' if outcome.is_sat else 'UNSAT'}, "
                         f"expected {'SAT' if expect_satisfiable else 'UNSAT'}")
                 if best is None or outcome.total_time < best.total_time:
                     best = outcome

@@ -16,12 +16,17 @@ Exposes the paper's two-stage tool flow as composable commands::
     python -m repro trace run.jsonl                  # render the span tree
     python -m repro metrics run.jsonl                # render metric snapshots
     python -m repro fuzz --seeds 5 --out bundles     # differential fuzzing
+    python -m repro serve --cache-dir cache          # solver-as-a-service
+    python -m repro submit localhost:7227 g.col --colors 6  # remote job
 
 Every command is deterministic given its inputs, so pipelines are
-reproducible end to end.  Solving commands follow the DIMACS exit-code
-convention — 10 for SAT/routable, 20 for proven UNSAT/unroutable, 0 when
-a ``--timeout`` or ``--conflict-budget`` stopped the run undecided — so
-shell scripts can branch on the verdict.
+reproducible end to end.  Exit codes are uniform across every solving
+command (route, solve, color, audit, portfolio, submit, fuzz): the
+DIMACS convention — 10 for SAT/routable (for ``fuzz``: at least one
+finding), 20 for proven UNSAT/unroutable, 0 when a ``--timeout`` or
+``--conflict-budget`` stopped the run undecided (for ``fuzz``: campaign
+clean) — and 2 for usage or execution errors, so shell scripts can
+branch on the verdict.
 """
 
 from __future__ import annotations
@@ -323,7 +328,7 @@ def cmd_route(args) -> int:
         apply_symmetry(encoded, args.symmetry)
         proof_result, proof = solve_with_proof(
             encoded.cnf, _strategy(args).solver_config())
-        assert not proof_result.satisfiable
+        assert proof_result.status is SolveStatus.UNSAT
         steps = check_rup_proof(encoded.cnf, proof)
         print(f"  certificate: {steps} proof steps, independently "
               f"verified (RUP)")
@@ -365,20 +370,21 @@ def cmd_color(args) -> int:
     graph = parse_col_file(args.col_file)
     problem = ColoringProblem(graph, args.colors)
     outcome = solve_coloring(problem, _strategy(args))
-    if outcome.satisfiable:
+    if outcome.is_sat:
         print(f"SATISFIABLE: {args.colors}-coloring found")
         if args.show:
             for vertex in range(problem.num_vertices):
                 print(f"  vertex {vertex + 1}: color {outcome.coloring[vertex]}")
         _print_outcome_report(outcome, show_stats=args.stats)
-        return 0
-    if outcome.status is not SolveStatus.UNSAT:
+    elif outcome.status is SolveStatus.UNSAT:
+        print(f"UNSATISFIABLE: no {args.colors}-coloring exists")
+        _print_outcome_report(outcome, show_stats=args.stats)
+    else:
         print(f"UNDECIDED ({outcome.status})")
         _print_stop_reason(outcome.solver_stats)
-        return 2 if outcome.status is SolveStatus.ERROR else 0
-    print(f"UNSATISFIABLE: no {args.colors}-coloring exists")
-    _print_outcome_report(outcome, show_stats=args.stats)
-    return 1
+    # Uniform DIMACS convention (same as route/solve/portfolio):
+    # 10 = SAT, 20 = UNSAT, 0 = undecided, 2 = error.
+    return outcome.status.exit_code
 
 
 def cmd_audit(args) -> int:
@@ -482,9 +488,91 @@ def cmd_fuzz(args) -> int:
                       progress=lambda message: print(message,
                                                      file=sys.stderr))
     print(report.summary())
-    # 0 = campaign clean, 1 = at least one finding (bundles written
-    # under --out), 2 = reserved for usage errors above.
-    return 0 if report.ok else 1
+    # Uniform scheme: 0 = campaign clean (nothing decided against the
+    # code), 10 = at least one finding (a decided positive answer, with
+    # bundles written under --out), 2 = usage errors above.
+    return 0 if report.ok else SolveStatus.SAT.exit_code
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import AdmissionPolicy, SolveService
+    policy = AdmissionPolicy(
+        max_queue_depth=args.max_queue_depth,
+        max_inflight_per_client=args.max_inflight,
+        max_vertices=args.max_vertices,
+        job_limits=_limits(args))
+    service = SolveService(host=args.host, port=args.port,
+                           workers=args.workers,
+                           cache_capacity=args.cache_capacity,
+                           cache_dir=args.cache_dir,
+                           policy=policy,
+                           job_timeout=args.job_timeout)
+
+    async def _run() -> None:
+        await service.start()
+        disk = (f", disk cache {service.cache.disk_dir}"
+                if service.cache.disk_dir else "")
+        print(f"repro serve listening on {service.host}:{service.port} "
+              f"({service.workers} workers, cache capacity "
+              f"{service.cache.capacity}{disk})")
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("repro serve: interrupted", file=sys.stderr)
+    return 0
+
+
+def _parse_server_address(text: str) -> tuple:
+    host, separator, port = text.rpartition(":")
+    if not separator or not port.isdigit():
+        raise ValueError(f"server address must be HOST:PORT, got {text!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def cmd_submit(args) -> int:
+    from . import api
+    from .serve.client import ServeClient, ServeError, ServeRejected
+    host, port = _parse_server_address(args.server)
+    graph = parse_col_file(args.col_file)
+    request = api.SolveRequest(graph=graph, colors=args.colors,
+                               strategies=(_strategy(args),),
+                               limits=_limits(args), client=args.client,
+                               tag=args.col_file)
+    try:
+        with ServeClient(host, port) as client:
+            response = client.solve(request)
+            dump = client.metrics() if args.show_metrics else None
+    except ServeRejected as error:
+        print(f"rejected: {error}", file=sys.stderr)
+        return 2
+    except ServeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    origin = "cache hit" if response.cached else "solved"
+    audit = f", audit {response.audit}" if response.audit else ""
+    if response.status is SolveStatus.SAT:
+        print(f"SATISFIABLE: {args.colors}-coloring found "
+              f"({origin}{audit}, {response.winner})")
+        if args.show and response.coloring:
+            for vertex in sorted(response.coloring):
+                print(f"  vertex {vertex + 1}: "
+                      f"color {response.coloring[vertex]}")
+    elif response.status is SolveStatus.UNSAT:
+        print(f"UNSATISFIABLE: no {args.colors}-coloring exists "
+              f"({origin}{audit}, {response.winner})")
+    else:
+        print(f"UNDECIDED ({response.status}): {response.report.detail}")
+    print(f"  digest {response.digest[:16]}…  "
+          f"solve {response.report.wall_time:.3f}s")
+    if dump is not None:
+        from .obs.report import render_metrics
+        print(f"server cache: {dump.get('cache')}")
+        print(render_metrics(dump.get("metrics")))
+    return response.exit_code
 
 
 def cmd_trace(args) -> int:
@@ -668,6 +756,54 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_options(p)
     _add_obs_options(p)
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser("serve",
+                       help="run the long-lived solve service: JSON-lines "
+                            "TCP over a worker pool, with a "
+                            "content-addressed audit-verified result "
+                            "cache (see docs/serving.md)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=7227,
+                   help="bind port; 0 picks a free one (default 7227)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="worker processes (default: cores - 1)")
+    p.add_argument("--cache-capacity", type=int, default=256, metavar="N",
+                   help="in-memory LRU entries (default 256)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="persistent on-disk result store (atomic "
+                        "per-digest JSON files; survives restarts)")
+    p.add_argument("--job-timeout", type=float, metavar="SECONDS",
+                   help="server-side wall-clock bound merged into every "
+                        "job's budget")
+    p.add_argument("--max-queue-depth", type=int, default=64, metavar="N",
+                   help="reject new jobs past this many in flight "
+                        "(default 64)")
+    p.add_argument("--max-inflight", type=int, default=8, metavar="N",
+                   help="per-client concurrent-job cap (default 8)")
+    p.add_argument("--max-vertices", type=int, default=100_000, metavar="N",
+                   help="reject instances larger than this (default "
+                        "100000)")
+    _add_budget_options(p)
+    _add_obs_options(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="submit a .col coloring job to a running "
+                            "`repro serve` instance")
+    p.add_argument("server", help="server address as HOST:PORT")
+    p.add_argument("col_file")
+    p.add_argument("--colors", type=int, required=True)
+    p.add_argument("--client", default="cli",
+                   help="client name for admission control and "
+                        "per-client budgets (default cli)")
+    p.add_argument("--show", action="store_true",
+                   help="print the coloring on success")
+    p.add_argument("--show-metrics", action="store_true",
+                   help="also fetch and print the server's metrics dump")
+    _add_strategy_options(p)
+    _add_budget_options(p)
+    p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser("trace",
                        help="render a recorded trace file (from --trace "

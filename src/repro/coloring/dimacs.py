@@ -11,8 +11,9 @@ applied (§1, contribution 1).  The format:
 
 from __future__ import annotations
 
+import hashlib
 import io
-from typing import Sequence, TextIO
+from typing import Optional, Sequence, TextIO
 
 from ..errors import ParseError
 from .problem import Graph
@@ -44,6 +45,36 @@ def write_col_file(graph: Graph, path: str, comments: Sequence[str] = ()) -> Non
     """Write ``graph`` to the file at ``path`` in DIMACS ``.col`` format."""
     with open(path, "w", encoding="ascii") as handle:
         write_col(graph, handle, comments=comments)
+
+
+def canonical_bytes(graph: Graph) -> bytes:
+    """The byte-stable DIMACS serialization of ``graph``, without comments.
+
+    Equal graphs — same vertex count, same edge *set*, whatever the edge
+    insertion order — produce identical bytes (``write_col`` sorts), so
+    these bytes are a valid identity for hashing: the serve cache keys
+    on them, and QA reproducer bundles record the same digest.  Vertex
+    relabelings are distinct instances and serialize differently.
+    """
+    return to_col_string(graph).encode("ascii")
+
+
+def instance_digest(graph: Graph, num_colors: Optional[int] = None,
+                    extra: Sequence[str] = ()) -> str:
+    """SHA-256 hex digest of the canonical instance bytes.
+
+    ``num_colors`` (the K of a coloring problem) and any ``extra``
+    discriminators (strategy label, limits, …) are folded in after the
+    graph bytes, each behind a NUL separator so field boundaries cannot
+    be forged by concatenation.
+    """
+    hasher = hashlib.sha256(canonical_bytes(graph))
+    if num_colors is not None:
+        hasher.update(b"\x00K=%d" % num_colors)
+    for field in extra:
+        hasher.update(b"\x00")
+        hasher.update(str(field).encode("utf-8"))
+    return hasher.hexdigest()
 
 
 def parse_col(stream: TextIO, source: str = "") -> Graph:

@@ -104,8 +104,8 @@ class IncrementalColoringSolver:
             int(self._solver.stats["conflicts"] - before))
         self.stats.statuses[num_colors] = result.status
         if result.status.decided:
-            self.stats.results[num_colors] = result.satisfiable
-        if result.satisfiable:
+            self.stats.results[num_colors] = result.is_sat
+        if result.is_sat:
             self._last_model = result.model
         return result.report()
 

@@ -33,11 +33,11 @@ from .symmetry.clauses import apply_symmetry
 class ColoringOutcome:
     """Result of solving one coloring problem with one strategy.
 
-    ``status`` is the five-way :class:`SolveStatus`; the historical
-    ``satisfiable`` flag remains readable as a property and is True
-    exactly for SAT (check ``status.decided`` before treating False as
-    a proof of uncolorability — a budgeted run may be TIMEOUT or
-    BUDGET_EXHAUSTED instead).
+    ``status`` is the five-way :class:`SolveStatus`; :attr:`is_sat` is
+    the boolean shorthand (check ``status.decided`` before treating
+    False as a proof of uncolorability — a budgeted run may be TIMEOUT
+    or BUDGET_EXHAUSTED instead).  The historical ``satisfiable``
+    property is deprecated since 1.6 (see ``docs/api.md``).
     """
 
     strategy: Strategy
@@ -62,8 +62,18 @@ class ColoringOutcome:
     proof: Optional[List[Tuple[int, ...]]] = None
 
     @property
+    def is_sat(self) -> bool:
+        """True iff ``status is SolveStatus.SAT``."""
+        return self.status is SolveStatus.SAT
+
+    @property
     def satisfiable(self) -> bool:
-        """Compatibility shim: True iff ``status`` is SAT."""
+        """Deprecated alias of :attr:`is_sat` (since 1.6)."""
+        import warnings
+        warnings.warn(
+            "ColoringOutcome.satisfiable is deprecated; check `status is "
+            "SolveStatus.SAT` or the `is_sat` shorthand (docs/api.md has "
+            "the migration table)", DeprecationWarning, stacklevel=2)
         return self.status is SolveStatus.SAT
 
     @property
@@ -229,7 +239,7 @@ def _solve_coloring_in_span(run_span, problem: ColoringProblem,
                           f"{injected.split(':', 1)[0]}@encode"]))
 
     coloring = None
-    if result.satisfiable:
+    if result.is_sat:
         try:
             coloring = encoded.decode(result.model)
         except Exception as error:
@@ -285,7 +295,7 @@ def minimum_colors(problem: ColoringProblem, strategy: Strategy,
     while lower < upper:
         middle = (lower + upper) // 2
         outcome = solve_coloring(problem.with_colors(middle), strategy)
-        if outcome.satisfiable:
+        if outcome.is_sat:
             upper = middle
         else:
             lower = middle + 1

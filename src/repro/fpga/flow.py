@@ -74,14 +74,14 @@ def detailed_route(routing: GlobalRouting, width: int,
     outcome = solve_coloring(csp.problem, strategy, graph_time=csp.build_time,
                              limits=limits, cancel=cancel)
     assignment = None
-    if outcome.satisfiable:
+    if outcome.is_sat:
         assignment = assignment_from_coloring(csp, outcome.coloring)
         violations = verify_track_assignment(assignment)
         if violations:
             raise AssertionError(
                 "decoded track assignment is illegal: " + "; ".join(violations))
     return DetailedRoutingResult(csp=csp, strategy=strategy,
-                                 routable=outcome.satisfiable,
+                                 routable=outcome.is_sat,
                                  assignment=assignment, outcome=outcome)
 
 

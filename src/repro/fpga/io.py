@@ -13,9 +13,10 @@ Two formats:
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
-from typing import Dict, List, TextIO
+from typing import Dict, List, TextIO, Union
 
 from .arch import FPGAArchitecture, Segment
 from .global_route import GlobalRouting, TwoPinNet
@@ -70,6 +71,39 @@ def write_netlist(netlist: Netlist, path: str) -> None:
 def read_netlist(path: str) -> Netlist:
     with open(path, "r", encoding="utf-8") as handle:
         return netlist_from_json(handle.read())
+
+
+# ----------------------------------------------------------------------
+# Canonical bytes + digests (shared hashing path with coloring.dimacs)
+# ----------------------------------------------------------------------
+
+def canonical_bytes(instance: Union[Netlist, "GlobalRouting"]) -> bytes:
+    """Byte-stable serialization of a netlist or global routing.
+
+    Netlists use their JSON form (``sort_keys`` makes it a pure function
+    of the placement); routings use the SEGA-flavoured text format,
+    whose net blocks follow the deterministic two-pin expansion order.
+    Equal instances produce identical bytes — the property the serve
+    cache and QA reproducer bundles key on.
+    """
+    if isinstance(instance, Netlist):
+        return netlist_to_json(instance).encode("utf-8")
+    if isinstance(instance, GlobalRouting):
+        return routing_to_text(instance).encode("utf-8")
+    raise TypeError(f"cannot canonicalise {type(instance).__name__}; "
+                    f"expected Netlist or GlobalRouting")
+
+
+def instance_digest(instance: Union[Netlist, "GlobalRouting"],
+                    extra: "tuple" = ()) -> str:
+    """SHA-256 hex digest of :func:`canonical_bytes`, with optional
+    NUL-separated ``extra`` discriminators (width, strategy, …) — the
+    same framing as :func:`repro.coloring.dimacs.instance_digest`."""
+    hasher = hashlib.sha256(canonical_bytes(instance))
+    for field in extra:
+        hasher.update(b"\x00")
+        hasher.update(str(field).encode("utf-8"))
+    return hasher.hexdigest()
 
 
 # ----------------------------------------------------------------------

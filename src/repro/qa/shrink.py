@@ -235,6 +235,7 @@ class ReproducerBundle:
     extra: Dict[str, object] = field(default_factory=dict)
 
     def meta(self) -> Dict[str, object]:
+        from ..coloring.dimacs import instance_digest
         return {
             "name": self.name,
             "seed": self.seed,
@@ -242,6 +243,11 @@ class ReproducerBundle:
             "num_vertices": self.problem.num_vertices,
             "num_edges": self.problem.graph.num_edges,
             "num_colors": self.problem.num_colors,
+            # Content address of (instance, K) — the same hashing path
+            # the serve cache keys on, so a bundle can be correlated
+            # with cached/served results for the same instance.
+            "digest": instance_digest(self.problem.graph,
+                                      self.problem.num_colors),
             "signature": self.signature.to_dict(),
             "strategies": list(self.signature.labels),
             "faults": self.faults,

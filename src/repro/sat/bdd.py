@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .cnf import CNF
 from .model import Model, SolveResult
+from .status import SolveStatus
 
 #: Terminal node ids.
 ZERO = 0
@@ -205,5 +206,5 @@ def solve_bdd(cnf: CNF, node_limit: Optional[int] = 500_000) -> SolveResult:
     manager, root = cnf_to_bdd(cnf, node_limit=node_limit)
     stats = {"bdd_nodes": manager.num_nodes, "solver": "bdd"}
     if root == ZERO:
-        return SolveResult(False, stats=stats)
-    return SolveResult(True, manager.any_model(root), stats=stats)
+        return SolveResult(SolveStatus.UNSAT, stats=stats)
+    return SolveResult(SolveStatus.SAT, manager.any_model(root), stats=stats)

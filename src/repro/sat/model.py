@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from .cnf import CNF
@@ -80,20 +81,24 @@ class SolveResult:
     """Outcome of a solver run: a :class:`~repro.sat.status.SolveStatus`
     plus a model (iff SAT) and the solver's statistics.
 
-    ``status`` may also be passed as a bare boolean — the pre-status
-    calling convention — which maps True/False to SAT/UNSAT; the
-    ``satisfiable`` attribute likewise remains readable and is True
-    exactly when ``status is SolveStatus.SAT`` (a TIMEOUT or
-    BUDGET_EXHAUSTED result is *not* satisfiable, but neither is it
-    UNSAT — check ``status.decided`` before treating False as a
-    refutation).
+    The boolean conveniences from the pre-status era are **deprecated**
+    (since 1.6; see the migration table in ``docs/api.md``): passing a
+    bare ``True``/``False`` as ``status``, and reading the
+    ``satisfiable`` attribute.  Use :class:`SolveStatus` members and the
+    :attr:`is_sat` shorthand — a TIMEOUT or BUDGET_EXHAUSTED result is
+    *not* SAT, but neither is it UNSAT; check ``status.decided`` before
+    treating a non-SAT answer as a refutation.
     """
 
     def __init__(self, status: Union[SolveStatus, bool],
                  model: Optional[Model] = None,
                  stats: Optional[Dict[str, float]] = None) -> None:
         if isinstance(status, bool):  # legacy satisfiable-flag convention
-            status = SolveStatus.from_bool(status)
+            warnings.warn(
+                "SolveResult(bool, ...) is deprecated; pass a SolveStatus "
+                "member (docs/api.md has the migration table)",
+                DeprecationWarning, stacklevel=2)
+            status = SolveStatus.SAT if status else SolveStatus.UNSAT
         if status is SolveStatus.SAT and model is None:
             raise ValueError("a satisfiable result requires a model")
         if status is not SolveStatus.SAT and model is not None:
@@ -103,8 +108,17 @@ class SolveResult:
         self.stats: Dict[str, float] = dict(stats or {})
 
     @property
+    def is_sat(self) -> bool:
+        """True iff ``status is SolveStatus.SAT`` (see class docstring)."""
+        return self.status is SolveStatus.SAT
+
+    @property
     def satisfiable(self) -> bool:
-        """True iff the status is SAT (see class docstring)."""
+        """Deprecated alias of :attr:`is_sat` (since 1.6)."""
+        warnings.warn(
+            "SolveResult.satisfiable is deprecated; check `status is "
+            "SolveStatus.SAT` or the `is_sat` shorthand (docs/api.md "
+            "has the migration table)", DeprecationWarning, stacklevel=2)
         return self.status is SolveStatus.SAT
 
     def report(self, detail: str = "") -> SolveReport:
@@ -112,7 +126,7 @@ class SolveResult:
         return SolveReport.from_stats(self.status, self.stats, detail=detail)
 
     def __bool__(self) -> bool:
-        return self.satisfiable
+        return self.status is SolveStatus.SAT
 
     def __repr__(self) -> str:
         return f"SolveResult({self.status})"

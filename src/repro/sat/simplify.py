@@ -195,15 +195,16 @@ def solve_simplified(cnf: CNF, config=None):
     Drop-in alternative to :func:`repro.sat.solver.cdcl.solve`.
     """
     from .model import SolveResult
+    from .status import SolveStatus
     from .solver.cdcl import solve as _solve
 
     simplification = simplify(cnf)
     if simplification.contradiction:
-        return SolveResult(False, stats={"preprocessed": 1})
+        return SolveResult(SolveStatus.UNSAT, stats={"preprocessed": 1})
     result = _solve(simplification.cnf, config)
-    if not result.satisfiable:
+    if not result.is_sat:
         # UNSAT, or an indeterminate (budget/timeout) status — either
         # way there is no model to lift, so pass the result through.
         return result
     model = simplification.extend_model(result.model)
-    return SolveResult(True, model, stats=result.stats)
+    return SolveResult(SolveStatus.SAT, model, stats=result.stats)

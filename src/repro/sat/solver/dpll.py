@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 from ..cnf import CNF
 from ..model import Model, SolveResult
+from ..status import SolveStatus
 
 
 class DPLLSolver:
@@ -34,9 +35,9 @@ class DPLLSolver:
         self.stats["solve_time"] = time.perf_counter() - start
         self.stats["solver"] = "dpll"
         if not satisfiable:
-            return SolveResult(False, stats=self.stats)
+            return SolveResult(SolveStatus.UNSAT, stats=self.stats)
         values = [assignment.get(v, False) for v in range(1, self.num_vars + 1)]
-        return SolveResult(True, Model(values), stats=self.stats)
+        return SolveResult(SolveStatus.SAT, Model(values), stats=self.stats)
 
     def _search(self, clauses: List[List[int]], assignment: Dict[int, bool]) -> bool:
         clauses = self._unit_propagate(clauses, assignment)

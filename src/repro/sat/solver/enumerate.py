@@ -12,6 +12,7 @@ from typing import Iterator, List
 
 from ..cnf import CNF
 from ..model import Model, SolveResult
+from ..status import SolveStatus
 
 _MAX_ENUM_VARS = 24
 
@@ -36,8 +37,8 @@ def enumerate_models(cnf: CNF) -> Iterator[Model]:
 def solve_by_enumeration(cnf: CNF) -> SolveResult:
     """Return SAT with the first model found, or UNSAT."""
     for model in enumerate_models(cnf):
-        return SolveResult(True, model)
-    return SolveResult(False)
+        return SolveResult(SolveStatus.SAT, model)
+    return SolveResult(SolveStatus.UNSAT)
 
 
 def count_models(cnf: CNF) -> int:

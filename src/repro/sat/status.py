@@ -22,6 +22,7 @@ runner and the CLI — answers with the same vocabulary defined here:
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Optional
@@ -69,7 +70,18 @@ class SolveStatus(Enum):
 
     @classmethod
     def from_bool(cls, satisfiable: bool) -> "SolveStatus":
-        """Lift a legacy ``satisfiable`` boolean into a status."""
+        """Lift a legacy ``satisfiable`` boolean into a status.
+
+        .. deprecated:: 1.6
+           Part of the pre-status compatibility layer.  Write
+           ``SolveStatus.SAT`` / ``SolveStatus.UNSAT`` directly — the
+           boolean form cannot express the three undecided statuses.
+           See the migration table in ``docs/api.md``.
+        """
+        warnings.warn(
+            "SolveStatus.from_bool() is deprecated; use SolveStatus.SAT "
+            "or SolveStatus.UNSAT directly (docs/api.md has the "
+            "migration table)", DeprecationWarning, stacklevel=2)
         return cls.SAT if satisfiable else cls.UNSAT
 
     def __str__(self) -> str:

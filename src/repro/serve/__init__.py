@@ -1,0 +1,40 @@
+"""repro.serve — the solver as a long-running service.
+
+A thin asyncio front end (:class:`~repro.serve.server.SolveService`)
+accepts :class:`repro.api.SolveRequest` wire payloads over a JSON-lines
+TCP protocol, runs them on a persistent worker-process pool, and answers
+with :class:`repro.api.SolveResponse` payloads.  Between the two sits
+the piece that makes a service worthwhile for benchmark-style workloads
+(the same instances resubmitted across sweeps, CI runs and parameter
+studies): a **content-addressed result cache**
+(:class:`~repro.serve.cache.ResultCache`) keyed by the SHA-256 of the
+canonical instance bytes plus (K, strategies, limits).  Fills are
+audit-verified (:mod:`repro.reliability.audit`) before they may be
+served to anyone else; hits skip the pool entirely.
+
+Admission control (:class:`~repro.serve.admission.AdmissionController`)
+bounds the queue, caps per-client concurrency, clamps every job's
+budget under a server-wide :class:`~repro.sat.status.SolveLimits`
+ceiling, and quarantines clients whose jobs keep erroring — reusing
+:class:`repro.reliability.quarantine.QuarantineTracker` unchanged.
+
+Operational counters (hits, misses, evictions, fills, admission
+rejections, per-status job counts) land in :mod:`repro.obs.metrics`
+under the ``serve.*`` prefix and are served by the ``metrics`` op — the
+``/metrics``-style dump endpoint.
+
+See ``docs/serving.md`` for the architecture and the cache-invalidation
+rules, ``repro serve`` / ``repro submit`` for the CLI, and
+``python -m repro.serve.smoke`` for the end-to-end smoke check.
+"""
+
+from .admission import AdmissionController, AdmissionDecision, AdmissionPolicy
+from .cache import ResultCache
+from .client import ServeClient, ServeError, ServeRejected
+from .server import SolveService
+
+__all__ = [
+    "AdmissionController", "AdmissionDecision", "AdmissionPolicy",
+    "ResultCache", "ServeClient", "ServeError", "ServeRejected",
+    "SolveService",
+]

@@ -1,0 +1,177 @@
+"""Admission control and per-client budgets for the solve service.
+
+Everything here reuses the result-contract and reliability vocabulary
+the rest of the stack already speaks: budgets are
+:class:`repro.sat.status.SolveLimits` (the server's ceiling is *merged*
+with the request's own budget, tighter bound per axis, exactly like the
+batch runner does), and misbehaving clients sit out via
+:class:`repro.reliability.quarantine.QuarantineTracker` — the same
+offence/backoff machinery that quarantines crashing strategies in
+:func:`repro.bench.batch.run_batch`, keyed by client name instead of
+strategy label.
+
+The controller answers one question per request — *may this run, and
+under what budget?* — and records one fact per finished job — *did this
+client's job error?*  ERROR outcomes (worker crashes, audit failures)
+count as offences; enough of them inside the policy's threshold put the
+client behind an exponential-backoff curtain.  TIMEOUT and
+BUDGET_EXHAUSTED do **not** count: hitting a budget is the budget
+working, not misbehaviour.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..reliability.quarantine import QuarantinePolicy, QuarantineTracker
+from ..sat.status import SolveLimits, SolveStatus
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Server-side knobs (see ``docs/serving.md``).
+
+    Attributes
+    ----------
+    max_queue_depth:
+        Reject new work once this many jobs are in flight or queued on
+        the pool (backpressure instead of unbounded buffering).
+    max_inflight_per_client:
+        Fairness cap: one client may not occupy more than this many
+        pool slots at once.
+    max_vertices:
+        Reject instances larger than this outright (an encoding for a
+        huge graph can exhaust the worker's memory before any solver
+        budget applies).  ``None`` disables the check.
+    job_limits:
+        The server-wide budget ceiling.  Each admitted job runs under
+        ``job_limits.merge(request.limits)`` — a client can tighten its
+        own budget but never exceed the server's.
+    quarantine:
+        Offence/backoff policy for clients whose jobs keep erroring
+        (None = :class:`QuarantinePolicy` defaults).
+    """
+
+    max_queue_depth: int = 64
+    max_inflight_per_client: int = 8
+    max_vertices: Optional[int] = 100_000
+    job_limits: Optional[SolveLimits] = None
+    quarantine: Optional[QuarantinePolicy] = None
+
+
+@dataclass
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    #: Human-readable rejection reason ("" when admitted).
+    reason: str = ""
+    #: Effective budget for the job (server ceiling merged with the
+    #: request's own limits); None when rejected or truly unlimited.
+    limits: Optional[SolveLimits] = None
+
+
+class AdmissionController:
+    """Tracks in-flight work per client and applies the policy.
+
+    Single-threaded by design: the asyncio server calls it only from
+    the event loop, so no lock is needed.  ``begin``/``finish`` must
+    bracket every admitted job (the server does this in a
+    try/finally).
+    """
+
+    def __init__(self, policy: Optional[AdmissionPolicy] = None) -> None:
+        self.policy = policy or AdmissionPolicy()
+        self._inflight: Dict[str, int] = {}
+        self._total_inflight = 0
+        self._tracker = QuarantineTracker(self.policy.quarantine)
+        self.admitted = 0
+        self.rejected = 0
+        #: Rejection counts by reason kind (the ``metrics`` op exposes
+        #: this — it is how an operator sees *why* work bounces).
+        self.rejections: Dict[str, int] = {}
+
+    # -- the gate ------------------------------------------------------
+
+    def admit(self, client: str, num_vertices: int,
+              limits: Optional[SolveLimits] = None) -> AdmissionDecision:
+        """Decide whether one job may enter the pool right now."""
+        policy = self.policy
+        now = time.monotonic()
+        if self._tracker.quarantined(client or "", now):
+            release = self._tracker.release_time(client or "")
+            return self._reject(
+                "quarantined",
+                f"client {client or '<anonymous>'} is quarantined for "
+                f"{max(0.0, release - now):.1f}s after repeated errors")
+        if self._total_inflight >= policy.max_queue_depth:
+            return self._reject(
+                "queue_full",
+                f"queue depth {self._total_inflight} at capacity "
+                f"{policy.max_queue_depth}")
+        if self._inflight.get(client, 0) >= policy.max_inflight_per_client:
+            return self._reject(
+                "client_cap",
+                f"client {client or '<anonymous>'} already has "
+                f"{self._inflight.get(client, 0)} jobs in flight "
+                f"(cap {policy.max_inflight_per_client})")
+        if policy.max_vertices is not None \
+                and num_vertices > policy.max_vertices:
+            return self._reject(
+                "too_large",
+                f"instance has {num_vertices} vertices "
+                f"(server cap {policy.max_vertices})")
+        self.admitted += 1
+        effective = limits
+        if policy.job_limits is not None:
+            effective = policy.job_limits.merge(limits)
+        return AdmissionDecision(admitted=True, limits=effective)
+
+    def _reject(self, kind: str, reason: str) -> AdmissionDecision:
+        self.rejected += 1
+        self.rejections[kind] = self.rejections.get(kind, 0) + 1
+        return AdmissionDecision(admitted=False, reason=reason)
+
+    # -- in-flight accounting -----------------------------------------
+
+    def begin(self, client: str) -> None:
+        """An admitted job entered the pool."""
+        self._inflight[client] = self._inflight.get(client, 0) + 1
+        self._total_inflight += 1
+
+    def finish(self, client: str, status: SolveStatus,
+               detail: str = "") -> None:
+        """An admitted job left the pool; records offences.
+
+        ERROR is an offence (crash, audit failure); everything else —
+        including TIMEOUT and BUDGET_EXHAUSTED, which mean the budget
+        *worked* — counts as a success for backoff-decay purposes.
+        """
+        count = self._inflight.get(client, 0)
+        if count <= 1:
+            self._inflight.pop(client, None)
+        else:
+            self._inflight[client] = count - 1
+        self._total_inflight = max(0, self._total_inflight - 1)
+        if status is SolveStatus.ERROR:
+            self._tracker.record_offence(client or "", detail or "job error",
+                                         time.monotonic())
+        else:
+            self._tracker.record_success(client or "")
+
+    @property
+    def inflight(self) -> int:
+        return self._total_inflight
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready view for the ``metrics`` op."""
+        return {
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "rejections": dict(self.rejections),
+            "inflight": self._total_inflight,
+            "inflight_by_client": dict(self._inflight),
+            "quarantine": self._tracker.snapshot(),
+        }

@@ -1,0 +1,200 @@
+"""Content-addressed result cache: in-memory LRU over an on-disk store.
+
+The key is :meth:`repro.api.SolveRequest.cache_key` — SHA-256 of the
+canonical instance bytes plus (K, strategies, limits).  Because the
+canonical serialization sorts edges, equal graphs hash equally no matter
+how they were built, while any change to the question (K, strategy set,
+budget) or to the instance itself (a relabeling *is* a different graph)
+misses.  The cached value is a :class:`repro.api.SolveResponse` wire
+dict — plain JSON either layer can store.
+
+Two layers:
+
+* **Memory** — an ``OrderedDict`` LRU bounded by ``capacity`` entries.
+  Hits move to the MRU end; inserting past capacity evicts the LRU
+  entry (to disk it is not a loss — the entry was persisted at fill
+  time).
+* **Disk** (optional) — one JSON file per digest under
+  ``<dir>/<digest[:2]>/<digest>.json`` (two-hex-char sharding keeps
+  directories small).  Writes go through a temp file in the same
+  directory followed by :func:`os.replace`, so a crashed or concurrent
+  writer can never leave a torn entry; readers treat unparsable files
+  as misses and delete them.  A memory miss that hits disk is promoted
+  back into the LRU.
+
+Counters (hits, misses, disk hits, fills, evictions) are kept on the
+cache itself and mirrored into :mod:`repro.obs.metrics` under
+``serve.cache.*`` when metrics are enabled.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from ..obs import metrics as obs_metrics
+
+#: Registry prefix for the mirrored counters.
+_METRIC_PREFIX = "serve.cache."
+
+
+class ResultCache:
+    """LRU + optional disk store for solve-response wire dicts.
+
+    Thread-safe: the server's event loop and any background fill path
+    share one lock around the LRU and the counters.  Disk I/O happens
+    inside the lock too — entries are small (one JSON response) and the
+    simplicity is worth more than the parallelism here.
+    """
+
+    def __init__(self, capacity: int = 256,
+                 disk_dir: Optional[str] = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.disk_dir = disk_dir
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Dict]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.fills = 0
+        self.evictions = 0
+        if disk_dir:
+            os.makedirs(disk_dir, exist_ok=True)
+
+    # -- lookup --------------------------------------------------------
+
+    def get(self, digest: str) -> Optional[Dict]:
+        """The cached response wire dict for ``digest``, or None.
+
+        Returns a shallow copy — callers stamp provenance fields
+        (``cached``, ``tag``) onto the result without mutating the
+        stored entry.
+        """
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is not None:
+                self._entries.move_to_end(digest)
+                self.hits += 1
+                self._mirror("hits")
+                return dict(entry)
+            entry = self._disk_read(digest)
+            if entry is not None:
+                self.hits += 1
+                self.disk_hits += 1
+                self._mirror("hits")
+                self._mirror("disk_hits")
+                self._insert(digest, entry)
+                return dict(entry)
+            self.misses += 1
+            self._mirror("misses")
+            return None
+
+    # -- fill ----------------------------------------------------------
+
+    def put(self, digest: str, payload: Dict) -> None:
+        """Store ``payload`` under ``digest`` (memory + disk).
+
+        The caller decides *what* is cacheable — the server only fills
+        with decided, audit-verified responses.
+        """
+        with self._lock:
+            self.fills += 1
+            self._mirror("fills")
+            self._insert(digest, dict(payload))
+            self._disk_write(digest, payload)
+
+    def _insert(self, digest: str, payload: Dict) -> None:
+        self._entries[digest] = payload
+        self._entries.move_to_end(digest)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            self._mirror("evictions")
+
+    # -- disk layer ----------------------------------------------------
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.disk_dir, digest[:2], digest + ".json")
+
+    def _disk_read(self, digest: str) -> Optional[Dict]:
+        if not self.disk_dir:
+            return None
+        path = self._path(digest)
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                entry = json.load(stream)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            # A torn or corrupt entry is a miss, and rot: drop the file
+            # so the next fill rewrites it cleanly.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        return entry if isinstance(entry, dict) else None
+
+    def _disk_write(self, digest: str, payload: Dict) -> None:
+        if not self.disk_dir:
+            return
+        path = self._path(digest)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        # Atomic publish: temp file in the same directory, then replace.
+        descriptor, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as stream:
+                json.dump(payload, stream, sort_keys=True)
+            os.replace(tmp_path, path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    # -- introspection -------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        """Counter snapshot plus current occupancy (the ``metrics`` op's
+        ``cache`` section)."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "disk_hits": self.disk_hits, "fills": self.fills,
+                    "evictions": self.evictions,
+                    "entries": len(self._entries),
+                    "capacity": self.capacity}
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups so far (0.0 before any lookup)."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return self.hits / lookups if lookups else 0.0
+
+    def clear(self) -> None:
+        """Drop the memory layer (disk entries survive — they are the
+        persistent store a restarted server warms from)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._entries
+
+    @staticmethod
+    def _mirror(name: str) -> None:
+        if obs_metrics.enabled():
+            obs_metrics.registry().inc(_METRIC_PREFIX + name)

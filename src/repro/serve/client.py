@@ -1,0 +1,105 @@
+"""Blocking JSON-lines client for :class:`repro.serve.server.SolveService`.
+
+Deliberately synchronous: callers are scripts, tests and the ``repro
+submit`` CLI command, none of which want an event loop.  One persistent
+connection per client; requests and replies are strictly
+request/response over it.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, Optional
+
+from .. import api
+
+
+class ServeError(RuntimeError):
+    """The server answered ``ok: false`` (or the connection died)."""
+
+
+class ServeRejected(ServeError):
+    """Admission control refused the job (queue full, client cap,
+    instance too large, or quarantine) — resubmission later may work."""
+
+
+class ServeClient:
+    """A connected client; usable as a context manager.
+
+    ``timeout`` bounds each blocking socket operation — set it above
+    the server's ``job_timeout`` or slow solves will look like dead
+    connections.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7227,
+                 timeout: Optional[float] = 300.0) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._stream = self._sock.makefile("rwb")
+
+    # -- plumbing ------------------------------------------------------
+
+    def _call(self, envelope: Dict) -> Dict:
+        self._stream.write(json.dumps(envelope).encode("utf-8") + b"\n")
+        self._stream.flush()
+        line = self._stream.readline()
+        if not line:
+            raise ServeError("server closed the connection")
+        reply = json.loads(line)
+        if not isinstance(reply, dict):
+            raise ServeError(f"malformed reply: {reply!r}")
+        return reply
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- operations ----------------------------------------------------
+
+    def ping(self) -> Dict:
+        """Liveness check; returns the server's ping reply."""
+        reply = self._call({"op": "ping"})
+        if not reply.get("ok"):
+            raise ServeError(reply.get("error", "ping failed"))
+        return reply
+
+    def solve(self, request: "api.SolveRequest") -> "api.SolveResponse":
+        """Submit one request and block for its response.
+
+        Raises :class:`ServeRejected` on admission refusal and
+        :class:`ServeError` on protocol/server errors; solver trouble
+        (timeouts, budget exhaustion, worker errors) comes back as a
+        normal response with the corresponding status.
+        """
+        reply = self._call({"op": "solve", "request": request.to_wire()})
+        if not reply.get("ok"):
+            message = str(reply.get("error", "unknown server error"))
+            if reply.get("rejected"):
+                raise ServeRejected(message)
+            raise ServeError(message)
+        return api.SolveResponse.from_wire(reply["response"])
+
+    def metrics(self) -> Dict:
+        """The server's ``/metrics``-style dump: ``metrics`` (registry
+        snapshot), ``cache`` (counters + occupancy), ``admission``."""
+        reply = self._call({"op": "metrics"})
+        if not reply.get("ok"):
+            raise ServeError(reply.get("error", "metrics failed"))
+        return reply
+
+    def shutdown(self) -> None:
+        """Ask the server to drain and exit (the reply is the bye)."""
+        try:
+            self._call({"op": "shutdown"})
+        except (ServeError, OSError):
+            pass  # the server may win the race and close first

@@ -1,0 +1,299 @@
+"""The asyncio solve service: JSON-lines TCP over a worker-process pool.
+
+Protocol (one JSON object per line, both directions):
+
+* ``{"op": "solve", "request": <SolveRequest wire>}`` →
+  ``{"ok": true, "response": <SolveResponse wire>}`` or
+  ``{"ok": false, "error": "...", "rejected": true?}``.
+* ``{"op": "metrics"}`` → the ``/metrics``-style dump: the process
+  metrics snapshot plus the cache and admission sections.
+* ``{"op": "ping"}`` → liveness + protocol version.
+* ``{"op": "shutdown"}`` → ``{"ok": true, "bye": true}``, then the
+  server drains and stops.
+
+The request path::
+
+    cache lookup ──hit──▶ answer (no pool, no admission charge)
+        │ miss
+    admission (queue depth, per-client cap, size cap, quarantine)
+        │ admitted, budget = server ceiling ∧ request limits
+    worker pool: api.solve with audit FORCED on
+        │ decided + audit passed
+    cache fill (memory LRU + atomic disk write) ──▶ answer
+
+Cache hits are answered on the event loop without touching the pool and
+without charging the client's budget.  Fills are audit-verified — a
+cached answer has survived :func:`repro.reliability.audit.audit_outcome`
+once, so hits can skip re-verification; a response that fails its audit
+comes back as ERROR and is never cached.  Concurrent identical requests
+are single-flighted: the second submitter awaits the first's job and is
+then served from the cache instead of duplicating the work.
+
+Workers are a persistent :class:`~concurrent.futures.ProcessPoolExecutor`
+(solves are CPU-bound; the GIL rules out threads).  Each job resets the
+worker's observability state, runs one request, and ships its telemetry
+(spans + metrics snapshot) back with the result for the server to
+ingest — the same worker-telemetry scheme the portfolio and batch
+runners use over their result queues.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing as mp
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, Optional
+
+from .. import api, obs
+from ..obs import metrics as obs_metrics
+from ..sat.status import SolveLimits, SolveReport, SolveStatus
+from .admission import AdmissionController, AdmissionPolicy
+from .cache import ResultCache
+
+#: Protocol version announced by ``ping``.
+PROTOCOL = "repro-serve/1"
+
+#: Hard cap on one request line (a DoS-sized payload should fail the
+#: read, not exhaust memory).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+def _execute_wire(wire: Dict) -> tuple:
+    """Worker-side entry: run one request, return (response wire,
+    telemetry).  Module-level so the pool can pickle it; never raises —
+    every failure becomes an ERROR response."""
+    obs.worker_begin()
+    # The pool reuses processes: start each job from a clean registry so
+    # the telemetry shipped back is this job's alone, not cumulative.
+    obs_metrics.registry().reset()
+    obs_metrics.enable(True)
+    try:
+        request = api.SolveRequest.from_wire(wire)
+        payload = api.solve(request).to_wire()
+    except Exception as error:  # defensive: the pool must stay healthy
+        report = SolveReport(status=SolveStatus.ERROR, detail=repr(error))
+        payload = api.SolveResponse(status=SolveStatus.ERROR, report=report,
+                                    tag=str(wire.get("tag", ""))).to_wire()
+    return payload, obs.drain_telemetry()
+
+
+class SolveService:
+    """The long-running front end.  Lifecycle::
+
+        service = SolveService(port=0, workers=4, cache_dir="cache/")
+        await service.start()        # binds; service.port is now real
+        await service.serve_forever()  # until a shutdown op or stop()
+
+    All state mutation happens on the event loop; the worker pool only
+    ever sees plain wire dicts.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 workers: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 cache_capacity: int = 256,
+                 cache_dir: Optional[str] = None,
+                 policy: Optional[AdmissionPolicy] = None,
+                 job_timeout: Optional[float] = None,
+                 audit_fills: bool = True) -> None:
+        self.host = host
+        self.port = port
+        self.workers = workers if workers is not None else max(
+            1, (mp.cpu_count() or 2) - 1)
+        self.cache = cache if cache is not None else ResultCache(
+            cache_capacity, cache_dir)
+        self.admission = AdmissionController(policy)
+        #: Server-wide wall-clock bound per job (merged into every
+        #: request's budget, on top of the admission ceiling).
+        self.job_timeout = job_timeout
+        #: Force an audit on every pool execution so cache fills are
+        #: verified answers.  Off only for benchmarking the cache layer.
+        self.audit_fills = audit_fills
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopped: Optional[asyncio.Event] = None
+        #: Single-flight table: digest → future of the in-flight job.
+        self._jobs: Dict[str, "asyncio.Future"] = {}
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> "SolveService":
+        """Bind the listener and spin up the pool.  With ``port=0`` the
+        OS picks a free port; :attr:`port` holds the real one after."""
+        obs_metrics.enable(True)  # the service always keeps its counters
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        context = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn")
+        self._executor = ProcessPoolExecutor(max_workers=self.workers,
+                                             mp_context=context)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=MAX_LINE_BYTES)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`stop` (or a ``shutdown`` op) runs."""
+        if self._server is None:
+            await self.start()
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain the pool, release everything."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._executor is not None:
+            executor, self._executor = self._executor, None
+            # shutdown(wait=True) joins worker processes — do it off
+            # the loop so in-flight connection handlers stay serviced.
+            await self._loop.run_in_executor(
+                None, lambda: executor.shutdown(wait=True))
+        if self._stopped is not None:
+            self._stopped.set()
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    break  # oversized line or peer reset
+                if not line:
+                    break
+                try:
+                    envelope = json.loads(line)
+                except ValueError:
+                    reply = {"ok": False, "error": "malformed JSON line"}
+                else:
+                    reply = await self._dispatch(envelope)
+                writer.write(json.dumps(reply).encode("utf-8") + b"\n")
+                await writer.drain()
+                if reply.get("bye"):
+                    break
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, envelope: Dict) -> Dict:
+        op = envelope.get("op")
+        self._count("serve.ops")
+        if op == "ping":
+            return {"ok": True, "protocol": PROTOCOL,
+                    "workers": self.workers}
+        if op == "metrics":
+            return {"ok": True,
+                    "metrics": obs_metrics.registry().snapshot(),
+                    "cache": self.cache.counts(),
+                    "admission": self.admission.snapshot()}
+        if op == "shutdown":
+            # Reply first (the handler breaks on "bye"), stop right
+            # after this dispatch returns.
+            self._loop.call_soon(lambda: self._loop.create_task(self.stop()))
+            return {"ok": True, "bye": True}
+        if op == "solve":
+            return await self._solve(envelope.get("request") or {})
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    # -- the solve path ------------------------------------------------
+
+    async def _solve(self, wire: Dict) -> Dict:
+        try:
+            request = api.SolveRequest.from_wire(wire)
+        except Exception as error:
+            self._count("serve.invalid")
+            return {"ok": False, "error": f"invalid request: {error}"}
+        digest = request.cache_key()
+
+        payload = self.cache.get(digest)
+        if payload is None and digest in self._jobs:
+            # Single-flight: an identical request is already solving.
+            # Await it, then take its freshly-filled cache entry.
+            self._count("serve.coalesced")
+            await asyncio.wait([self._jobs[digest]])
+            payload = self.cache.get(digest)
+        if payload is not None:
+            payload["cached"] = True
+            payload["tag"] = request.tag
+            self._count("serve.responses.cached")
+            return {"ok": True, "response": payload}
+
+        decision = self.admission.admit(request.client,
+                                        request.graph.num_vertices,
+                                        request.limits)
+        if not decision.admitted:
+            self._count("serve.rejected")
+            return {"ok": False, "error": decision.reason, "rejected": True}
+
+        effective = decision.limits
+        if self.job_timeout is not None:
+            effective = (effective or SolveLimits()).with_wall_clock(
+                self.job_timeout)
+        job_wire = dict(wire)
+        job_wire["limits"] = api.limits_to_wire(effective)
+        if self.audit_fills:
+            job_wire["audit"] = True
+
+        self.admission.begin(request.client)
+        ticket = self._loop.create_future()
+        self._jobs[digest] = ticket
+        status, detail = SolveStatus.ERROR, "worker failed"
+        try:
+            payload, telemetry = await self._run_job(job_wire)
+            obs.ingest_telemetry(telemetry)
+            status = SolveStatus(payload["status"])
+            detail = str((payload.get("report") or {}).get("detail", ""))
+        except Exception as error:
+            detail = repr(error)
+            report = SolveReport(status=SolveStatus.ERROR, detail=detail)
+            payload = api.SolveResponse(status=SolveStatus.ERROR,
+                                        report=report).to_wire()
+        finally:
+            self.admission.finish(request.client, status, detail)
+            self._jobs.pop(digest, None)
+            if not ticket.done():
+                ticket.set_result(None)
+
+        payload["digest"] = digest
+        payload["cached"] = False
+        payload["tag"] = request.tag
+        self._count(f"serve.jobs.{status}")
+        if status.decided and payload.get("audit") != "FAIL":
+            # Audit-guarded fill: with audit_fills on, a decided answer
+            # here has verdict PASS (a FAIL was demoted to ERROR).
+            self.cache.put(digest, dict(payload))
+        return {"ok": True, "response": payload}
+
+    async def _run_job(self, job_wire: Dict) -> tuple:
+        try:
+            return await self._loop.run_in_executor(
+                self._executor, _execute_wire, job_wire)
+        except BrokenProcessPool:
+            # A worker died hard (OOM kill, segfault).  Replace the pool
+            # so one casualty does not take the service down, and fail
+            # only this job.
+            self._count("serve.pool_rebuilds")
+            old, self._executor = self._executor, None
+            await self._loop.run_in_executor(
+                None, lambda: old.shutdown(wait=False))
+            context = mp.get_context(
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn")
+            self._executor = ProcessPoolExecutor(max_workers=self.workers,
+                                                 mp_context=context)
+            raise
+
+    @staticmethod
+    def _count(name: str) -> None:
+        if obs_metrics.enabled():
+            obs_metrics.registry().inc(name)

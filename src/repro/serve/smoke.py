@@ -1,0 +1,153 @@
+"""End-to-end smoke check for the solve service (CI's ``serve-smoke``).
+
+Boots a :class:`~repro.serve.server.SolveService` on an ephemeral
+loopback port, submits a small mixed SAT/UNSAT corpus twice over the
+JSON-lines protocol, and asserts:
+
+* every answer is correct (expected status) and audit-verified,
+* the second pass is served (almost) entirely from the cache,
+* the metrics dump carries the cache hit/miss/fill counters,
+* the server shuts down cleanly.
+
+Run with ``python -m repro.serve.smoke`` (or ``make serve-smoke``).
+Exit code 0 on success, 1 on any failed check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import tempfile
+import threading
+from typing import List, Optional, Tuple
+
+from .. import api
+from ..coloring.instances import book_graph, mycielski_graph, wheel_graph
+from ..coloring.problem import Graph
+from ..obs.report import render_metrics
+from ..sat.status import SolveStatus
+from .client import ServeClient
+from .server import SolveService
+
+#: (name, graph, K, expected status) — tiny instances, mixed verdicts.
+def _corpus() -> List[Tuple[str, Graph, int, SolveStatus]]:
+    return [
+        ("wheel7-K4", wheel_graph(7), 4, SolveStatus.SAT),
+        ("wheel7-K3", wheel_graph(7), 3, SolveStatus.UNSAT),
+        ("mycielski4-K4", mycielski_graph(4), 4, SolveStatus.SAT),
+        ("mycielski4-K3", mycielski_graph(4), 3, SolveStatus.UNSAT),
+        ("book5-K3", book_graph(5), 3, SolveStatus.SAT),
+        ("book5-K2", book_graph(5), 2, SolveStatus.UNSAT),
+    ]
+
+
+def _serve_in_thread(service: SolveService) -> threading.Thread:
+    """Run the service's event loop on a daemon thread; returns once
+    the listener is bound (service.port is real)."""
+    bound = threading.Event()
+    failure: List[BaseException] = []
+
+    def _main() -> None:
+        async def _run() -> None:
+            await service.start()
+            bound.set()
+            await service.serve_forever()
+        try:
+            asyncio.run(_run())
+        except BaseException as error:  # surface instead of dying silently
+            failure.append(error)
+            bound.set()
+
+    thread = threading.Thread(target=_main, name="serve-smoke-server",
+                              daemon=True)
+    thread.start()
+    if not bound.wait(timeout=30) or failure:
+        raise RuntimeError(f"server failed to start: "
+                           f"{failure[0] if failure else 'timeout'}")
+    return thread
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serve-smoke: boot, submit a corpus twice, "
+                    "assert cache hits")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--job-timeout", type=float, default=120.0)
+    parser.add_argument("--min-hit-rate", type=float, default=0.9,
+                        help="required cached fraction of the second pass")
+    args = parser.parse_args(argv)
+
+    corpus = _corpus()
+    failures: List[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            failures.append(message)
+            print(f"FAIL {message}")
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        service = SolveService(port=0, workers=args.workers,
+                               cache_dir=tmp, job_timeout=args.job_timeout)
+        thread = _serve_in_thread(service)
+        print(f"server up on {service.host}:{service.port} "
+              f"({args.workers} workers, disk cache at {tmp})")
+
+        with ServeClient(service.host, service.port) as client:
+            client.ping()
+            requests = [api.SolveRequest(graph=graph, colors=colors,
+                                         client="smoke", tag=name)
+                        for name, graph, colors, _ in corpus]
+
+            for label, expect_cached in (("first", False), ("second", True)):
+                cached_count = 0
+                for (name, _, _, expected), request in zip(corpus, requests):
+                    response = client.solve(request)
+                    cached_count += bool(response.cached)
+                    check(response.status is expected,
+                          f"{label} pass {name}: status {response.status}, "
+                          f"expected {expected}")
+                    check(response.audit == "PASS",
+                          f"{label} pass {name}: audit verdict "
+                          f"{response.audit!r}, expected PASS")
+                    check(response.tag == name,
+                          f"{label} pass {name}: tag {response.tag!r} "
+                          f"not echoed")
+                rate = cached_count / len(corpus)
+                print(f"{label} pass: {cached_count}/{len(corpus)} cached")
+                if expect_cached:
+                    check(rate >= args.min_hit_rate,
+                          f"second-pass cache rate {rate:.0%} below "
+                          f"{args.min_hit_rate:.0%}")
+                else:
+                    check(cached_count == 0,
+                          f"first pass unexpectedly cached {cached_count}")
+
+            dump = client.metrics()
+            cache_counts = dump.get("cache", {})
+            print(f"cache counters: {cache_counts}")
+            check(cache_counts.get("hits", 0) >= len(corpus),
+                  f"expected >= {len(corpus)} cache hits, "
+                  f"got {cache_counts.get('hits')}")
+            check(cache_counts.get("fills", 0) == len(corpus),
+                  f"expected {len(corpus)} fills, "
+                  f"got {cache_counts.get('fills')}")
+            counters = (dump.get("metrics") or {}).get("counters") or {}
+            for name in ("serve.cache.hits", "serve.cache.misses",
+                         "serve.cache.fills"):
+                check(name in counters, f"metrics dump missing {name}")
+            print(render_metrics(dump["metrics"]))
+            client.shutdown()
+
+        thread.join(timeout=30)
+        check(not thread.is_alive(), "server thread did not stop")
+
+    if failures:
+        print(f"serve-smoke: {len(failures)} check(s) failed")
+        return 1
+    print("serve-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

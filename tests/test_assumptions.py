@@ -11,30 +11,30 @@ class TestAssumptions:
     def test_sat_under_assumptions(self):
         solver = CDCLSolver(CNF([[1, 2], [-1, 2]]))
         result = solver.solve([1])
-        assert result.satisfiable
+        assert result.is_sat
         assert result.model.value(1) is True
         assert result.model.value(2) is True
 
     def test_unsat_under_assumptions_but_sat_without(self):
         solver = CDCLSolver(CNF([[1, 2], [-1, -2]]))
-        assert not solver.solve([1, 2]).satisfiable
+        assert not solver.solve([1, 2]).is_sat
         result = solver.solve()
-        assert result.satisfiable
+        assert result.is_sat
 
     def test_assumption_failed_flag(self):
         solver = CDCLSolver(CNF([[1]]))
         result = solver.solve([-1])
-        assert not result.satisfiable
+        assert not result.is_sat
         assert result.stats.get("assumption_failed") == 1
         # A plain unconditional call clears the flag.
         result = solver.solve()
-        assert result.satisfiable
+        assert result.is_sat
         assert "assumption_failed" not in result.stats
 
     def test_redundant_assumptions(self):
         solver = CDCLSolver(CNF([[1], [1, 2]]))
         result = solver.solve([1, 1, 2])
-        assert result.satisfiable
+        assert result.is_sat
 
     def test_out_of_range_assumption_rejected(self):
         solver = CDCLSolver(CNF([[1]]))
@@ -43,7 +43,7 @@ class TestAssumptions:
 
     def test_conflicting_assumptions(self):
         solver = CDCLSolver(CNF([[1, 2]], num_vars=2))
-        assert not solver.solve([1, -1]).satisfiable
+        assert not solver.solve([1, -1]).is_sat
 
     @pytest.mark.parametrize("seed", range(15))
     def test_matches_unit_augmented_formula(self, seed):
@@ -56,10 +56,10 @@ class TestAssumptions:
         augmented = cnf.copy()
         for lit in assumptions:
             augmented.add_clause([lit])
-        expected = solve_by_enumeration(augmented).satisfiable
+        expected = solve_by_enumeration(augmented).is_sat
         solver = CDCLSolver(cnf)
         result = solver.solve(assumptions)
-        assert result.satisfiable == expected
+        assert result.is_sat == expected
         if expected:
             assert result.model.satisfies(augmented)
 
@@ -68,24 +68,24 @@ class TestIncrementalReuse:
     def test_many_calls_on_one_solver(self):
         cnf = make_random_cnf(num_vars=10, num_clauses=30, seed=77)
         solver = CDCLSolver(cnf)
-        baseline = solver.solve().satisfiable
+        baseline = solver.solve().is_sat
         for lit in (1, -1, 5, -5):
             augmented = cnf.copy()
             augmented.add_clause([lit])
-            expected = solve_by_enumeration(augmented).satisfiable
-            assert solver.solve([lit]).satisfiable == expected
+            expected = solve_by_enumeration(augmented).is_sat
+            assert solver.solve([lit]).is_sat == expected
         # Unconditional answer unchanged after assumption calls.
-        assert solver.solve().satisfiable == baseline
+        assert solver.solve().is_sat == baseline
 
     def test_learned_clauses_persist(self):
         from .test_cdcl import pigeonhole
         cnf = pigeonhole(5)
         solver = CDCLSolver(cnf)
-        assert not solver.solve().satisfiable
+        assert not solver.solve().is_sat
         first_conflicts = solver.stats["conflicts"]
         # Second unconditional call reuses the learned refutation and
         # needs (almost) no new conflicts.
-        assert not solver.solve().satisfiable
+        assert not solver.solve().is_sat
         assert solver.stats["conflicts"] - first_conflicts \
             < first_conflicts / 2 + 10
 

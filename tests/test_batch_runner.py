@@ -41,7 +41,7 @@ class TestRunBatch:
         assert len(result.results) == len(jobs)
         for job_result in result.results:
             assert job_result.status is SolveStatus.SAT
-            assert job_result.outcome.satisfiable
+            assert job_result.outcome.is_sat
             assert job_result.attempts == 1
 
     def test_results_addressable_by_key(self):
@@ -49,7 +49,7 @@ class TestRunBatch:
         result = run_batch(jobs, max_workers=2)
         for job in jobs:
             outcome = result.outcome(job.instance, job.strategy)
-            assert outcome.satisfiable
+            assert outcome.is_sat
 
     def test_status_counts(self):
         jobs = _easy_jobs(count=2)

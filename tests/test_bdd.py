@@ -101,17 +101,17 @@ class TestSolveBDD:
     @pytest.mark.parametrize("seed", range(25))
     def test_matches_oracle(self, seed):
         cnf = make_random_cnf(num_vars=8, num_clauses=25, seed=seed + 600)
-        expected = solve_by_enumeration(cnf).satisfiable
+        expected = solve_by_enumeration(cnf).is_sat
         result = solve_bdd(cnf)
-        assert result.satisfiable == expected
+        assert result.is_sat == expected
         if expected:
             assert result.model.satisfies(cnf)
 
     @settings(max_examples=40, deadline=None)
     @given(small_cnfs(max_vars=6, max_clauses=14))
     def test_property_matches_enumeration(self, cnf):
-        assert (solve_bdd(cnf).satisfiable
-                == solve_by_enumeration(cnf).satisfiable)
+        assert (solve_bdd(cnf).is_sat
+                == solve_by_enumeration(cnf).is_sat)
 
     def test_unsat_routing_instance(self):
         """BDDs decide a small unroutable configuration too — the contrast
@@ -120,7 +120,7 @@ class TestSolveBDD:
         from repro.core import get_encoding
         problem = ColoringProblem(complete_graph(4), 3)
         encoded = get_encoding("log").encode(problem)
-        assert not solve_bdd(encoded.cnf).satisfiable
+        assert not solve_bdd(encoded.cnf).is_sat
 
     def test_blowup_on_larger_instance(self):
         """The Wood & Rutenbar failure mode: a routing formula that CDCL

@@ -40,7 +40,7 @@ class TestConflictBudget:
                                          conflict_budget=budget))
         result = solver.solve()
         assert result.status is SolveStatus.BUDGET_EXHAUSTED
-        assert not result.satisfiable and result.model is None
+        assert not result.is_sat and result.model is None
         assert result.stats["conflicts"] == budget
         assert result.stats["decisions"] > 0
         assert result.stats["propagations"] > 0
@@ -151,7 +151,7 @@ class TestPipelineBudgets:
         outcome = solve_coloring(problem, Strategy("muldirect", "none"),
                                  limits=SolveLimits(conflict_budget=30))
         assert outcome.status is SolveStatus.BUDGET_EXHAUSTED
-        assert not outcome.satisfiable
+        assert not outcome.is_sat
         assert outcome.coloring is None
         assert outcome.solver_stats["conflicts"] == 30
         assert outcome.report.status is SolveStatus.BUDGET_EXHAUSTED

@@ -27,14 +27,14 @@ def pigeonhole(holes: int) -> CNF:
 class TestTrivialCases:
     def test_empty_formula_is_sat(self):
         result = solve(CNF())
-        assert result.satisfiable
+        assert result.is_sat
 
     def test_empty_clause_is_unsat(self):
         assert not solve(CNF([[]]))
 
     def test_single_unit(self):
         result = solve(CNF([[1]]))
-        assert result.satisfiable
+        assert result.is_sat
         assert result.model.value(1) is True
 
     def test_contradictory_units(self):
@@ -43,7 +43,7 @@ class TestTrivialCases:
     def test_unit_propagation_chain(self):
         cnf = CNF([[1], [-1, 2], [-2, 3], [-3, 4]])
         result = solve(cnf)
-        assert result.satisfiable
+        assert result.is_sat
         assert all(result.model.value(v) for v in (1, 2, 3, 4))
 
     def test_propagation_conflict_at_root(self):
@@ -51,17 +51,17 @@ class TestTrivialCases:
 
     def test_tautology_ignored(self):
         result = solve(CNF([[1, -1]]))
-        assert result.satisfiable
+        assert result.is_sat
 
     def test_duplicate_literals_tolerated(self):
         result = solve(CNF([[1, 1, 2], [-1, -1]]))
-        assert result.satisfiable
+        assert result.is_sat
         assert result.model.value(1) is False
 
     def test_unconstrained_vars_get_values(self):
         cnf = CNF([[1]], num_vars=5)
         result = solve(cnf)
-        assert result.satisfiable
+        assert result.is_sat
         assert result.model.num_vars == 5
         assert result.model.satisfies(cnf)
 
@@ -71,7 +71,7 @@ class TestSearch:
         # XOR-ish chains that defeat pure unit propagation.
         cnf = CNF([[1, 2], [-1, -2], [2, 3], [-2, -3], [1, 3]])
         result = solve(cnf)
-        assert result.satisfiable
+        assert result.is_sat
         assert result.model.satisfies(cnf)
 
     @pytest.mark.parametrize("holes", [2, 3, 4, 5, 6])
@@ -93,19 +93,19 @@ class TestSearch:
                 for b in range(a + 1, n):
                     cnf.add_clause([-var[(a, hole)], -var[(b, hole)]])
         result = solve(cnf)
-        assert result.satisfiable
+        assert result.is_sat
         assert result.model.satisfies(cnf)
 
     def test_learning_happens(self):
         solver = CDCLSolver(pigeonhole(4))
-        assert not solver.solve().satisfiable
+        assert not solver.solve().is_sat
         assert solver.stats["conflicts"] > 0
         assert solver.stats["learned_clauses"] > 0
 
     def test_restarts_happen_on_hard_instance(self):
         solver = CDCLSolver(pigeonhole(6),
                             minisat_like(restart_base=10))
-        assert not solver.solve().satisfiable
+        assert not solver.solve().is_sat
         assert solver.stats["restarts"] > 0
 
 
@@ -114,9 +114,9 @@ class TestConfigurations:
     def test_presets_agree(self, config_factory):
         for seed in range(10):
             cnf = make_random_cnf(8, 30, seed)
-            expected = solve_by_enumeration(cnf).satisfiable
+            expected = solve_by_enumeration(cnf).is_sat
             result = solve(cnf, config_factory(seed=seed))
-            assert result.satisfiable == expected
+            assert result.is_sat == expected
             if expected:
                 assert result.model.satisfies(cnf)
 
@@ -124,19 +124,19 @@ class TestConfigurations:
         config = SolverConfig(restart_policy="geometric", restart_base=5,
                               restart_factor=1.1)
         solver = CDCLSolver(pigeonhole(5), config)
-        assert not solver.solve().satisfiable
+        assert not solver.solve().is_sat
         assert solver.stats["restarts"] > 0
 
     def test_random_phase(self):
         config = SolverConfig(default_phase="random", seed=3)
         cnf = make_random_cnf(10, 25, seed=5)
-        expected = solve_by_enumeration(cnf).satisfiable
-        assert solve(cnf, config).satisfiable == expected
+        expected = solve_by_enumeration(cnf).is_sat
+        assert solve(cnf, config).is_sat == expected
 
     def test_true_phase(self):
         result = solve(CNF([[1, 2]], num_vars=2),
                        SolverConfig(default_phase="true"))
-        assert result.satisfiable
+        assert result.is_sat
 
     def test_deterministic_given_seed(self):
         cnf = pigeonhole(5)
@@ -172,7 +172,7 @@ class TestBudgets:
     def test_budget_not_hit_on_easy_instance(self):
         config = SolverConfig(max_conflicts=1000)
         result = CDCLSolver(CNF([[1], [2]]), config).solve()
-        assert result.satisfiable
+        assert result.is_sat
 
 
 class TestClauseDatabase:
@@ -181,7 +181,7 @@ class TestClauseDatabase:
         config = SolverConfig(max_learnts_factor=0.01,
                               max_learnts_growth=1.0)
         solver = CDCLSolver(pigeonhole(6), config)
-        assert not solver.solve().satisfiable
+        assert not solver.solve().is_sat
         assert solver.stats["deleted_clauses"] > 0
 
     def test_minimization_counts(self):
@@ -207,7 +207,7 @@ class TestClauseDatabase:
                               max_learnts_growth=1.0,
                               reduce_policy=policy)
         solver = ReasonChecked(pigeonhole(6), config)
-        assert not solver.solve().satisfiable
+        assert not solver.solve().is_sat
         assert solver.stats["deleted_clauses"] > 0
 
     def test_protected_refs_tracks_trail_reasons(self):
@@ -224,17 +224,17 @@ class TestOracleCrossCheck:
     @pytest.mark.parametrize("seed", range(40))
     def test_random_instances(self, seed):
         cnf = make_random_cnf(num_vars=9, num_clauses=30, seed=seed)
-        expected = solve_by_enumeration(cnf).satisfiable
+        expected = solve_by_enumeration(cnf).is_sat
         result = solve(cnf)
-        assert result.satisfiable == expected
+        assert result.is_sat == expected
         if expected:
             assert result.model.satisfies(cnf)
 
     @settings(max_examples=60, deadline=None)
     @given(small_cnfs())
     def test_property_matches_enumeration(self, cnf):
-        expected = solve_by_enumeration(cnf).satisfiable
+        expected = solve_by_enumeration(cnf).is_sat
         result = solve(cnf)
-        assert result.satisfiable == expected
+        assert result.is_sat == expected
         if expected:
             assert result.model.satisfies(cnf)

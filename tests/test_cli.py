@@ -119,9 +119,9 @@ class TestTwoStageFlow:
         col = str(tmp_path / "g.col")
         main(["extract", "alu2", "--scale", "0.55", "--width", "2",
               "--out", col])
-        assert main(["color", col, "--colors", "20", "--show"]) == 0
+        assert main(["color", col, "--colors", "20", "--show"]) == 10
         assert "vertex 1" in capsys.readouterr().out
-        assert main(["color", col, "--colors", "2"]) == 1
+        assert main(["color", col, "--colors", "2"]) == 20
 
     def test_solve_show_model(self, tmp_path, capsys):
         cnf_path = str(tmp_path / "t.cnf")
@@ -240,5 +240,5 @@ class TestAudit:
 
     def test_color_with_engine_flag(self, cycle5, capsys):
         assert main(["color", cycle5, "--colors", "3",
-                     "--engine", "legacy"]) == 0
+                     "--engine", "legacy"]) == 10
         assert "SATISFIABLE" in capsys.readouterr().out

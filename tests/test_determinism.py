@@ -40,7 +40,7 @@ class TestSearchDeterminism:
         strategy = Strategy("ITE-log", "s1", seed=5)
         first = solve_coloring(csp.problem, strategy)
         second = solve_coloring(csp.problem, strategy)
-        assert first.satisfiable == second.satisfiable
+        assert first.is_sat == second.is_sat
         for key in ("conflicts", "decisions", "propagations"):
             assert first.solver_stats[key] == second.solver_stats[key]
         assert first.coloring == second.coloring
@@ -50,7 +50,7 @@ class TestSearchDeterminism:
         outcomes = [solve_coloring(csp.problem,
                                    Strategy("ITE-log", "s1", seed=s))
                     for s in range(4)]
-        answers = {o.satisfiable for o in outcomes}
+        answers = {o.is_sat for o in outcomes}
         assert len(answers) == 1
 
     def test_placement_deterministic(self):

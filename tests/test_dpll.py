@@ -9,14 +9,14 @@ from .strategies import make_random_cnf, small_cnfs
 
 class TestDPLL:
     def test_empty_formula(self):
-        assert solve_dpll(CNF()).satisfiable
+        assert solve_dpll(CNF()).is_sat
 
     def test_empty_clause(self):
         assert not solve_dpll(CNF([[]]))
 
     def test_unit_chain(self):
         result = solve_dpll(CNF([[1], [-1, 2], [-2, 3]]))
-        assert result.satisfiable
+        assert result.is_sat
         assert result.model.value(3) is True
 
     def test_unsat_core(self):
@@ -36,17 +36,17 @@ class TestDPLL:
     @pytest.mark.parametrize("seed", range(25))
     def test_matches_enumeration(self, seed):
         cnf = make_random_cnf(num_vars=8, num_clauses=25, seed=seed + 1000)
-        expected = solve_by_enumeration(cnf).satisfiable
+        expected = solve_by_enumeration(cnf).is_sat
         result = solve_dpll(cnf)
-        assert result.satisfiable == expected
+        assert result.is_sat == expected
         if expected:
             assert result.model.satisfies(cnf)
 
     @settings(max_examples=40, deadline=None)
     @given(small_cnfs(max_vars=6, max_clauses=15))
     def test_property_matches_enumeration(self, cnf):
-        assert (solve_dpll(cnf).satisfiable
-                == solve_by_enumeration(cnf).satisfiable)
+        assert (solve_dpll(cnf).is_sat
+                == solve_by_enumeration(cnf).is_sat)
 
 
 class TestEnumeration:

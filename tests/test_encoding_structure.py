@@ -130,8 +130,8 @@ class TestGrammarFuzz:
         problem = ColoringProblem(graph, k)
         encoded = parse_encoding(name).encode(problem)
         result = solve(encoded.cnf)
-        assert result.satisfiable == is_colorable(graph, k)
-        if result.satisfiable:
+        assert result.is_sat == is_colorable(graph, k)
+        if result.is_sat:
             assert problem.is_valid_coloring(encoded.decode(result.model))
 
 

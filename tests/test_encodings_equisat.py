@@ -27,10 +27,10 @@ def check_encoding(graph, num_colors, name, symmetry="none"):
         apply_symmetry(encoded, symmetry)
     result = solve(encoded.cnf)
     expected = is_colorable(graph, num_colors)
-    assert result.satisfiable == expected, (
-        f"{name}+{symmetry}: SAT={result.satisfiable} but "
+    assert result.is_sat == expected, (
+        f"{name}+{symmetry}: SAT={result.is_sat} but "
         f"colorable={expected} (n={graph.num_vertices}, K={num_colors})")
-    if result.satisfiable:
+    if result.is_sat:
         coloring = encoded.decode(result.model)
         assert problem.is_valid_coloring(coloring), (
             f"{name}+{symmetry}: decoded coloring invalid")

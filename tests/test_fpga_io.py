@@ -88,7 +88,7 @@ class TestAssignmentJson:
         csp = build_routing_csp(routing, 3)
         from repro.core import Strategy, solve_coloring
         outcome = solve_coloring(csp.problem, Strategy("ITE-log", "s1"))
-        assert outcome.satisfiable
+        assert outcome.is_sat
         assignment = assignment_from_coloring(csp, outcome.coloring)
         parsed = assignment_from_json(assignment_to_json(assignment), routing)
         assert parsed.tracks == assignment.tracks

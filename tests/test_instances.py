@@ -49,10 +49,10 @@ class TestMycielski:
         problem = ColoringProblem(graph, 3)
         for encoding in ("muldirect", "ITE-log", "ITE-linear-2+muldirect"):
             outcome = solve_coloring(problem, Strategy(encoding, "s1"))
-            assert not outcome.satisfiable
+            assert not outcome.is_sat
         outcome = solve_coloring(problem.with_colors(4),
                                  Strategy("ITE-log", "s1"))
-        assert outcome.satisfiable
+        assert outcome.is_sat
 
 
 class TestQueen:

@@ -30,7 +30,7 @@ class TestToolFlowArtifacts:
         reparsed = parse_col_string(csp.to_dimacs_col())
         problem = ColoringProblem(reparsed, width)
         outcome = solve_coloring(problem, Strategy("muldirect", "b1"))
-        assert outcome.satisfiable
+        assert outcome.is_sat
 
     def test_cnf_artifact_round_trips(self, routing, width):
         from repro.core import get_encoding
@@ -38,7 +38,7 @@ class TestToolFlowArtifacts:
         csp = build_routing_csp(routing, width - 1)
         encoded = get_encoding("ITE-log").encode(csp.problem)
         reparsed = parse_dimacs_string(encoded.cnf.to_dimacs())
-        assert not solve(reparsed).satisfiable
+        assert not solve(reparsed).is_sat
 
 
 class TestCrossEncodingAgreement:
@@ -69,4 +69,4 @@ class TestPortfolioOnRouting:
         from repro.core import PORTFOLIO_3, run_portfolio
         csp = build_routing_csp(routing, width - 1)
         result = run_portfolio(csp.problem, list(PORTFOLIO_3))
-        assert not result.outcome.satisfiable
+        assert not result.outcome.is_sat

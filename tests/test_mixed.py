@@ -62,8 +62,8 @@ class TestEquisatisfiability:
         encoded = encode_mixed(problem, top, bottoms[:parts])
         result = solve(encoded.cnf)
         expected = is_colorable(graph, num_colors)
-        assert result.satisfiable == expected
-        if result.satisfiable:
+        assert result.is_sat == expected
+        if result.is_sat:
             assert problem.is_valid_coloring(encoded.decode(result.model))
 
     @pytest.mark.parametrize("bottom_a", SCHEMES, ids=lambda s: s.name)

@@ -319,7 +319,7 @@ class TestEndToEnd:
         trace.enable()
         problem = ColoringProblem(parse_col_file(cycle5), 3)
         outcome = solve_coloring(problem, Strategy("direct"))
-        assert outcome.satisfiable
+        assert outcome.is_sat
         names = [r["name"] for r in trace.tracer().drain_spans()
                  if r["type"] == "span"]
         assert "coloring.solve" in names
@@ -330,7 +330,7 @@ class TestEndToEnd:
                                                      tmp_path, capsys):
         out = str(tmp_path / "color.trace.jsonl")
         assert main(["color", cycle5, "--colors", "3",
-                     "--trace", out]) == 0
+                     "--trace", out]) == 10
         assert "wrote trace:" in capsys.readouterr().err
         records = parse_trace_file(out)
         names = {r["name"] for r in records if r["type"] == "span"}

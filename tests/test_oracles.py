@@ -81,7 +81,7 @@ class TestEnumeration:
     def test_contradiction_has_no_models(self):
         cnf = CNF([[1], [-1]])
         assert count_models(cnf) == 0
-        assert not solve_by_enumeration(cnf).satisfiable
+        assert not solve_by_enumeration(cnf).is_sat
 
     def test_exact_models_of_xor(self):
         # x XOR y: exactly the two assignments with differing values.
@@ -104,14 +104,14 @@ class TestEnumeration:
     @pytest.mark.parametrize("seed", range(15))
     def test_agrees_with_cdcl(self, seed):
         cnf = make_random_cnf(num_vars=8, num_clauses=28, seed=seed + 2000)
-        assert solve_by_enumeration(cnf).satisfiable == \
-            solve(cnf).satisfiable
+        assert solve_by_enumeration(cnf).is_sat == \
+            solve(cnf).is_sat
 
     @settings(max_examples=40, deadline=None)
     @given(small_cnfs(max_vars=6, max_clauses=14))
     def test_agrees_with_cdcl_property(self, cnf):
-        assert solve_by_enumeration(cnf).satisfiable == \
-            solve(cnf).satisfiable
+        assert solve_by_enumeration(cnf).is_sat == \
+            solve(cnf).is_sat
 
 
 def _small_generated_problems(max_vertices=6):
@@ -137,9 +137,9 @@ def test_brute_oracle_agreement_all_encodings(encoding):
         outcome = solve_coloring(problem, strategy)
         assert outcome.status in (SolveStatus.SAT, SolveStatus.UNSAT), \
             f"{name}: unbounded solve did not decide"
-        assert outcome.satisfiable == expected, (
+        assert outcome.is_sat == expected, (
             f"{name}: {encoding} answered {outcome.status}, oracle says "
             f"colorable={expected}")
-        if outcome.satisfiable:
+        if outcome.is_sat:
             assert problem.is_valid_coloring(outcome.coloring), \
                 f"{name}: {encoding} decoded an improper coloring"

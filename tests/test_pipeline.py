@@ -40,7 +40,7 @@ class TestSolveColoring:
     def test_sat_outcome(self):
         problem = ColoringProblem(cycle_graph(5), 3)
         outcome = solve_coloring(problem, Strategy("ITE-log", "s1"))
-        assert outcome.satisfiable
+        assert outcome.is_sat
         assert problem.is_valid_coloring(outcome.coloring)
         assert outcome.num_vars > 0
         assert outcome.num_clauses > 0
@@ -50,7 +50,7 @@ class TestSolveColoring:
     def test_unsat_outcome(self):
         problem = ColoringProblem(complete_graph(4), 3)
         outcome = solve_coloring(problem, Strategy("muldirect", "b1"))
-        assert not outcome.satisfiable
+        assert not outcome.is_sat
         assert outcome.coloring is None
 
     def test_total_time_includes_graph_time(self):
@@ -62,7 +62,7 @@ class TestSolveColoring:
     def test_both_solver_presets(self, solver):
         problem = ColoringProblem(complete_graph(5), 4)
         outcome = solve_coloring(problem, Strategy("direct", solver=solver))
-        assert not outcome.satisfiable
+        assert not outcome.is_sat
         assert outcome.solver_stats["solver"] == solver
 
 

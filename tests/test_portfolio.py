@@ -37,7 +37,7 @@ class TestRunPortfolio:
         result = run_portfolio(problem, list(PORTFOLIO_3))
         assert result.status is SolveStatus.SAT
         assert result.decided
-        assert result.outcome.satisfiable
+        assert result.outcome.is_sat
         assert result.num_strategies == 3
         assert result.winner in PORTFOLIO_3
         assert problem.is_valid_coloring(result.outcome.coloring)
@@ -48,7 +48,7 @@ class TestRunPortfolio:
         problem = ColoringProblem(complete_graph(5), 4)
         result = run_portfolio(problem, list(PORTFOLIO_2))
         assert result.status is SolveStatus.UNSAT
-        assert not result.outcome.satisfiable
+        assert not result.outcome.is_sat
 
     def test_single_strategy_portfolio(self):
         problem = ColoringProblem(cycle_graph(5), 3)
@@ -143,14 +143,14 @@ class TestSickMembers:
         failer = Strategy("muldirect", "s1", seed=_RAISE_SEED)
         result = run_portfolio(self.problem, [failer, self.healthy])
         assert result.winner == self.healthy
-        assert result.outcome.satisfiable
+        assert result.outcome.is_sat
 
     def test_dead_worker_cannot_hang_the_race(self):
         dier = Strategy("muldirect", "s1", seed=_DIE_SEED)
         result = run_portfolio(self.problem, [dier, self.healthy],
                                timeout=60.0)
         assert result.winner == self.healthy
-        assert result.outcome.satisfiable
+        assert result.outcome.is_sat
 
     def test_all_members_failing_is_error_status(self):
         failers = [Strategy("muldirect", "s1", seed=_RAISE_SEED),

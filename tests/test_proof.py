@@ -17,24 +17,24 @@ class TestProofLogging:
 
     def test_unsat_proof_ends_with_empty_clause(self):
         result, proof = solve_with_proof(pigeonhole(4))
-        assert not result.satisfiable
+        assert not result.is_sat
         assert proof[-1] == ()
         assert len(proof) >= 2
 
     def test_sat_run_logs_no_empty_clause(self):
         result, proof = solve_with_proof(CNF([[1, 2], [-1, 2]]))
-        assert result.satisfiable
+        assert result.is_sat
         assert () not in proof
 
     def test_root_level_unsat_has_trivial_proof(self):
         result, proof = solve_with_proof(CNF([[1], [-1]]))
-        assert not result.satisfiable
+        assert not result.is_sat
         assert proof == [()]
 
     def test_respects_existing_config(self):
         from repro.sat import siege_like
         result, proof = solve_with_proof(pigeonhole(4), siege_like())
-        assert not result.satisfiable
+        assert not result.is_sat
         assert proof[-1] == ()
 
 
@@ -43,7 +43,7 @@ class TestProofChecking:
     def test_pigeonhole_proofs_verify(self, holes):
         cnf = pigeonhole(holes)
         result, proof = solve_with_proof(cnf)
-        assert not result.satisfiable
+        assert not result.is_sat
         assert check_rup_proof(cnf, proof) == len(proof)
 
     def test_both_solver_presets_produce_checkable_proofs(self):
@@ -51,16 +51,16 @@ class TestProofChecking:
         cnf = pigeonhole(5)
         for preset in (minisat_like(), siege_like()):
             result, proof = solve_with_proof(cnf, preset)
-            assert not result.satisfiable
+            assert not result.is_sat
             check_rup_proof(cnf, proof)
 
     @pytest.mark.parametrize("seed", range(30))
     def test_random_unsat_proofs_verify(self, seed):
         cnf = make_random_cnf(num_vars=8, num_clauses=35, seed=seed + 7000)
-        if solve_by_enumeration(cnf).satisfiable:
+        if solve_by_enumeration(cnf).is_sat:
             pytest.skip("instance is satisfiable")
         result, proof = solve_with_proof(cnf)
-        assert not result.satisfiable
+        assert not result.is_sat
         check_rup_proof(cnf, proof)
 
     def test_clause_db_reduction_does_not_break_proofs(self):
@@ -68,7 +68,7 @@ class TestProofChecking:
                               max_learnts_growth=1.0)
         cnf = pigeonhole(5)
         solver = CDCLSolver(cnf, config)
-        assert not solver.solve().satisfiable
+        assert not solver.solve().is_sat
         assert solver.stats["deleted_clauses"] > 0
         check_rup_proof(cnf, solver.proof)
 
@@ -129,5 +129,5 @@ class TestEndToEndRoutingCertificate:
         encoded = get_encoding("ITE-log").encode(csp.problem)
         apply_symmetry(encoded, "s1")
         result, proof = solve_with_proof(encoded.cnf)
-        assert not result.satisfiable
+        assert not result.is_sat
         assert check_rup_proof(encoded.cnf, proof) == len(proof)

@@ -8,7 +8,8 @@ import repro
 
 PACKAGES = ["repro", "repro.sat", "repro.sat.solver", "repro.coloring",
             "repro.core", "repro.core.encodings", "repro.core.symmetry",
-            "repro.fpga", "repro.bench", "repro.obs"]
+            "repro.fpga", "repro.bench", "repro.obs", "repro.api",
+            "repro.serve"]
 
 
 class TestExports:
@@ -25,7 +26,13 @@ class TestExports:
         assert len(module.__all__) == len(set(module.__all__))
 
     def test_version(self):
-        assert repro.__version__ == "1.5.0"
+        assert repro.__version__ == "1.6.0"
+
+    def test_api_contract_exported_at_top_level(self):
+        from repro import SolveRequest, SolveResponse, api
+        assert callable(api.solve) and callable(api.solve_batch)
+        assert SolveRequest is api.SolveRequest
+        assert SolveResponse is api.SolveResponse
 
     def test_status_api_exported_at_top_level(self):
         from repro import (BudgetExceeded, CancelToken, SolveLimits,
@@ -78,26 +85,36 @@ class TestQuickstartContract:
 
 
 class TestCompatibilityShims:
-    """Pre-1.1 call sites must keep working against the status API."""
+    """Pre-1.1 call sites keep working, but warn since 1.6 (the shims
+    are deprecated; docs/api.md has the migration table)."""
 
-    def test_solve_result_accepts_bool(self):
+    def test_solve_result_accepts_bool_with_warning(self):
         from repro.sat import CNF, SolveStatus
         from repro.sat.model import Model, SolveResult
         cnf = CNF(num_vars=1)
-        sat = SolveResult(True, model=Model([True]))
-        assert sat.satisfiable and sat.status is SolveStatus.SAT
-        unsat = SolveResult(False)
-        assert not unsat.satisfiable and unsat.status is SolveStatus.UNSAT
+        with pytest.warns(DeprecationWarning, match="SolveResult"):
+            sat = SolveResult(True, model=Model([True]))
+        assert sat.is_sat and sat.status is SolveStatus.SAT
+        with pytest.warns(DeprecationWarning):
+            unsat = SolveResult(False)
+        assert not unsat.is_sat and unsat.status is SolveStatus.UNSAT
         assert cnf.num_vars == 1
 
-    def test_coloring_outcome_satisfiable_property(self):
+    def test_satisfiable_properties_warn(self):
         from repro import ColoringProblem, Strategy, solve_coloring
         from repro.coloring import cycle_graph
         from repro.sat import SolveStatus
         outcome = solve_coloring(ColoringProblem(cycle_graph(5), 3),
                                  Strategy("muldirect", "s1"))
         assert outcome.status is SolveStatus.SAT
-        assert outcome.satisfiable is True
+        assert outcome.is_sat is True  # the non-deprecated shorthand
+        with pytest.warns(DeprecationWarning, match="is_sat"):
+            assert outcome.satisfiable is True
+
+    def test_from_bool_warns(self):
+        from repro.sat import SolveStatus
+        with pytest.warns(DeprecationWarning, match="from_bool"):
+            assert SolveStatus.from_bool(True) is SolveStatus.SAT
 
     def test_legacy_budget_exceeded_is_same_class(self):
         # legacy.py used to define its own duplicate exception; both

@@ -378,14 +378,14 @@ class TestCli:
         assert code == 0
         assert "fuzz CLEAN" in capsys.readouterr().out
 
-    def test_fuzz_finding_exits_one(self, tmp_path, capsys):
+    def test_fuzz_finding_exits_ten(self, tmp_path, capsys):
         code = cli_main(["fuzz", "--seeds", "1",
                          "--matrix", "encodings=direct,muldirect;"
                                      "symmetry=none;engine=arena",
                          "--no-routing", "--no-metamorphic",
                          "--faults", INJECTED_BUG,
                          "--out", str(tmp_path / "bundles")])
-        assert code == 1
+        assert code == 10
         out = capsys.readouterr().out
         assert "FAILURES" in out
         assert (tmp_path / "bundles").is_dir()

@@ -52,8 +52,8 @@ class TestEquisatisfiability:
             problem = ColoringProblem(complete_graph(4), k)
             encoded = get_encoding(name).encode(problem)
             result = solve(encoded.cnf)
-            assert result.satisfiable == (k >= 4)
-            if result.satisfiable:
+            assert result.is_sat == (k >= 4)
+            if result.is_sat:
                 assert problem.is_valid_coloring(encoded.decode(result.model))
 
     @settings(max_examples=20, deadline=None)
@@ -63,7 +63,7 @@ class TestEquisatisfiability:
     def test_property(self, graph, k, name):
         problem = ColoringProblem(graph, k)
         encoded = get_encoding(name).encode(problem)
-        assert solve(encoded.cnf).satisfiable == is_colorable(graph, k)
+        assert solve(encoded.cnf).is_sat == is_colorable(graph, k)
 
     def test_symmetry_composes(self):
         from repro.core import Strategy, solve_coloring
@@ -71,7 +71,7 @@ class TestEquisatisfiability:
         for sym in ("b1", "s1", "c1"):
             problem = ColoringProblem(graph, 3)
             outcome = solve_coloring(problem, Strategy("seqdirect", sym))
-            assert outcome.satisfiable == is_colorable(graph, 3)
+            assert outcome.is_sat == is_colorable(graph, 3)
 
 
 class TestSizeAdvantage:

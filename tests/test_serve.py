@@ -1,0 +1,190 @@
+"""The solve service: admission control units and a live server e2e."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.api import SolveRequest
+from repro.coloring.problem import Graph
+from repro.reliability.quarantine import QuarantinePolicy
+from repro.sat.status import SolveLimits, SolveStatus
+from repro.serve import (AdmissionController, AdmissionPolicy, ServeClient,
+                         ServeRejected, SolveService)
+
+
+def triangle():
+    graph = Graph(3)
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(0, 2)
+    return graph
+
+
+class TestAdmissionController:
+    def test_admits_within_policy(self):
+        controller = AdmissionController(AdmissionPolicy())
+        decision = controller.admit("alice", num_vertices=10)
+        assert decision.admitted and decision.reason == ""
+        assert controller.admitted == 1 and controller.rejected == 0
+
+    def test_queue_depth_backpressure(self):
+        controller = AdmissionController(AdmissionPolicy(max_queue_depth=2))
+        for client in ("a", "b"):
+            assert controller.admit(client, 3).admitted
+            controller.begin(client)
+        decision = controller.admit("c", 3)
+        assert not decision.admitted and "queue depth" in decision.reason
+        controller.finish("a", SolveStatus.SAT)
+        assert controller.admit("c", 3).admitted
+        assert controller.rejections == {"queue_full": 1}
+
+    def test_per_client_cap(self):
+        controller = AdmissionController(
+            AdmissionPolicy(max_inflight_per_client=1))
+        assert controller.admit("alice", 3).admitted
+        controller.begin("alice")
+        blocked = controller.admit("alice", 3)
+        assert not blocked.admitted and "in flight" in blocked.reason
+        # Other clients are unaffected by alice's cap.
+        assert controller.admit("bob", 3).admitted
+
+    def test_size_cap(self):
+        controller = AdmissionController(AdmissionPolicy(max_vertices=5))
+        assert controller.admit("alice", 5).admitted
+        decision = controller.admit("alice", 6)
+        assert not decision.admitted and "vertices" in decision.reason
+        assert controller.rejections == {"too_large": 1}
+
+    def test_budget_ceiling_merges_tighter_bound(self):
+        controller = AdmissionController(AdmissionPolicy(
+            job_limits=SolveLimits(conflict_budget=100)))
+        # Client asks for more than the ceiling: clamped down.
+        decision = controller.admit(
+            "alice", 3, SolveLimits(conflict_budget=500))
+        assert decision.limits.conflict_budget == 100
+        # Client asks for less: its own tighter budget wins.
+        decision = controller.admit(
+            "alice", 3, SolveLimits(conflict_budget=7))
+        assert decision.limits.conflict_budget == 7
+        # No request budget at all: the ceiling applies.
+        assert controller.admit("alice", 3).limits.conflict_budget == 100
+
+    def test_erroring_client_gets_quarantined(self):
+        controller = AdmissionController(AdmissionPolicy(
+            quarantine=QuarantinePolicy(threshold=2, base_backoff=60.0)))
+        for _ in range(2):
+            assert controller.admit("alice", 3).admitted
+            controller.begin("alice")
+            controller.finish("alice", SolveStatus.ERROR, "worker crash")
+        decision = controller.admit("alice", 3)
+        assert not decision.admitted and "quarantined" in decision.reason
+        # Budget exhaustion is the budget working, not an offence.
+        controller2 = AdmissionController(AdmissionPolicy(
+            quarantine=QuarantinePolicy(threshold=2)))
+        for _ in range(3):
+            assert controller2.admit("bob", 3).admitted
+            controller2.begin("bob")
+            controller2.finish("bob", SolveStatus.BUDGET_EXHAUSTED)
+        assert controller2.admit("bob", 3).admitted
+
+    def test_snapshot_shape(self):
+        controller = AdmissionController(AdmissionPolicy(max_vertices=5))
+        controller.admit("alice", 3)
+        controller.begin("alice")
+        controller.admit("alice", 99)
+        snapshot = controller.snapshot()
+        assert snapshot["admitted"] == 1 and snapshot["rejected"] == 1
+        assert snapshot["rejections"] == {"too_large": 1}
+        assert snapshot["inflight"] == 1
+        assert snapshot["inflight_by_client"] == {"alice": 1}
+
+
+def start_service(**kwargs):
+    """Boot a SolveService on a daemon thread; returns it once bound."""
+    service = SolveService(**kwargs)
+    bound = threading.Event()
+    failures = []
+
+    async def _run():
+        await service.start()
+        bound.set()
+        await service.serve_forever()
+
+    def _thread():
+        try:
+            asyncio.run(_run())
+        except Exception as error:  # surfaced via the fixture assert
+            failures.append(error)
+            bound.set()
+
+    thread = threading.Thread(target=_thread, daemon=True,
+                              name="test-solve-service")
+    thread.start()
+    assert bound.wait(timeout=30), "service did not come up"
+    assert not failures, f"service failed to start: {failures}"
+    return service, thread
+
+
+class TestSolveServiceEndToEnd:
+    @pytest.fixture(scope="class")
+    def service(self):
+        service, thread = start_service(
+            port=0, workers=1,
+            policy=AdmissionPolicy(max_vertices=50))
+        yield service
+        with ServeClient(port=service.port) as client:
+            client.shutdown()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+
+    def test_full_request_cycle(self, service):
+        with ServeClient(port=service.port) as client:
+            pong = client.ping()
+            assert pong["protocol"] == "repro-serve/1"
+
+            sat = SolveRequest(graph=triangle(), colors=3, tag="t-sat")
+            first = client.solve(sat)
+            assert first.status is SolveStatus.SAT
+            assert first.coloring is not None
+            assert not first.cached
+            assert first.audit == "PASS"  # audit_fills forces the audit
+            assert first.tag == "t-sat"
+            assert first.digest == sat.cache_key()
+
+            # Identical content, different tag: served from the cache,
+            # with this submission's tag stamped on.
+            again = client.solve(SolveRequest(graph=triangle(), colors=3,
+                                              tag="t-dup"))
+            assert again.cached and again.tag == "t-dup"
+            assert again.status is SolveStatus.SAT
+            assert again.coloring == first.coloring
+
+            unsat = client.solve(SolveRequest(graph=triangle(), colors=2))
+            assert unsat.status is SolveStatus.UNSAT
+            assert unsat.audit == "PASS" and not unsat.cached
+
+            dump = client.metrics()
+            assert dump["cache"]["fills"] == 2
+            assert dump["cache"]["hits"] >= 1
+            assert dump["admission"]["admitted"] == 2
+            counters = dump["metrics"]["counters"]
+            assert counters["serve.responses.cached"] >= 1
+            assert counters["serve.jobs.SAT"] == 1
+            assert counters["serve.jobs.UNSAT"] == 1
+
+    def test_oversized_instance_is_rejected(self, service):
+        big = Graph(51)  # policy caps at 50 vertices
+        big.add_edge(0, 1)
+        with ServeClient(port=service.port) as client:
+            with pytest.raises(ServeRejected, match="vertices"):
+                client.solve(SolveRequest(graph=big, colors=3))
+
+    def test_malformed_payloads_answered_not_fatal(self, service):
+        with ServeClient(port=service.port) as client:
+            reply = client._call({"op": "nonsense"})
+            assert not reply["ok"] and "unknown op" in reply["error"]
+            reply = client._call({"op": "solve", "request": {"bogus": 1}})
+            assert not reply["ok"] and "invalid request" in reply["error"]
+            # The connection survives; the service still answers.
+            assert client.ping()["protocol"] == "repro-serve/1"

@@ -1,0 +1,152 @@
+"""The content-addressed result cache (repro.serve.cache)."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.serve.cache import ResultCache
+
+
+def digest(n):
+    """A syntactically plausible 64-hex digest, distinct per n."""
+    return f"{n:064x}"
+
+
+def payload(n):
+    return {"status": "SAT", "n": n}
+
+
+class TestMemoryLayer:
+    def test_miss_then_fill_then_hit(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get(digest(1)) is None
+        cache.put(digest(1), payload(1))
+        assert cache.get(digest(1)) == payload(1)
+        assert cache.counts() == {"hits": 1, "misses": 1, "disk_hits": 0,
+                                  "fills": 1, "evictions": 0,
+                                  "entries": 1, "capacity": 4}
+        assert cache.hit_rate == 0.5
+
+    def test_get_returns_a_copy(self):
+        cache = ResultCache(capacity=4)
+        cache.put(digest(1), payload(1))
+        served = cache.get(digest(1))
+        served["cached"] = True  # provenance stamping must not leak back
+        assert "cached" not in cache.get(digest(1))
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = ResultCache(capacity=2)
+        cache.put(digest(1), payload(1))
+        cache.put(digest(2), payload(2))
+        assert cache.get(digest(1)) is not None  # 1 is now MRU
+        cache.put(digest(3), payload(3))         # evicts 2, not 1
+        assert digest(2) not in cache
+        assert digest(1) in cache and digest(3) in cache
+        assert cache.counts()["evictions"] == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+
+    def test_len_and_clear(self):
+        cache = ResultCache(capacity=4)
+        cache.put(digest(1), payload(1))
+        cache.put(digest(2), payload(2))
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(digest(1)) is None  # no disk layer to warm from
+
+
+class TestDiskLayer:
+    def test_persists_across_instances(self, tmp_path):
+        first = ResultCache(capacity=4, disk_dir=str(tmp_path))
+        first.put(digest(1), payload(1))
+        # A fresh process (new cache, same directory) warms from disk.
+        second = ResultCache(capacity=4, disk_dir=str(tmp_path))
+        assert second.get(digest(1)) == payload(1)
+        counts = second.counts()
+        assert counts["disk_hits"] == 1 and counts["hits"] == 1
+        # The disk hit promoted the entry into memory.
+        assert second.get(digest(1)) == payload(1)
+        assert second.counts()["disk_hits"] == 1
+
+    def test_shard_layout_and_atomic_bytes(self, tmp_path):
+        cache = ResultCache(capacity=4, disk_dir=str(tmp_path))
+        cache.put(digest(1), payload(1))
+        path = os.path.join(str(tmp_path), digest(1)[:2],
+                            digest(1) + ".json")
+        assert os.path.exists(path)
+        with open(path, "r", encoding="utf-8") as stream:
+            assert json.load(stream) == payload(1)
+        # No temp-file litter left behind.
+        shard = os.path.dirname(path)
+        assert all(not name.startswith(".tmp-")
+                   for name in os.listdir(shard))
+
+    def test_corrupt_file_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(capacity=4, disk_dir=str(tmp_path))
+        cache.put(digest(1), payload(1))
+        path = os.path.join(str(tmp_path), digest(1)[:2],
+                            digest(1) + ".json")
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write('{"torn": ')
+        fresh = ResultCache(capacity=4, disk_dir=str(tmp_path))
+        assert fresh.get(digest(1)) is None
+        assert not os.path.exists(path)
+        assert fresh.counts()["misses"] == 1
+
+    def test_non_dict_json_is_a_miss(self, tmp_path):
+        cache = ResultCache(capacity=4, disk_dir=str(tmp_path))
+        path = os.path.join(str(tmp_path), digest(1)[:2],
+                            digest(1) + ".json")
+        os.makedirs(os.path.dirname(path))
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write("[1, 2, 3]")
+        assert cache.get(digest(1)) is None
+
+    def test_eviction_is_not_a_disk_loss(self, tmp_path):
+        cache = ResultCache(capacity=1, disk_dir=str(tmp_path))
+        cache.put(digest(1), payload(1))
+        cache.put(digest(2), payload(2))  # evicts 1 from memory
+        assert digest(1) not in cache
+        assert cache.get(digest(1)) == payload(1)  # disk still has it
+        assert cache.counts()["disk_hits"] == 1
+
+    def test_clear_keeps_disk(self, tmp_path):
+        cache = ResultCache(capacity=4, disk_dir=str(tmp_path))
+        cache.put(digest(1), payload(1))
+        cache.clear()
+        assert cache.get(digest(1)) == payload(1)
+
+
+class TestMetricsMirror:
+    def test_counters_mirrored_when_enabled(self):
+        obs_metrics.enable(True)
+        try:
+            obs_metrics.registry().reset()
+            cache = ResultCache(capacity=1)
+            cache.get(digest(1))            # miss
+            cache.put(digest(1), payload(1))
+            cache.get(digest(1))            # hit
+            cache.put(digest(2), payload(2))  # fill + eviction
+            snapshot = obs_metrics.registry().snapshot()
+            counters = snapshot["counters"]
+            assert counters["serve.cache.misses"] == 1
+            assert counters["serve.cache.hits"] == 1
+            assert counters["serve.cache.fills"] == 2
+            assert counters["serve.cache.evictions"] == 1
+        finally:
+            obs_metrics.registry().reset()
+            obs_metrics.enable(False)
+
+    def test_no_mirroring_when_disabled(self):
+        obs_metrics.enable(False)
+        obs_metrics.registry().reset()
+        cache = ResultCache(capacity=2)
+        cache.get(digest(1))
+        cache.put(digest(1), payload(1))
+        assert "serve.cache.misses" not in (
+            obs_metrics.registry().snapshot()["counters"])

@@ -71,26 +71,26 @@ class TestEquisatisfiability:
     @pytest.mark.parametrize("seed", range(40))
     def test_random_formulas(self, seed):
         cnf = make_random_cnf(num_vars=8, num_clauses=30, seed=seed + 300)
-        expected = solve_by_enumeration(cnf).satisfiable
+        expected = solve_by_enumeration(cnf).is_sat
         result = simplify(cnf)
         if result.contradiction:
             assert not expected
             return
         got = solve(result.cnf)
-        assert got.satisfiable == expected
-        if got.satisfiable:
+        assert got.is_sat == expected
+        if got.is_sat:
             lifted = result.extend_model(got.model)
             assert lifted.satisfies(cnf)
 
     @settings(max_examples=50, deadline=None)
     @given(small_cnfs())
     def test_property(self, cnf):
-        expected = solve_by_enumeration(cnf).satisfiable
+        expected = solve_by_enumeration(cnf).is_sat
         result = simplify(cnf)
         if result.contradiction:
             assert not expected
         else:
-            assert solve(result.cnf).satisfiable == expected
+            assert solve(result.cnf).is_sat == expected
 
 
 class TestModelExtension:
@@ -113,7 +113,7 @@ class TestModelExtension:
         if result.contradiction:
             return
         solved = solve(result.cnf)
-        if solved.satisfiable:
+        if solved.is_sat:
             assert result.extend_model(solved.model).satisfies(cnf)
 
 
@@ -137,9 +137,9 @@ class TestSolveSimplified:
     @pytest.mark.parametrize("seed", range(20))
     def test_drop_in_equivalence(self, seed):
         cnf = make_random_cnf(num_vars=9, num_clauses=35, seed=seed + 900)
-        expected = solve_by_enumeration(cnf).satisfiable
+        expected = solve_by_enumeration(cnf).is_sat
         result = solve_simplified(cnf)
-        assert result.satisfiable == expected
+        assert result.is_sat == expected
         if expected:
             assert result.model.satisfies(cnf)
 
@@ -159,5 +159,5 @@ class TestSolveSimplified:
         # unit propagation alone refutes the rest — preprocessing *is* the
         # whole proof here.
         assert simplified.contradiction
-        assert not solve_simplified(encoded.cnf).satisfiable
-        assert not solve(encoded.cnf).satisfiable
+        assert not solve_simplified(encoded.cnf).is_sat
+        assert not solve(encoded.cnf).is_sat

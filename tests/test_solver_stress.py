@@ -45,7 +45,7 @@ class TestStructuredFormulas:
     @pytest.mark.parametrize("parity", [True, False])
     def test_xor_chains_sat(self, length, parity):
         result = solve(xor_chain(length, parity))
-        assert result.satisfiable  # XOR constraints are always satisfiable
+        assert result.is_sat  # XOR constraints are always satisfiable
         assert result.model.satisfies(xor_chain(length, parity))
 
     @pytest.mark.parametrize("length", [2, 5, 12])
@@ -56,31 +56,31 @@ class TestStructuredFormulas:
         merged = xor_chain(length, True)
         final_carry = 2 * length - 1
         merged.add_clause([-final_carry])
-        assert not solve(merged).satisfiable
+        assert not solve(merged).is_sat
 
     @pytest.mark.parametrize("n", [1, 2, 10, 40])
     def test_at_most_one_ladders(self, n):
         result = solve(at_most_one_ladder(n))
-        assert result.satisfiable
+        assert result.is_sat
         assert sum(result.model.value(v) for v in range(1, n + 1)) == 1
 
     def test_amo_plus_two_forced_is_unsat(self):
         cnf = at_most_one_ladder(5)
         cnf.add_clause([1])
         cnf.add_clause([2])
-        assert not solve(cnf).satisfiable
+        assert not solve(cnf).is_sat
 
     def test_long_implication_chain(self):
         n = 500
         cnf = CNF([[1]] + [[-i, i + 1] for i in range(1, n)])
         result = solve(cnf)
-        assert result.satisfiable
+        assert result.is_sat
         assert result.model.value(n)
 
     def test_deep_chain_with_contradiction(self):
         n = 500
         cnf = CNF([[1]] + [[-i, i + 1] for i in range(1, n)] + [[-n]])
-        assert not solve(cnf).satisfiable
+        assert not solve(cnf).is_sat
 
 
 class TestCrossSolverAgreement:
@@ -91,9 +91,9 @@ class TestCrossSolverAgreement:
     def test_cdcl_presets_and_dpll_agree(self, seed, num_vars, num_clauses):
         cnf = make_random_cnf(num_vars, num_clauses, seed)
         answers = {
-            solve(cnf, minisat_like(seed=seed % 7)).satisfiable,
-            solve(cnf, siege_like(seed=seed % 5)).satisfiable,
-            solve_dpll(cnf).satisfiable,
+            solve(cnf, minisat_like(seed=seed % 7)).is_sat,
+            solve(cnf, siege_like(seed=seed % 5)).is_sat,
+            solve_dpll(cnf).is_sat,
         }
         assert len(answers) == 1
 
@@ -108,24 +108,24 @@ class TestCrossSolverAgreement:
         augmented = cnf.copy()
         for lit in assumptions:
             augmented.add_clause([lit])
-        assert (CDCLSolver(cnf).solve(assumptions).satisfiable
-                == solve_by_enumeration(augmented).satisfiable)
+        assert (CDCLSolver(cnf).solve(assumptions).is_sat
+                == solve_by_enumeration(augmented).is_sat)
 
 
 class TestSolverRobustness:
     def test_large_clause(self):
         cnf = CNF([list(range(1, 200))])
-        assert solve(cnf).satisfiable
+        assert solve(cnf).is_sat
 
     def test_many_duplicate_clauses(self):
         cnf = CNF([[1, 2]] * 200 + [[-1], [-2]])
-        assert not solve(cnf).satisfiable
+        assert not solve(cnf).is_sat
 
     def test_variable_gap(self):
         # Mentions vars 1 and 1000 only; the rest are free.
         cnf = CNF([[1, 1000], [-1], [-1000, 999]])
         result = solve(cnf)
-        assert result.satisfiable
+        assert result.is_sat
         assert result.model.num_vars == 1000
         assert result.model.satisfies(cnf)
 
@@ -134,7 +134,7 @@ class TestSolverRobustness:
         config = SolverConfig(restart_base=5, max_learnts_factor=0.02,
                               max_learnts_growth=1.0, var_decay=0.8)
         solver = CDCLSolver(pigeonhole(6), config)
-        assert not solver.solve().satisfiable
+        assert not solver.solve().is_sat
         assert solver.stats["restarts"] > 0
         assert solver.stats["deleted_clauses"] > 0
 

@@ -37,7 +37,7 @@ RANDOM_SPECS = {
 def _triple(cnf: CNF, engine: str, preset_name: str):
     solver = ENGINES[engine](cnf.copy(), preset(preset_name))
     result = solver.solve()
-    return [bool(result.satisfiable), int(solver.stats["decisions"]),
+    return [bool(result.is_sat), int(solver.stats["decisions"]),
             int(solver.stats["conflicts"])]
 
 
@@ -100,7 +100,7 @@ class TestPackedTrajectories:
         for preset_name in PRESETS:
             solver = PackedCDCLSolver(cnf.copy(), preset(preset_name))
             result = solver.solve()
-            triple = [bool(result.satisfiable),
+            triple = [bool(result.is_sat),
                       int(solver.stats["decisions"]),
                       int(solver.stats["conflicts"])]
             assert triple == FIXTURES["packed"]["random"][name][preset_name]
@@ -111,7 +111,7 @@ class TestPackedTrajectories:
         for preset_name in PRESETS:
             solver = PackedCDCLSolver(cnf.copy(), preset(preset_name))
             result = solver.solve()
-            triple = [bool(result.satisfiable),
+            triple = [bool(result.is_sat),
                       int(solver.stats["decisions"]),
                       int(solver.stats["conflicts"])]
             assert triple \
@@ -136,8 +136,8 @@ class TestPackedTrajectories:
         arena = CDCLSolver(cnf.copy(), preset("minisat_like")).solve()
         packed_solver = PackedCDCLSolver(cnf.copy(), preset("minisat_like"))
         packed = packed_solver.solve()
-        assert packed.satisfiable == arena.satisfiable
-        if packed.satisfiable:
+        assert packed.is_sat == arena.is_sat
+        if packed.is_sat:
             assert packed.model.satisfies(cnf)
 
 

@@ -131,8 +131,8 @@ class TestSoundness:
             encoded = get_encoding(name).encode(problem)
             apply_symmetry(encoded, heuristic)
             result = solve(encoded.cnf)
-            assert result.satisfiable == is_colorable(graph, k)
-            if result.satisfiable:
+            assert result.is_sat == is_colorable(graph, k)
+            if result.is_sat:
                 coloring = encoded.decode(result.model)
                 assert problem.is_valid_coloring(coloring)
 
@@ -145,7 +145,7 @@ class TestSoundness:
         problem = ColoringProblem(graph, num_colors)
         encoded = get_encoding(name).encode(problem)
         apply_symmetry(encoded, heuristic)
-        assert solve(encoded.cnf).satisfiable == is_colorable(graph, num_colors)
+        assert solve(encoded.cnf).is_sat == is_colorable(graph, num_colors)
 
     def test_restricted_vertex_actually_restricted(self):
         """With s1, the decoded color of the first sequence vertex is 0."""
@@ -155,7 +155,7 @@ class TestSoundness:
         sequence = s1_sequence(graph, 4)
         apply_symmetry(encoded, "s1")
         result = solve(encoded.cnf)
-        if result.satisfiable:
+        if result.is_sat:
             coloring = encoded.decode(result.model)
             for position, vertex in enumerate(sequence):
                 assert coloring[vertex] <= position

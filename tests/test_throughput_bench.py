@@ -23,7 +23,7 @@ def test_bcp_stress_is_propagation_only():
     cnf = bcp_stress(50, 4, 5, seed=3)
     solver = CDCLSolver(cnf, minisat_like())
     result = solver.solve(assumptions=[1])
-    assert result.satisfiable
+    assert result.is_sat
     assert solver.stats["conflicts"] == 0
     assert solver.stats["decisions"] == 0
     # The chain assignment propagates every variable from the single
