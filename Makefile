@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-fast check chaos fuzz-smoke fuzz-nightly trace-smoke serve-smoke bench bench-quick bench-smoke bench-all examples clean
+.PHONY: install test test-fast check chaos fuzz-smoke fuzz-nightly trace-smoke serve-smoke serve-chaos bench bench-quick bench-smoke bench-all examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -67,6 +67,15 @@ trace-smoke:
 # the server shuts down cleanly.  See docs/serving.md.
 serve-smoke:
 	PYTHONPATH=src python -m repro.serve.smoke
+
+# Serve chaos suite: wedge a worker (the watchdog must SIGKILL it and
+# reclaim the pool slot), drop connections under a retrying client, and
+# SIGKILL the whole server mid-corpus then restart it over the same
+# journal + cache — asserting zero lost admitted requests and no
+# unaudited cache fills.  Deterministic fault seeds; see docs/serving.md
+# ("Resilience").
+serve-chaos:
+	PYTHONPATH=src python -m repro.serve.chaos
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -176,6 +176,24 @@ class SolveRequest:
         hasher.update(_limits_token(self.limits).encode("utf-8"))
         return hasher.hexdigest()
 
+    def base_key(self) -> str:
+        """SHA-256 hex over (canonical instance bytes, K, limits) —
+        the *strategy-free* content address.
+
+        Two requests share a base key iff they ask the same question of
+        the same instance under the same budget, no matter which
+        strategies they race.  The serve cache indexes fills by base
+        key so a request whose strategy set is a **superset** of a
+        cached decided answer's can be served that answer: SAT/UNSAT is
+        a property of the instance, and the larger portfolio would have
+        accepted the same first decided result.
+        """
+        hasher = hashlib.sha256(self.canonical_bytes())
+        hasher.update(b"\x00K=%d" % self.colors)
+        hasher.update(b"\x00")
+        hasher.update(_limits_token(self.limits).encode("utf-8"))
+        return hasher.hexdigest()
+
     # -- wire ----------------------------------------------------------
 
     def to_wire(self) -> Dict[str, object]:

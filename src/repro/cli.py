@@ -498,6 +498,7 @@ def cmd_serve(args) -> int:
     import asyncio
 
     from .serve import AdmissionPolicy, SolveService
+    _apply_fault_options(args)
     policy = AdmissionPolicy(
         max_queue_depth=args.max_queue_depth,
         max_inflight_per_client=args.max_inflight,
@@ -508,15 +509,22 @@ def cmd_serve(args) -> int:
                            cache_capacity=args.cache_capacity,
                            cache_dir=args.cache_dir,
                            policy=policy,
-                           job_timeout=args.job_timeout)
+                           job_timeout=args.job_timeout,
+                           journal_dir=args.journal_dir,
+                           heartbeat_interval=args.heartbeat_interval,
+                           watchdog=not args.no_watchdog,
+                           drain_deadline=args.drain_deadline,
+                           warm_start=not args.no_warm_start)
 
     async def _run() -> None:
         await service.start()
         disk = (f", disk cache {service.cache.disk_dir}"
                 if service.cache.disk_dir else "")
+        journal = (f", journal {service.journal_dir}"
+                   if service.journal_dir else "")
         print(f"repro serve listening on {service.host}:{service.port} "
               f"({service.workers} workers, cache capacity "
-              f"{service.cache.capacity}{disk})")
+              f"{service.cache.capacity}{disk}{journal})", flush=True)
         await service.serve_forever()
 
     try:
@@ -536,15 +544,23 @@ def _parse_server_address(text: str) -> tuple:
 def cmd_submit(args) -> int:
     from . import api
     from .serve.client import ServeClient, ServeError, ServeRejected
+    from .serve.resilience import ResilientClient, RetryPolicy
     host, port = _parse_server_address(args.server)
     graph = parse_col_file(args.col_file)
     request = api.SolveRequest(graph=graph, colors=args.colors,
                                strategies=(_strategy(args),),
                                limits=_limits(args), client=args.client,
                                tag=args.col_file)
+    if args.retries > 0:
+        # Retrying is safe: submission is idempotent by content address
+        # (a resubmitted duplicate coalesces or hits the cache).
+        retry = RetryPolicy(max_attempts=args.retries + 1)
+        factory = lambda: ResilientClient(host, port, retry=retry)
+    else:
+        factory = lambda: ServeClient(host, port)
     try:
-        with ServeClient(host, port) as client:
-            response = client.solve(request)
+        with factory() as client:
+            response = client.solve(request, deadline=args.deadline)
             dump = client.metrics() if args.show_metrics else None
     except ServeRejected as error:
         print(f"rejected: {error}", file=sys.stderr)
@@ -784,7 +800,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-vertices", type=int, default=100_000, metavar="N",
                    help="reject instances larger than this (default "
                         "100000)")
+    p.add_argument("--journal-dir", metavar="DIR",
+                   help="durable write-ahead request journal; a crashed "
+                        "server replays unfinished admitted requests "
+                        "from here on the next boot")
+    p.add_argument("--drain-deadline", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="how long a SIGTERM/shutdown drain waits for "
+                        "in-flight jobs before abandoning them to the "
+                        "journal (default 10)")
+    p.add_argument("--heartbeat-interval", type=float, default=0.5,
+                   metavar="SECONDS",
+                   help="worker heartbeat period for the watchdog "
+                        "(default 0.5)")
+    p.add_argument("--no-watchdog", action="store_true",
+                   help="disable the worker watchdog (hung jobs are "
+                        "then bounded only by their own budgets)")
+    p.add_argument("--no-warm-start", action="store_true",
+                   help="skip promoting recent disk-cache entries into "
+                        "memory at boot")
     _add_budget_options(p)
+    _add_fault_options(p)
     _add_obs_options(p)
     p.set_defaults(func=cmd_serve)
 
@@ -801,6 +837,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the coloring on success")
     p.add_argument("--show-metrics", action="store_true",
                    help="also fetch and print the server's metrics dump")
+    p.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="retry transient transport failures up to N "
+                        "times with jittered exponential backoff (safe: "
+                        "submission is idempotent by content address; "
+                        "default 0 = single attempt)")
+    p.add_argument("--deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-request deadline bounding this "
+                        "submission's socket waits (default: the "
+                        "client-wide timeout)")
     _add_strategy_options(p)
     _add_budget_options(p)
     p.set_defaults(func=cmd_submit)

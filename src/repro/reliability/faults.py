@@ -64,13 +64,33 @@ skip_occurrence
             occurrence-list entry: delete a clause the subsumption
             check did *not* actually cover.  Same failure surface as
             ``drop_resolvent`` (a silently weakened formula).
+worker_hang
+            a serve-pool worker stalls inside a job for ``seconds``
+            (default one hour), ignoring every cooperative budget —
+            the stuck-solve scenario the serve watchdog must detect
+            and SIGKILL (:mod:`repro.serve.resilience`).
+journal_torn_write
+            truncate one journal append mid-line and skip its fsync —
+            the power-loss torn-tail scenario journal recovery must
+            tolerate (:mod:`repro.serve.journal`).
+conn_drop
+            the server closes a client connection without replying —
+            the flaky-network scenario the retrying client must
+            survive (resubmission is idempotent by content address).
+slow_client
+            the client sleeps ``seconds`` (default 50 ms) before each
+            send — exercises server read robustness and per-request
+            deadlines.
 ========== ============================================================
 
 Sites: ``solver`` (all CDCL engines), ``arena`` / ``legacy`` /
 ``packed`` (one specific engine — used to test the engine-fallback
 path), ``inprocess`` (the inter-restart simplification phases),
 ``encode`` (CNF generation in the pipeline), ``worker`` (the
-portfolio / batch worker process itself), or ``*`` (everywhere).
+portfolio / batch worker process itself), ``serve_worker`` (the solve
+service's pool worker), ``journal`` (the serve request journal's
+appends), ``conn`` (the serve connection layer, both ends), or ``*``
+(everywhere).
 
 ``REPRO_FAULTS`` grammar (items separated by ``;``)::
 
@@ -96,11 +116,12 @@ from ..errors import ParseError
 #: Recognised fault kinds (see module docstring).
 FAULT_KINDS = ("crash", "hang", "slowdown", "wrong_model",
                "truncated_proof", "corrupt_input", "drop_clause",
-               "drop_resolvent", "skip_occurrence")
+               "drop_resolvent", "skip_occurrence", "worker_hang",
+               "journal_torn_write", "conn_drop", "slow_client")
 
 #: Recognised injection sites.
 FAULT_SITES = ("*", "solver", "arena", "legacy", "packed", "inprocess",
-               "encode", "worker")
+               "encode", "worker", "serve_worker", "journal", "conn")
 
 #: Environment variable consulted by the pipeline and the worker
 #: processes; its value is a :meth:`FaultPlan.parse` string.
@@ -108,6 +129,7 @@ ENV_VAR = "REPRO_FAULTS"
 
 _DEFAULT_HANG_SECONDS = 3600.0
 _DEFAULT_SLOWDOWN_SECONDS = 0.005
+_DEFAULT_SLOW_CLIENT_SECONDS = 0.05
 
 #: Exit code used by a worker-site ``crash`` fault (``os._exit``), so a
 #: chaos test can tell an injected process death from a real one.
@@ -386,6 +408,44 @@ class FaultInjector:
             return 0.0
         return (spec.seconds if spec.seconds is not None
                 else _DEFAULT_SLOWDOWN_SECONDS)
+
+    def maybe_worker_hang(self, sleep=time.sleep) -> bool:
+        """Stall inside a serve-pool job if a ``worker_hang`` fault
+        fires (the heartbeat side channel keeps beating — the stall is
+        the *job*, which is exactly what the watchdog's deadline check
+        must catch)."""
+        spec = self.fire("worker_hang")
+        if spec is None:
+            return False
+        sleep(spec.seconds if spec.seconds is not None
+              else _DEFAULT_HANG_SECONDS)
+        return True
+
+    def torn_write(self, data: bytes) -> Optional[bytes]:
+        """A torn prefix of one journal append, or None.
+
+        When a ``journal_torn_write`` fault fires the journal writes
+        only the returned prefix (roughly half the record, never the
+        whole line) and skips the fsync — simulating power loss
+        mid-append.  Recovery must treat the torn tail as absent.
+        """
+        index = self._fire("journal_torn_write")
+        if index < 0 or len(data) < 2:
+            return None
+        return data[:max(1, len(data) // 2)]
+
+    def maybe_conn_drop(self) -> bool:
+        """True when a ``conn_drop`` fault fires — the connection layer
+        closes the peer's connection without replying."""
+        return self.fire("conn_drop") is not None
+
+    def slow_client_delay(self) -> float:
+        """Seconds the client sleeps before its next send (0.0 = none)."""
+        spec = self.fire("slow_client")
+        if spec is None:
+            return 0.0
+        return (spec.seconds if spec.seconds is not None
+                else _DEFAULT_SLOW_CLIENT_SECONDS)
 
     def wrong_model_var(self, num_vars: int) -> Optional[int]:
         """Variable to bit-flip in a SAT assignment, or None."""

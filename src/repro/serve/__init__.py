@@ -23,18 +23,36 @@ rejections, per-status job counts) land in :mod:`repro.obs.metrics`
 under the ``serve.*`` prefix and are served by the ``metrics`` op — the
 ``/metrics``-style dump endpoint.
 
+The service is built to *stay up* (see ``docs/serving.md`` →
+"Resilience"): a :class:`~repro.serve.resilience.WorkerWatchdog`
+SIGKILLs wedged workers and reclaims their pool slots; a durable
+write-ahead :class:`~repro.serve.journal.RequestJournal` makes every
+admitted request survive a server crash (replayed on the next boot
+through the same audit-guarded cache-fill path); ``SIGTERM`` and the
+``shutdown`` op drain instead of dropping in-flight work; and
+:class:`~repro.serve.resilience.ResilientClient` wraps
+:class:`~repro.serve.client.ServeClient` with per-request deadlines,
+jittered-backoff retries (safe — submission is idempotent by content
+address) and a half-open circuit breaker.
+
 See ``docs/serving.md`` for the architecture and the cache-invalidation
-rules, ``repro serve`` / ``repro submit`` for the CLI, and
-``python -m repro.serve.smoke`` for the end-to-end smoke check.
+rules, ``repro serve`` / ``repro submit`` for the CLI,
+``python -m repro.serve.smoke`` for the end-to-end smoke check and
+``python -m repro.serve.chaos`` for the crash/recovery chaos suite.
 """
 
 from .admission import AdmissionController, AdmissionDecision, AdmissionPolicy
 from .cache import ResultCache
 from .client import ServeClient, ServeError, ServeRejected
+from .journal import MAX_RECOVERY_ATTEMPTS, PendingEntry, RequestJournal
+from .resilience import (CircuitBreaker, CircuitOpenError, JobHeartbeat,
+                         ResilientClient, RetryPolicy, WorkerWatchdog)
 from .server import SolveService
 
 __all__ = [
     "AdmissionController", "AdmissionDecision", "AdmissionPolicy",
-    "ResultCache", "ServeClient", "ServeError", "ServeRejected",
-    "SolveService",
+    "CircuitBreaker", "CircuitOpenError", "JobHeartbeat",
+    "MAX_RECOVERY_ATTEMPTS", "PendingEntry", "RequestJournal",
+    "ResilientClient", "ResultCache", "RetryPolicy", "ServeClient",
+    "ServeError", "ServeRejected", "SolveService", "WorkerWatchdog",
 ]

@@ -22,9 +22,28 @@ Two layers:
   as misses and delete them.  A memory miss that hits disk is promoted
   back into the LRU.
 
-Counters (hits, misses, disk hits, fills, evictions) are kept on the
-cache itself and mirrored into :mod:`repro.obs.metrics` under
-``serve.cache.*`` when metrics are enabled.
+On top of exact content-address lookups the cache keeps a **superset
+index**: server fills are stamped with the request's *base* digest
+(instance + K + limits, strategies excluded) and its strategy labels.
+A request whose strategy set is a superset of a cached **decided**
+answer's for the same base is served that answer
+(:meth:`ResultCache.superset_get`) — sound because SAT/UNSAT is a
+property of the instance, not of which strategy found it first, and a
+portfolio over the larger set would have accepted the same first
+decided answer.  Undecided cached entries never satisfy a superset
+lookup: a budgeted TIMEOUT under fewer strategies says nothing about
+the bigger race.
+
+A server restarted over the same disk directory can **warm-start**
+(:meth:`ResultCache.warm_start`): the most recently written disk
+entries are promoted into the LRU (and the superset index) up front,
+so the first pass after a restart hits memory instead of paying a disk
+read per request.
+
+Counters (hits, misses, disk hits, fills, evictions, superset hits,
+warm-started entries) are kept on the cache itself and mirrored into
+:mod:`repro.obs.metrics` under ``serve.cache.*`` when metrics are
+enabled.
 """
 
 from __future__ import annotations
@@ -34,7 +53,7 @@ import os
 import tempfile
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional
 
 from ..obs import metrics as obs_metrics
 
@@ -59,11 +78,16 @@ class ResultCache:
         self.disk_dir = disk_dir
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, Dict]" = OrderedDict()
+        #: Superset index: base digest (instance+K+limits, no
+        #: strategies) → digests of entries filled under that base.
+        self._by_base: Dict[str, List[str]] = {}
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
         self.fills = 0
         self.evictions = 0
+        self.superset_hits = 0
+        self.warm_started = 0
         if disk_dir:
             os.makedirs(disk_dir, exist_ok=True)
 
@@ -95,6 +119,41 @@ class ResultCache:
             self._mirror("misses")
             return None
 
+    def superset_get(self, base: str,
+                     labels: Iterable[str]) -> Optional[Dict]:
+        """A cached *decided* answer whose strategy set is a subset of
+        ``labels``, for the same ``base`` digest — or None.
+
+        The exact content address should be tried first (:meth:`get`);
+        this is the fallback for a request racing *more* strategies
+        than a previous submitter did.  Only decided (SAT/UNSAT)
+        entries qualify: an undecided stop under fewer strategies says
+        nothing about the larger race.
+        """
+        wanted = set(labels)
+        with self._lock:
+            digests = self._by_base.get(base)
+            if not digests:
+                return None
+            for digest in list(digests):
+                entry = self._entries.get(digest)
+                if entry is None:
+                    entry = self._disk_read(digest)
+                    if entry is None:
+                        digests.remove(digest)  # evicted and gone
+                        continue
+                    self._insert(digest, entry)
+                cached_set = entry.get("strategies")
+                if not cached_set or not set(cached_set) <= wanted:
+                    continue
+                if entry.get("status") not in ("SAT", "UNSAT"):
+                    continue
+                self._entries.move_to_end(digest)
+                self.superset_hits += 1
+                self._mirror("superset_hits")
+                return dict(entry)
+            return None
+
     # -- fill ----------------------------------------------------------
 
     def put(self, digest: str, payload: Dict) -> None:
@@ -112,10 +171,64 @@ class ResultCache:
     def _insert(self, digest: str, payload: Dict) -> None:
         self._entries[digest] = payload
         self._entries.move_to_end(digest)
+        base = payload.get("base")
+        if base and payload.get("strategies"):
+            digests = self._by_base.setdefault(base, [])
+            if digest not in digests:
+                digests.append(digest)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
             self._mirror("evictions")
+
+    # -- warm start ----------------------------------------------------
+
+    def warm_start(self, limit: Optional[int] = None) -> int:
+        """Promote the most recently written disk entries into the LRU
+        (up to ``limit``, default the cache capacity).  Returns the
+        number of entries loaded; counted under
+        ``serve.cache.warm_start``.  A no-op without a disk dir."""
+        if not self.disk_dir:
+            return 0
+        budget = min(limit if limit is not None else self.capacity,
+                     self.capacity)
+        candidates: List[tuple] = []
+        try:
+            shards = os.listdir(self.disk_dir)
+        except OSError:
+            return 0
+        for shard in shards:
+            shard_dir = os.path.join(self.disk_dir, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            try:
+                names = os.listdir(shard_dir)
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(".json") or name.startswith("."):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    mtime = os.path.getmtime(path)
+                except OSError:
+                    continue
+                candidates.append((mtime, name[:-len(".json")]))
+        candidates.sort(reverse=True)  # newest answers are hottest
+        loaded = 0
+        with self._lock:
+            for _, digest in candidates[:budget]:
+                if digest in self._entries:
+                    continue
+                entry = self._disk_read(digest)
+                if entry is None:
+                    continue
+                self._insert(digest, entry)
+                loaded += 1
+            self.warm_started += loaded
+            if loaded:
+                self._mirror("warm_start", loaded)
+        return loaded
 
     # -- disk layer ----------------------------------------------------
 
@@ -170,6 +283,8 @@ class ResultCache:
             return {"hits": self.hits, "misses": self.misses,
                     "disk_hits": self.disk_hits, "fills": self.fills,
                     "evictions": self.evictions,
+                    "superset_hits": self.superset_hits,
+                    "warm_started": self.warm_started,
                     "entries": len(self._entries),
                     "capacity": self.capacity}
 
@@ -195,6 +310,6 @@ class ResultCache:
             return digest in self._entries
 
     @staticmethod
-    def _mirror(name: str) -> None:
+    def _mirror(name: str, amount: int = 1) -> None:
         if obs_metrics.enabled():
-            obs_metrics.registry().inc(_METRIC_PREFIX + name)
+            obs_metrics.registry().inc(_METRIC_PREFIX + name, amount)

@@ -1,0 +1,358 @@
+"""Resilience primitives (repro.serve.resilience) and their wiring.
+
+Watchdog / heartbeat / retry / breaker units run against fake clocks
+and plain ``queue.Queue`` channels — no processes, no sleeps beyond the
+heartbeat thread's own cadence.  The end-to-end classes boot a real
+service on a loopback port and exercise the failure paths the chaos
+suite hits at larger scale: a dropped connection under a retrying
+client, a dead server tripping the circuit breaker, and a crashed
+worker forcing a pool rebuild.
+"""
+
+import os
+import queue
+import signal
+import socket
+import time
+
+import pytest
+
+from repro.api import SolveRequest
+from repro.reliability.faults import FaultPlan
+from repro.reliability.quarantine import QuarantinePolicy
+from repro.sat.status import SolveStatus
+from repro.serve import (AdmissionController, AdmissionPolicy,
+                         CircuitBreaker, CircuitOpenError, JobHeartbeat,
+                         ResilientClient, RetryPolicy, ServeClient,
+                         ServeRejected, WorkerWatchdog)
+from tests.test_serve import start_service, triangle
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_watchdog(**kwargs):
+    clock = FakeClock()
+    kills = []
+    channel = queue.Queue()
+    watchdog = WorkerWatchdog(
+        channel=channel, interval=0.5,
+        kill=lambda pid, sig: kills.append((pid, sig)),
+        clock=clock, **kwargs)
+    return watchdog, channel, clock, kills
+
+
+class TestWorkerWatchdog:
+    def test_overdue_job_is_killed_once(self):
+        watchdog, channel, clock, kills = make_watchdog()
+        watchdog.register("job#1:abc", deadline=2.0)
+        channel.put(("start", "job#1:abc", 4242, 0.0))
+        assert watchdog.poll() == []
+        # Past the budget but inside the grace window: still tolerated.
+        clock.advance(2.0 + watchdog.grace)
+        assert watchdog.poll() == []
+        # Heartbeats cannot save an overdue job — the stall *is* the
+        # job, and the deadline check is what catches it.
+        channel.put(("beat", "job#1:abc", 4242, 0.0))
+        clock.advance(0.1)
+        assert watchdog.poll() == ["job#1:abc"]
+        assert kills == [(4242, signal.SIGKILL)]
+        token, reason = watchdog.kill_log[-1]
+        assert token == "job#1:abc" and "overdue" in reason
+        # Idempotent: the corpse is not killed again next sweep.
+        clock.advance(10.0)
+        assert watchdog.poll() == [] and watchdog.kills == 1
+
+    def test_stale_worker_is_killed_without_a_deadline(self):
+        watchdog, channel, clock, kills = make_watchdog()
+        watchdog.register("t", deadline=None)
+        channel.put(("start", "t", 77, 0.0))
+        watchdog.poll()
+        clock.advance(watchdog.stale_after + 0.1)
+        assert watchdog.poll() == ["t"]
+        assert kills == [(77, signal.SIGKILL)]
+        assert "stale" in watchdog.kill_log[-1][1]
+
+    def test_heartbeats_keep_an_unbudgeted_job_alive(self):
+        watchdog, channel, clock, kills = make_watchdog()
+        watchdog.register("t", deadline=None)
+        channel.put(("start", "t", 9, 0.0))
+        watchdog.poll()
+        for _ in range(20):
+            clock.advance(watchdog.stale_after / 2)
+            channel.put(("beat", "t", 9, 0.0))
+            assert watchdog.poll() == []
+        assert kills == []
+
+    def test_finished_job_is_no_longer_watched(self):
+        watchdog, channel, clock, kills = make_watchdog()
+        watchdog.register("t", deadline=1.0)
+        channel.put(("start", "t", 9, 0.0))
+        watchdog.poll()
+        watchdog.finished("t")
+        clock.advance(100.0)
+        channel.put(("beat", "t", 9, 0.0))  # a late beat is noise
+        assert watchdog.poll() == []
+        assert kills == [] and watchdog.active_pids() == []
+
+    def test_job_without_heartbeat_is_never_killed(self):
+        # No start record ever arrived (pool queue backlog): there is
+        # no pid to kill and no evidence of a wedge — leave it be.
+        watchdog, channel, clock, kills = make_watchdog()
+        watchdog.register("t", deadline=0.5)
+        clock.advance(1000.0)
+        assert watchdog.poll() == [] and kills == []
+
+    def test_malformed_heartbeat_records_are_ignored(self):
+        watchdog, channel, clock, kills = make_watchdog()
+        watchdog.register("t", deadline=None)
+        channel.put(None)
+        channel.put((1,))
+        channel.put(("beat",))
+        channel.put(("start", "t", 9, 0.0))
+        watchdog.poll()  # must not raise
+        assert watchdog.active_pids() == [9]
+
+    def test_kill_active_hits_every_registered_worker(self):
+        watchdog, channel, clock, kills = make_watchdog()
+        watchdog.register("a", deadline=None)
+        watchdog.register("b", deadline=None)
+        channel.put(("start", "a", 1, 0.0))
+        channel.put(("start", "b", 2, 0.0))
+        watchdog.poll()
+        assert watchdog.kill_active() == 2
+        assert sorted(pid for pid, _ in kills) == [1, 2]
+        assert watchdog.kill_active() == 0  # already dead
+
+    def test_snapshot_shape(self):
+        watchdog, channel, clock, kills = make_watchdog()
+        watchdog.register("t", deadline=0.5)
+        channel.put(("start", "t", 9, 0.0))
+        watchdog.poll()
+        clock.advance(0.5 + watchdog.grace + 0.1)
+        watchdog.poll()
+        snapshot = watchdog.snapshot()
+        assert snapshot["kills"] == 1
+        assert snapshot["last_kill"]["token"] == "t"
+        assert "overdue" in snapshot["last_kill"]["reason"]
+        assert snapshot["interval"] == 0.5
+
+
+class TestJobHeartbeat:
+    def test_emits_start_then_beats(self):
+        channel = queue.Queue()
+        with JobHeartbeat(channel, "tok", interval=0.01):
+            time.sleep(0.1)
+        records = []
+        while True:
+            try:
+                records.append(channel.get_nowait())
+            except queue.Empty:
+                break
+        kind, token, pid, _ = records[0]
+        assert kind == "start" and token == "tok" and pid == os.getpid()
+        assert any(record[0] == "beat" for record in records[1:])
+
+    def test_none_channel_is_a_noop(self):
+        with JobHeartbeat(None, "tok", interval=0.01):
+            pass  # no channel, no thread, no crash
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(base_backoff=0.1, backoff_factor=2.0,
+                             max_backoff=0.5, jitter=0.0)
+        assert [policy.backoff(n) for n in range(1, 6)] == pytest.approx(
+            [0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_jitter_is_deterministic_per_seed_and_bounded(self):
+        policy = RetryPolicy(jitter=0.5, seed=42)
+        first = [policy.backoff(n, policy.rng()) for n in range(1, 6)]
+        second = [policy.backoff(n, policy.rng()) for n in range(1, 6)]
+        assert first == second  # seeded: chaos runs reproduce
+        for attempt, duration in enumerate(first, start=1):
+            nominal = min(policy.base_backoff
+                          * policy.backoff_factor ** (attempt - 1),
+                          policy.max_backoff)
+            assert 0.5 * nominal <= duration <= 1.5 * nominal
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff=-1.0)
+
+
+class TestCircuitBreaker:
+    def test_closed_to_open_to_half_open_to_closed(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=10.0,
+                                 clock=clock)
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()  # third consecutive failure: trip
+        assert breaker.state == "open" and not breaker.allow()
+        assert breaker.remaining_cooldown() == pytest.approx(10.0)
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow()       # the single probe slot
+        assert not breaker.allow()   # a probe is already in flight
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_half_open_failure_reopens_with_fresh_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()  # the probe failed
+        assert breaker.state == "open" and not breaker.allow()
+        assert breaker.remaining_cooldown() == pytest.approx(5.0)
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # never two in a row
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=-1.0)
+
+
+class TestQuarantineDecay:
+    def test_interleaved_successes_keep_resetting_offences(self):
+        controller = AdmissionController(AdmissionPolicy(
+            quarantine=QuarantinePolicy(threshold=2, base_backoff=60.0)))
+        # ERROR, success, ERROR, success, ... — the streak never
+        # reaches the threshold, so the client is never locked out.
+        for _ in range(4):
+            assert controller.admit("alice", 3).admitted
+            controller.begin("alice")
+            controller.finish("alice", SolveStatus.ERROR, "worker crash")
+            assert controller.admit("alice", 3).admitted
+            controller.begin("alice")
+            controller.finish("alice", SolveStatus.SAT)
+        # Two *consecutive* errors do trip the quarantine.
+        for _ in range(2):
+            assert controller.admit("alice", 3).admitted
+            controller.begin("alice")
+            controller.finish("alice", SolveStatus.ERROR, "worker crash")
+        decision = controller.admit("alice", 3)
+        assert not decision.admitted and "quarantined" in decision.reason
+
+
+def free_port():
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+class TestResilientClientEndToEnd:
+    def test_retries_through_a_dropped_connection(self):
+        # The server drops every exchange on its first accepted
+        # connection (deterministic: the injector label is conn#1);
+        # the retrying client must reconnect and land the solve.
+        service, thread = start_service(
+            port=0, workers=1,
+            faults=FaultPlan.parse("seed=3; conn_drop@conn:match=conn#1"))
+        try:
+            with ResilientClient(
+                    port=service.port,
+                    retry=RetryPolicy(max_attempts=4, base_backoff=0.01,
+                                      max_backoff=0.05, seed=1)) as client:
+                response = client.solve(
+                    SolveRequest(graph=triangle(), colors=3))
+                assert response.status is SolveStatus.SAT
+                assert client.retries >= 1
+                assert client.reconnects >= 2
+                assert client.breaker.state == "closed"
+        finally:
+            with ServeClient(port=service.port) as client:
+                client.shutdown()
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+
+    def test_circuit_opens_against_a_dead_server(self):
+        client = ResilientClient(
+            port=free_port(), connect_timeout=0.5,
+            retry=RetryPolicy(max_attempts=6, base_backoff=0.001,
+                              max_backoff=0.002, jitter=0.0),
+            breaker=CircuitBreaker(failure_threshold=2,
+                                   reset_timeout=60.0))
+        # Attempts 1 and 2 fail on connect, tripping the breaker;
+        # attempt 3 is refused by the open circuit — fail fast, well
+        # before the retry budget runs out.
+        with pytest.raises(CircuitOpenError):
+            client.ping()
+        assert client.breaker.state == "open"
+        assert client.attempts == 3
+
+    def test_rejection_is_not_a_transport_failure(self):
+        service, thread = start_service(
+            port=0, workers=1,
+            policy=AdmissionPolicy(max_vertices=2))
+        try:
+            with ResilientClient(
+                    port=service.port,
+                    retry=RetryPolicy(max_attempts=3, base_backoff=0.01),
+                    breaker=CircuitBreaker(failure_threshold=1)) as client:
+                with pytest.raises(ServeRejected, match="vertices"):
+                    client.solve(SolveRequest(graph=triangle(), colors=3))
+                # One attempt, no retries, breaker untouched: the
+                # server answered, it just said no.
+                assert client.attempts == 1 and client.retries == 0
+                assert client.breaker.state == "closed"
+        finally:
+            with ServeClient(port=service.port) as client:
+                client.shutdown()
+            thread.join(timeout=30)
+
+    def test_worker_crash_rebuilds_pool_and_service_recovers(
+            self, monkeypatch):
+        # job#1 dies via os._exit inside the pool (satellite d): the
+        # future fails with BrokenProcessPool, the server answers
+        # ERROR, rebuilds the pool, and the next job runs normally —
+        # one offence stays under the quarantine threshold of 2.
+        monkeypatch.setenv("REPRO_FAULTS",
+                           "seed=2; crash@serve_worker:match=job#1:*")
+        service, thread = start_service(port=0, workers=1)
+        try:
+            monkeypatch.delenv("REPRO_FAULTS")
+            with ServeClient(port=service.port) as client:
+                first = client.solve(
+                    SolveRequest(graph=triangle(), colors=3))
+                assert first.status is SolveStatus.ERROR
+                second = client.solve(
+                    SolveRequest(graph=triangle(), colors=2))
+                assert second.status is SolveStatus.UNSAT
+                counters = client.metrics()["metrics"]["counters"]
+                assert counters["serve.pool_rebuilds"] == 1
+                assert counters["serve.jobs.ERROR"] == 1
+        finally:
+            with ServeClient(port=service.port) as client:
+                client.shutdown()
+            thread.join(timeout=30)
+            assert not thread.is_alive()

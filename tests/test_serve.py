@@ -7,6 +7,7 @@ import pytest
 
 from repro.api import SolveRequest
 from repro.coloring.problem import Graph
+from repro.obs import metrics as obs_metrics
 from repro.reliability.quarantine import QuarantinePolicy
 from repro.sat.status import SolveLimits, SolveStatus
 from repro.serve import (AdmissionController, AdmissionPolicy, ServeClient,
@@ -102,6 +103,10 @@ class TestAdmissionController:
 
 def start_service(**kwargs):
     """Boot a SolveService on a daemon thread; returns it once bound."""
+    # The service keeps the process-global metrics registry enabled and
+    # never resets it (one service per process in production); tests
+    # boot many services per process, so start each from zero.
+    obs_metrics.registry().reset()
     service = SolveService(**kwargs)
     bound = threading.Event()
     failures = []
@@ -188,3 +193,41 @@ class TestSolveServiceEndToEnd:
             assert not reply["ok"] and "invalid request" in reply["error"]
             # The connection survives; the service still answers.
             assert client.ping()["protocol"] == "repro-serve/1"
+
+
+class TestDrainingShutdown:
+    def test_shutdown_op_acknowledges_then_drains_to_a_stop(self):
+        service, thread = start_service(port=0, workers=1)
+        with ServeClient(port=service.port) as client:
+            assert client.ping()["draining"] is False
+            reply = client._call({"op": "shutdown"})
+            assert reply["ok"] and reply["draining"] is True
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+
+    def test_draining_rejects_new_work_but_serves_the_cache(self):
+        service, thread = start_service(port=0, workers=1)
+        try:
+            with ServeClient(port=service.port) as client:
+                # White-box: hold the server in its drain window (with
+                # real in-flight jobs the window closes too fast to hit
+                # deterministically from outside).
+                service._draining = True
+                with pytest.raises(ServeRejected, match="draining"):
+                    client.solve(SolveRequest(graph=triangle(), colors=3))
+                service._draining = False
+                first = client.solve(SolveRequest(graph=triangle(),
+                                                  colors=3))
+                assert first.status is SolveStatus.SAT
+                # A cached answer needs no worker: served even while
+                # draining (the cache check precedes the drain gate).
+                service._draining = True
+                again = client.solve(SolveRequest(graph=triangle(),
+                                                  colors=3))
+                assert again.cached and again.status is SolveStatus.SAT
+                service._draining = False
+        finally:
+            with ServeClient(port=service.port) as client:
+                client.shutdown()
+            thread.join(timeout=30)
+            assert not thread.is_alive()

@@ -26,6 +26,7 @@ class TestMemoryLayer:
         assert cache.get(digest(1)) == payload(1)
         assert cache.counts() == {"hits": 1, "misses": 1, "disk_hits": 0,
                                   "fills": 1, "evictions": 0,
+                                  "superset_hits": 0, "warm_started": 0,
                                   "entries": 1, "capacity": 4}
         assert cache.hit_rate == 0.5
 
@@ -120,6 +121,91 @@ class TestDiskLayer:
         cache.put(digest(1), payload(1))
         cache.clear()
         assert cache.get(digest(1)) == payload(1)
+
+
+def indexed(n, base, strategies, status="SAT"):
+    """A fill payload carrying the provenance the superset index uses
+    (the server stamps these in ``_fill_cache``)."""
+    return {"status": status, "n": n, "digest": digest(n), "base": base,
+            "strategies": strategies}
+
+
+class TestSupersetLookup:
+    def test_subset_strategy_answer_satisfies_a_larger_request(self):
+        cache = ResultCache(capacity=8)
+        cache.put(digest(1), indexed(1, "b1", ["direct"]))
+        hit = cache.superset_get("b1", ["direct", "log"])
+        assert hit is not None and hit["n"] == 1
+        assert cache.counts()["superset_hits"] == 1
+
+    def test_larger_or_disjoint_cached_sets_do_not_match(self):
+        cache = ResultCache(capacity=8)
+        cache.put(digest(1), indexed(1, "b1", ["direct", "log"]))
+        # The cached entry raced *more* strategies than asked for: its
+        # first decided answer may have come from the extra one.
+        assert cache.superset_get("b1", ["direct"]) is None
+        assert cache.superset_get("b1", ["support"]) is None
+        assert cache.superset_get("b2", ["direct", "log"]) is None
+
+    def test_undecided_entries_never_satisfy(self):
+        cache = ResultCache(capacity=8)
+        cache.put(digest(1), indexed(1, "b1", ["direct"],
+                                     status="TIMEOUT"))
+        assert cache.superset_get("b1", ["direct", "log"]) is None
+        assert cache.counts()["superset_hits"] == 0
+
+    def test_superset_hit_returns_a_copy(self):
+        cache = ResultCache(capacity=8)
+        cache.put(digest(1), indexed(1, "b1", ["direct"]))
+        served = cache.superset_get("b1", ["direct", "log"])
+        served["cached"] = True
+        assert "cached" not in cache.superset_get("b1", ["direct"])
+
+    def test_index_survives_eviction_via_disk(self, tmp_path):
+        cache = ResultCache(capacity=1, disk_dir=str(tmp_path))
+        cache.put(digest(1), indexed(1, "b1", ["direct"]))
+        cache.put(digest(2), indexed(2, "b2", ["direct"]))  # evicts 1
+        hit = cache.superset_get("b1", ["direct", "log"])
+        assert hit is not None and hit["n"] == 1
+
+
+class TestWarmStart:
+    def test_boot_promotes_disk_entries_into_memory(self, tmp_path):
+        first = ResultCache(capacity=8, disk_dir=str(tmp_path))
+        for n in range(3):
+            first.put(digest(n), payload(n))
+        fresh = ResultCache(capacity=8, disk_dir=str(tmp_path))
+        assert fresh.warm_start() == 3
+        assert fresh.counts()["warm_started"] == 3
+        # Warm entries are served from memory, not re-read from disk.
+        assert fresh.get(digest(1)) == payload(1)
+        assert fresh.counts()["disk_hits"] == 0
+
+    def test_warm_start_respects_capacity_and_limit(self, tmp_path):
+        seed = ResultCache(capacity=8, disk_dir=str(tmp_path))
+        for n in range(5):
+            seed.put(digest(n), payload(n))
+        small = ResultCache(capacity=2, disk_dir=str(tmp_path))
+        assert small.warm_start() == 2  # never beyond the LRU capacity
+        limited = ResultCache(capacity=8, disk_dir=str(tmp_path))
+        assert limited.warm_start(limit=1) == 1
+
+    def test_warm_start_rebuilds_the_superset_index(self, tmp_path):
+        first = ResultCache(capacity=8, disk_dir=str(tmp_path))
+        first.put(digest(1), indexed(1, "b1", ["direct"]))
+        fresh = ResultCache(capacity=8, disk_dir=str(tmp_path))
+        assert fresh.warm_start() == 1
+        assert fresh.superset_get("b1", ["direct", "log"]) is not None
+
+    def test_warm_start_without_a_disk_dir_is_a_noop(self):
+        assert ResultCache(capacity=4).warm_start() == 0
+
+    def test_warm_start_is_idempotent(self, tmp_path):
+        seed = ResultCache(capacity=8, disk_dir=str(tmp_path))
+        seed.put(digest(1), payload(1))
+        fresh = ResultCache(capacity=8, disk_dir=str(tmp_path))
+        assert fresh.warm_start() == 1
+        assert fresh.warm_start() == 0  # already in memory
 
 
 class TestMetricsMirror:
