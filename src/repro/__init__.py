@@ -64,7 +64,7 @@ from .reliability import (AuditReport, AuditVerdict, FaultPlan,
                           audit_result)
 from .sat.solver.cdcl import BudgetExceeded
 
-__version__ = "1.6.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "api", "SolveRequest", "SolveResponse",

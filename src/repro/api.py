@@ -386,17 +386,25 @@ def solve_batch(requests: Sequence[SolveRequest],
                 job_timeout: Optional[float] = None,
                 limits: Optional[SolveLimits] = None,
                 audit: bool = False,
+                num_shards: int = 1,
                 **batch_kwargs) -> List[SolveResponse]:
-    """Fan a request sequence over :func:`repro.bench.batch.run_batch`.
+    """Fan a request sequence over the distributed shard scheduler.
 
     Each request expands to one batch job per member strategy; a
     request's response aggregates its jobs the way a portfolio would
     (first decided answer in strategy order wins).  Per-request
     ``limits`` are merged with the pool-level ``limits`` per job — the
-    batch runner's ``job_timeout``/retry/quarantine machinery applies
+    scheduler's ``job_timeout``/retry/quarantine machinery applies
     unchanged.  Always returns one response per request, in order.
+
+    ``num_shards=1`` (the default) is the flat pool of the historical
+    :func:`repro.bench.batch.run_batch`; larger values split the jobs
+    over that many locality-aware work-stealing queues
+    (:func:`repro.dist.scheduler.run_sharded`), which pays off when the
+    corpus is large and instances repeat.
     """
-    from .bench.batch import BatchJob, run_batch
+    from .bench.batch import BatchJob
+    from .dist.scheduler import run_sharded
     jobs: List[BatchJob] = []
     names: List[str] = []
     pooled = limits if limits is not None else SolveLimits()
@@ -420,9 +428,9 @@ def solve_batch(requests: Sequence[SolveRequest],
     effective = per_request_limits[0] if per_request_limits else None
     if effective is not None and effective.unlimited:
         effective = None
-    result = run_batch(jobs, max_workers=max_workers,
-                       job_timeout=job_timeout, limits=effective,
-                       audit=audit, **batch_kwargs)
+    result = run_sharded(jobs, num_shards=num_shards,
+                         max_workers=max_workers, job_timeout=job_timeout,
+                         limits=effective, audit=audit, **batch_kwargs)
 
     responses: List[SolveResponse] = []
     for index, request in enumerate(requests):

@@ -217,6 +217,44 @@ def jobs_for(instances: Sequence, strategies: Sequence[Strategy],
     return jobs
 
 
+def _dedup_jobs(jobs: Sequence[BatchJob], limits: Optional[SolveLimits],
+                job_timeout: Optional[float]):
+    """Collapse identical jobs to one dispatch each.
+
+    Two jobs are identical when their ``repro.api`` content addresses
+    agree — :meth:`SolveRequest.cache_key` over (canonical graph bytes,
+    colors, strategy, limits) — which catches duplicates the
+    ``(instance, label)`` key cannot: the same graph submitted under
+    two instance names used to be solved twice.  Returns
+    ``(primaries, fanout)`` where ``fanout`` maps a primary job's
+    ``id()`` to the duplicate jobs whose results are cloned from it
+    after the run.
+    """
+    from ..api import SolveRequest  # lazy: repro.api imports this module
+    effective = (limits or SolveLimits()).with_wall_clock(job_timeout)
+    seen: Dict[str, BatchJob] = {}
+    primaries: List[BatchJob] = []
+    fanout: Dict[int, List[BatchJob]] = {}
+    for job in jobs:
+        try:
+            digest = SolveRequest(graph=job.problem.graph,
+                                  colors=job.problem.num_colors,
+                                  strategies=(job.strategy,),
+                                  limits=effective).cache_key()
+        except Exception:
+            # Unaddressable job (e.g. a test double without a real
+            # graph): dispatch it as-is rather than refuse the batch.
+            primaries.append(job)
+            continue
+        primary = seen.get(digest)
+        if primary is None:
+            seen[digest] = job
+            primaries.append(job)
+        else:
+            fanout.setdefault(id(primary), []).append(job)
+    return primaries, fanout
+
+
 def run_batch(jobs: Sequence[BatchJob],
               max_workers: Optional[int] = None,
               job_timeout: Optional[float] = None,
@@ -226,7 +264,8 @@ def run_batch(jobs: Sequence[BatchJob],
               cancel: Optional[CancelToken] = None,
               audit: bool = False, faults=None,
               quarantine=None,
-              engine_fallback: bool = True) -> BatchResult:
+              engine_fallback: bool = True,
+              dedup: bool = True) -> BatchResult:
     """Run every job over a worker pool; always returns a full table.
 
     ``job_timeout`` bounds each job's wall clock (merged into
@@ -253,6 +292,12 @@ def run_batch(jobs: Sequence[BatchJob],
       ``engine="legacy"`` (same search trajectory, independent BCP
       implementation), so an arena-specific fault cannot sink a job
       that the legacy engine can still answer.
+
+    ``dedup=True`` (the default) collapses content-identical jobs —
+    same canonical graph, colors, strategy and limits by
+    :meth:`repro.api.SolveRequest.cache_key` — to a single dispatch and
+    fans its result back out to every duplicate, so a corpus with
+    repeated instances no longer pays for redundant solves.
     """
     if max_attempts < 1:
         raise ValueError("max_attempts must be at least 1")
@@ -260,12 +305,19 @@ def run_batch(jobs: Sequence[BatchJob],
         max_workers = max(1, (mp.cpu_count() or 2) - 1)
     if max_workers < 1:
         raise ValueError("max_workers must be at least 1")
+    fanout: Dict[int, List[BatchJob]] = {}
+    duplicates = 0
+    if dedup and len(jobs) > 1:
+        jobs, fanout = _dedup_jobs(jobs, limits, job_timeout)
+        duplicates = sum(len(dupes) for dupes in fanout.values())
     with trace.span("batch.run", jobs=len(jobs), workers=max_workers,
-                    audit=audit) as batch_span:
+                    audit=audit, deduped=duplicates) as batch_span:
         result = _run_batch_in_span(
             batch_span, jobs, max_workers, job_timeout, limits,
             max_attempts, timeout, cancel, audit, faults, quarantine,
             engine_fallback)
+        if fanout:
+            _fan_out_duplicates(result, fanout)
         batch_span.set("settled", len(result.results))
         batch_span.set("cancelled", result.cancelled)
         if obs_metrics.enabled():
@@ -273,10 +325,34 @@ def run_batch(jobs: Sequence[BatchJob],
             registry.inc("batch.runs")
             registry.inc("batch.jobs", len(result.results))
             registry.inc("batch.jobs_pending", len(result.pending))
+            if duplicates:
+                registry.inc("batch.deduped", duplicates)
             for status, count in result.status_counts().items():
                 registry.inc(f"batch.status.{status}", count)
             registry.observe("batch.wall_time", result.wall_time)
         return result
+
+
+def _fan_out_duplicates(result: BatchResult,
+                        fanout: Dict[int, List[BatchJob]]) -> None:
+    """Clone each primary's result/pending entry for its duplicates, so
+    callers see one record per *submitted* job, dispatched or not."""
+    cloned: List[BatchJobResult] = []
+    for primary in result.results:
+        for dup in fanout.get(id(primary.job), ()):
+            cloned.append(BatchJobResult(
+                job=dup, status=primary.status, outcome=primary.outcome,
+                wall_time=primary.wall_time, attempts=primary.attempts,
+                error=primary.error, audit=primary.audit,
+                engine=primary.engine))
+    if cloned:
+        trace.event("batch.fanout", duplicates=len(cloned))
+    result.results.extend(cloned)
+    extra_pending: List[BatchJob] = []
+    for job in result.pending:
+        extra_pending.extend(fanout.get(id(job), ()))
+    result.pending.extend(extra_pending)
+    result.by_key = {r.key: r for r in result.results}
 
 
 def _run_batch_in_span(batch_span, jobs: Sequence[BatchJob],

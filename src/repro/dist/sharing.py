@@ -1,0 +1,379 @@
+"""Clause-sharing channels for cooperative portfolios and cube workers.
+
+First-to-finish racing (:mod:`repro.core.portfolio`) throws away every
+loser's conflict analysis; on the paper's hard UNSAT configurations that
+is most of the work done.  This module is the transport that lets
+cooperating solvers keep it: each member *exports* its short, low-LBD
+learned clauses (the export hook lives in
+:meth:`repro.sat.solver.cdcl.CDCLSolver._share_export`) and *imports*
+peers' clauses at restart boundaries, after an import filter has
+rejected everything malformed, duplicated or over-budget.
+
+Design constraints, in order:
+
+1. **Soundness.**  Shared clauses are 1UIP consequences of the common
+   formula, so importing them is sound — *if* the payload arrives
+   intact.  The transport is a process boundary, so the import side
+   trusts nothing: :class:`ClauseImportFilter` structurally validates
+   every payload (literal types, variable range, tautologies, caps) and
+   the solver re-checks variable ranges and BVE-eliminated variables
+   before attaching.  The ``corrupt_share`` chaos fault proves the
+   filter path.
+2. **Determinism.**  A solver's trajectory is a function of its inputs.
+   With sharing *disabled* nothing here is even imported and runs are
+   bit-identical to pre-sharing builds (pinned by the trajectory
+   fixtures).  With sharing *enabled* the trajectory additionally
+   depends on arrival order — inherently racy across processes — but
+   every import passes the same deterministic filter, and the
+   in-process :class:`LoopbackChannel` gives tests a fully
+   deterministic end-to-end path.
+3. **Bounded memory.**  Queues are bounded (``queue_capacity``); an
+   exporter that finds the outbox full simply drops the clause (sharing
+   is an optimisation, never a dependency), and importers take at most
+   ``import_budget`` clauses per restart so a noisy peer cannot flood a
+   member's clause database.
+
+Topology: one :class:`ClauseHub` per cooperative run, living in the
+parent.  Members push exports into a single shared *outbox* queue; the
+parent's poll loop calls :meth:`ClauseHub.pump`, which fans each clause
+out to every member's *inbox* except the origin's.  Endpoints are
+picklable-by-fork (they hold only queues and plain config), so the
+portfolio/cube workers receive them as process arguments.
+"""
+
+from __future__ import annotations
+
+import queue
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..obs import metrics as obs_metrics
+
+__all__ = [
+    "ShareConfig",
+    "ClauseImportFilter",
+    "ClauseEndpoint",
+    "ClauseHub",
+    "LoopbackChannel",
+]
+
+_METRIC_PREFIX = "dist.share."
+
+
+def _count(name: str, amount: int = 1) -> None:
+    if amount and obs_metrics.enabled():
+        obs_metrics.registry().inc(_METRIC_PREFIX + name, amount)
+
+
+@dataclass(frozen=True)
+class ShareConfig:
+    """Tuning knobs for one sharing channel (see docs/distributed.md).
+
+    The defaults follow the standard portfolio-solver wisdom: only very
+    short, low-LBD clauses are worth a process hop — they prune the most
+    and cost the least to re-check — and imports are rationed per
+    restart so sharing can help but never dominate a member's own
+    search.
+    """
+
+    #: Longest clause a member will export (and an importer will accept).
+    export_max_length: int = 8
+    #: Highest conflict-time LBD a member will export (units always go).
+    export_max_lbd: int = 4
+    #: Most clauses a member imports per restart boundary.
+    import_budget: int = 64
+    #: Bound on each transport queue; a full outbox drops the export.
+    queue_capacity: int = 4096
+
+    def __post_init__(self) -> None:
+        for field in ("export_max_length", "export_max_lbd",
+                      "import_budget", "queue_capacity"):
+            if getattr(self, field) < 1:
+                raise ValueError(f"{field} must be positive")
+
+
+class ClauseImportFilter:
+    """The deterministic gatekeeper between the wire and a solver.
+
+    Accepts raw payloads of shape ``(origin, lits, lbd)`` and returns a
+    cleaned ``(lits, lbd)`` pair or None.  Rejection reasons:
+
+    * structurally malformed: wrong shape, non-int / zero literals
+      (the ``corrupt_share`` fault produces exactly these), empty or
+      over-long clauses, non-positive LBD;
+    * out-of-range variables (when ``num_vars`` is known);
+    * tautologies (``x`` and ``-x`` in one clause — duplicate literals
+      are merely deduplicated);
+    * over the ``export_max_lbd`` cap (a well-behaved peer never sends
+      these, but the filter does not trust peers to be well-behaved);
+    * already seen: dedup by the sorted literal tuple, so the same
+      clause arriving from two peers — or twice from one — is attached
+      at most once per receiving solver.
+    """
+
+    def __init__(self, num_vars: Optional[int],
+                 config: Optional[ShareConfig] = None) -> None:
+        self.num_vars = num_vars
+        self.config = config or ShareConfig()
+        self._seen: set = set()
+        self.admitted = 0
+        self.rejected = 0
+
+    def admit(self, payload: object) -> Optional[Tuple[Tuple[int, ...], int]]:
+        """The cleaned ``(lits, lbd)`` for a raw payload, or None."""
+        cleaned = self._clean(payload)
+        if cleaned is None:
+            self.rejected += 1
+        else:
+            self.admitted += 1
+        return cleaned
+
+    def _clean(self, payload: object) -> Optional[Tuple[Tuple[int, ...], int]]:
+        if not isinstance(payload, tuple) or len(payload) != 3:
+            return None
+        _origin, lits, lbd = payload
+        if type(lbd) is not int or lbd < 1:
+            return None
+        if not isinstance(lits, (tuple, list)) or not lits:
+            return None
+        if len(lits) > self.config.export_max_length:
+            return None
+        signs: Dict[int, int] = {}
+        clean: List[int] = []
+        for lit in lits:
+            if type(lit) is not int or lit == 0:
+                return None
+            var = abs(lit)
+            if self.num_vars is not None and var > self.num_vars:
+                return None
+            prior = signs.get(var)
+            if prior is None:
+                signs[var] = lit
+                clean.append(lit)
+            elif prior != lit:
+                return None  # tautology: x and -x
+        if len(clean) > 1 and lbd > self.config.export_max_lbd:
+            return None
+        key = tuple(sorted(clean))
+        if key in self._seen:
+            return None
+        self._seen.add(key)
+        return tuple(clean), min(lbd, len(clean)) if len(clean) > 1 else 1
+
+
+class ClauseEndpoint:
+    """One member's handle on a :class:`ClauseHub`.
+
+    This is the object that travels into the worker process and lands in
+    ``SolverConfig.clause_channel``; it speaks the solver-side channel
+    protocol — ``export_max_length`` / ``export_max_lbd`` attributes
+    plus ``export(lits, lbd)`` and ``take()``.  The import filter lives
+    here, on the receiving side of the process boundary, so a corrupted
+    payload is rejected before the solver ever sees it.
+    """
+
+    def __init__(self, member: str, outbox, inbox,
+                 num_vars: Optional[int],
+                 config: Optional[ShareConfig] = None) -> None:
+        self.member = member
+        self.config = config or ShareConfig()
+        self._outbox = outbox
+        self._inbox = inbox
+        self._filter = ClauseImportFilter(num_vars, self.config)
+        self._injector = None
+
+    # -- solver-side protocol ------------------------------------------
+
+    @property
+    def export_max_length(self) -> int:
+        return self.config.export_max_length
+
+    @property
+    def export_max_lbd(self) -> int:
+        return self.config.export_max_lbd
+
+    def export(self, lits: Sequence[int], lbd: int) -> bool:
+        """Offer one learned clause to the channel.
+
+        True when the clause was handed to the transport (the solver
+        counts it as exported); False when the outbox was full and the
+        clause dropped — never an error, sharing is best-effort.
+        """
+        payload = (self.member, tuple(lits), lbd)
+        injector = self._injector
+        if injector is not None:
+            if injector.maybe_drop_share():
+                # Lost in transit: the exporter cannot tell.
+                _count("exported")
+                return True
+            corrupted = injector.corrupt_share(payload[1])
+            if corrupted is not None:
+                payload = (self.member, corrupted, lbd)
+        try:
+            self._outbox.put_nowait(payload)
+        except queue.Full:
+            return False
+        _count("exported")
+        return True
+
+    def take(self) -> List[Tuple[Tuple[int, ...], int]]:
+        """Up to ``import_budget`` filtered peer clauses (non-blocking)."""
+        out: List[Tuple[Tuple[int, ...], int]] = []
+        discarded = 0
+        budget = self.config.import_budget
+        while len(out) < budget:
+            try:
+                payload = self._inbox.get_nowait()
+            except queue.Empty:
+                break
+            clause = self._filter.admit(payload)
+            if clause is None:
+                discarded += 1
+            else:
+                out.append(clause)
+        _count("imported", len(out))
+        _count("discarded", discarded)
+        return out
+
+    # -- chaos ---------------------------------------------------------
+
+    def bind_faults(self, faults, label: Optional[str] = None) -> None:
+        """Activate ``drop_share`` / ``corrupt_share`` faults on this
+        endpoint (site ``clause_channel``).  ``faults`` follows the
+        :meth:`repro.reliability.faults.FaultPlan.resolve` convention.
+        """
+        from ..reliability.faults import FaultInjector, FaultPlan
+        plan = FaultPlan.resolve(faults)
+        if plan is None:
+            return
+        plan = plan.narrow(label if label is not None else self.member)
+        if plan.empty:
+            return
+        self._injector = FaultInjector(
+            plan, label=label if label is not None else self.member,
+            sites=("clause_channel",))
+
+
+class ClauseHub:
+    """The parent-side fan-out hub of one cooperative run.
+
+    Members share a single bounded *outbox*; the parent's poll loop
+    calls :meth:`pump` to move clauses from the outbox into every other
+    member's bounded *inbox*.  A full inbox drops the clause for that
+    member only — a stuck member cannot stall its peers.
+    """
+
+    def __init__(self, members: Sequence[str],
+                 num_vars: Optional[int] = None,
+                 config: Optional[ShareConfig] = None,
+                 context=None) -> None:
+        if len(set(members)) != len(members):
+            raise ValueError("clause hub members must be distinct")
+        self.members = tuple(members)
+        self.config = config or ShareConfig()
+        if context is None:
+            import multiprocessing as mp
+            context = mp.get_context(
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn")
+        self._num_vars = num_vars
+        self._outbox = context.Queue(self.config.queue_capacity)
+        self._inboxes = {member: context.Queue(self.config.queue_capacity)
+                         for member in self.members}
+        #: Clauses moved by pump(), for diagnostics and tests.
+        self.pumped = 0
+
+    def endpoint(self, member: str) -> ClauseEndpoint:
+        """The endpoint to hand to ``member``'s worker process."""
+        return ClauseEndpoint(member, self._outbox, self._inboxes[member],
+                              self._num_vars, self.config)
+
+    def pump(self, limit: int = 512) -> int:
+        """Fan up to ``limit`` exported clauses out to peer inboxes."""
+        moved = 0
+        while moved < limit:
+            try:
+                payload = self._outbox.get_nowait()
+            except queue.Empty:
+                break
+            origin = payload[0] if isinstance(payload, tuple) and payload \
+                else None
+            for member, inbox in self._inboxes.items():
+                if member == origin:
+                    continue
+                try:
+                    inbox.put_nowait(payload)
+                except queue.Full:
+                    pass  # that member is behind; drop for it only
+            moved += 1
+        self.pumped += moved
+        return moved
+
+    def close(self) -> None:
+        """Release the transport queues (call after workers have been
+        joined; pending clauses are discarded)."""
+        for q in (self._outbox, *self._inboxes.values()):
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except (AttributeError, OSError):
+                pass
+
+
+class LoopbackChannel:
+    """In-process channel double: deterministic, no multiprocessing.
+
+    Tests (and single-process cube runs) use it to drive the solver's
+    export/import hooks end to end: preload peer clauses with
+    :meth:`feed`, then inspect ``exported`` after the solve.  It runs
+    the same :class:`ClauseImportFilter` as the real endpoint, so filter
+    behaviour is covered by the same path.
+    """
+
+    def __init__(self, num_vars: Optional[int] = None,
+                 config: Optional[ShareConfig] = None) -> None:
+        self.config = config or ShareConfig()
+        self._filter = ClauseImportFilter(num_vars, self.config)
+        self._pending: Deque[Tuple[str, Tuple[int, ...], int]] = deque()
+        #: Every clause the attached solver exported, as (lits, lbd).
+        self.exported: List[Tuple[Tuple[int, ...], int]] = []
+
+    @property
+    def export_max_length(self) -> int:
+        return self.config.export_max_length
+
+    @property
+    def export_max_lbd(self) -> int:
+        return self.config.export_max_lbd
+
+    def feed(self, lits: Iterable[int], lbd: int = 1,
+             origin: str = "peer") -> None:
+        """Queue a peer clause for the next restart-time import."""
+        self._pending.append((origin, tuple(lits), lbd))
+
+    def feed_raw(self, payload: object) -> None:
+        """Queue an arbitrary (possibly malformed) payload."""
+        self._pending.append(payload)  # type: ignore[arg-type]
+
+    def export(self, lits: Sequence[int], lbd: int) -> bool:
+        self.exported.append((tuple(lits), lbd))
+        _count("exported")
+        return True
+
+    def take(self) -> List[Tuple[Tuple[int, ...], int]]:
+        out: List[Tuple[Tuple[int, ...], int]] = []
+        discarded = 0
+        while self._pending and len(out) < self.config.import_budget:
+            clause = self._filter.admit(self._pending.popleft())
+            if clause is None:
+                discarded += 1
+            else:
+                out.append(clause)
+        _count("imported", len(out))
+        _count("discarded", discarded)
+        return out
+
+    @property
+    def rejected(self) -> int:
+        """Payloads the import filter refused (test hook)."""
+        return self._filter.rejected

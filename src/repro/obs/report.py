@@ -80,6 +80,7 @@ def _critical_ids(roots: List[Dict],
 
 _INTERESTING_ATTRS = ("strategy", "encoding", "symmetry", "engine",
                       "status", "label", "instance", "members", "winner",
+                      "shards", "steals", "workers", "cubes", "sharing",
                       "error")
 
 

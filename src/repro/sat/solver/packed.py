@@ -43,6 +43,16 @@ Everything above the two overridden methods — analysis, reduction,
 inprocessing, decisions, the solve loop — is inherited unchanged from
 :class:`~repro.sat.solver.cdcl.CDCLSolver`; typed arrays index and
 slice like lists, which is what makes the sharing work.
+
+Clause sharing (``SolverConfig.clause_channel``) is likewise inherited:
+the export hook reads conflict-time levels through ``self._level`` and
+the restart-time import path goes through *this* class's ``_attach``,
+which wires fresh interleaved watch pairs — imported clauses never
+interact with the stale-blocker subtlety above, because both their
+watches start on unassigned (root-level) literals.  The packed engine
+therefore shares clauses with arena peers over the same channel, and
+``repro.dist`` treats the two engines as interchangeable portfolio
+members.
 """
 
 from __future__ import annotations

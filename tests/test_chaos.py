@@ -446,3 +446,84 @@ class TestQuarantineTracker:
         tracker = QuarantineTracker(QuarantinePolicy(threshold=2))
         assert tracker.record_offence("s", "boom", now=0.0) == 0.0
         assert not tracker.quarantined("s", 0.0)
+
+
+class TestClauseChannelChaos:
+    """Faults at the ``clause_channel`` site: a corrupted or dropped
+    shared clause must never change an answer — sharing is an
+    optimisation, and the import filter is the soundness boundary."""
+
+    def _hard_unsat(self):
+        from repro.qa.generators import conflict_instances
+        return next(iter(conflict_instances(
+            7, 1, num_vertices=48, edge_probability=0.42,
+            clique_size=8))).problem
+
+    def test_corrupt_share_rejected_never_learned_in_process(self):
+        """Deterministic single-solver path: corrupt payloads hit the
+        filter and nothing malformed reaches the clause database."""
+        from repro.core.encodings.registry import get_encoding
+        from repro.core.symmetry.clauses import apply_symmetry
+        from repro.dist.sharing import LoopbackChannel
+        from repro.sat import CDCLSolver
+        from repro.sat.solver.config import preset
+
+        encoded = get_encoding("direct").encode(self._hard_unsat())
+        apply_symmetry(encoded, "s1")
+        config = preset("siege_like")
+        config.restart_base = 2
+        channel = LoopbackChannel(num_vars=encoded.cnf.num_vars)
+        # Exactly what corrupt_share manufactures: a zeroed literal.
+        channel.feed((9, -11), lbd=1)
+        channel.feed_raw(("peer", (9, 0, -11), 1))
+        config.clause_channel = channel
+        solver = CDCLSolver(encoded.cnf, config)
+        result = solver.solve()
+        assert result.status is SolveStatus.UNSAT
+        assert channel.rejected == 1
+        # Only the well-formed clause was ever attached.
+        assert solver.stats["shared_imported"] == 1
+
+    def test_endpoint_corrupt_share_fault_produces_rejected_payload(self):
+        """The injected fault mangles the wire payload; the receiving
+        filter must throw it away."""
+        from repro.dist.sharing import ClauseHub
+
+        hub = ClauseHub(["a", "b"], num_vars=30)
+        sender, receiver = hub.endpoint("a"), hub.endpoint("b")
+        sender.bind_faults(_plan(f"seed={CHAOS_SEED}; corrupt_share"), "a")
+        assert sender.export((3, -7, 12), 2)
+        deadline = time.time() + 2.0
+        while hub.pump() == 0 and time.time() < deadline:
+            pass
+        time.sleep(0.05)
+        assert receiver.take() == []  # corrupted in transit -> rejected
+        assert receiver._filter.rejected == 1
+        hub.close()
+
+    def test_cooperative_portfolio_survives_corrupt_share(self):
+        from repro.dist import run_cooperative
+
+        result = run_cooperative(
+            self._hard_unsat(), Strategy("muldirect", "s1"), members=2,
+            timeout=60,
+            faults=_plan(f"seed={CHAOS_SEED}; corrupt_share"))
+        assert result.status is SolveStatus.UNSAT
+
+    def test_cooperative_portfolio_survives_drop_share(self):
+        from repro.dist import run_cooperative
+
+        result = run_cooperative(
+            self._hard_unsat(), Strategy("muldirect", "s1"), members=2,
+            timeout=60,
+            faults=_plan(f"seed={CHAOS_SEED}; drop_share"))
+        assert result.status is SolveStatus.UNSAT
+
+    def test_cubed_run_survives_clause_channel_faults(self):
+        from repro.dist import run_cubed
+
+        result = run_cubed(
+            self._hard_unsat(), Strategy("muldirect", "s1"),
+            max_workers=2, timeout=120, share=True,
+            faults=_plan(f"seed={CHAOS_SEED}; corrupt_share; drop_share"))
+        assert result.status is SolveStatus.UNSAT

@@ -26,7 +26,7 @@ class TestExports:
         assert len(module.__all__) == len(set(module.__all__))
 
     def test_version(self):
-        assert repro.__version__ == "1.6.0"
+        assert repro.__version__ == "1.8.0"
 
     def test_api_contract_exported_at_top_level(self):
         from repro import SolveRequest, SolveResponse, api
