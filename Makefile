@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-fast check chaos fuzz-smoke fuzz-nightly trace-smoke serve-smoke serve-chaos dist-smoke bench bench-quick bench-smoke bench-scale bench-all examples clean
+.PHONY: install test test-fast check chaos encodings-matrix fuzz-smoke fuzz-nightly trace-smoke serve-smoke serve-chaos dist-smoke bench bench-quick bench-smoke bench-scale bench-all examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -24,18 +24,31 @@ chaos:
 	PYTHONPATH=src REPRO_CHAOS_SEED=1 python -m pytest -x -q \
 		tests/test_chaos.py tests/test_parser_fuzz.py
 
+# Encoding-matrix smoke: the cardinality/partial-order property suites
+# plus the equisatisfiability matrix restricted to the new families
+# (commander / bimander / product AMO, seqdirect, POP, POP-H) — a fast
+# per-push gate on the encoding layer itself.  See docs/encodings.md.
+encodings-matrix:
+	PYTHONPATH=src python -m pytest -q tests/test_cardinality.py \
+		tests/test_partial_order.py
+	PYTHONPATH=src python -m pytest -q tests/test_encodings_equisat.py \
+		-k "cmddirect or bimdirect or proddirect or seqdirect or pop"
+
 # Differential-fuzzing smoke: a 60-second budgeted campaign on the
 # quick matrix — which races the stock arena engine against
-# arena+inprocess (inprocessing + tier reduction), so every new solver
-# flag is differentially fuzzed on each CI push.  Any disagreement
-# between strategies fails the target and leaves a minimized reproducer
-# bundle under fuzz-bundles/.  See docs/testing.md.
+# arena+inprocess (inprocessing + tier reduction) and includes one
+# strategy from each new encoding family (cmddirect, pop, pop-h), so
+# every new solver flag and encoding code path is differentially
+# fuzzed on each CI push.  Any disagreement between strategies fails
+# the target and leaves a minimized reproducer bundle under
+# fuzz-bundles/.  See docs/testing.md.
 fuzz-smoke:
 	PYTHONPATH=src python -m repro fuzz --seeds 3 --matrix quick \
 		--budget-seconds 60 --out fuzz-bundles
 
-# The nightly campaign: full 15x2x2 matrix, rotating seed base (CI
-# passes FUZZ_SEED_BASE from the run number), fixed wall budget.
+# The nightly campaign: the full registry matrix (25 encodings x 2
+# symmetry x 2 engines), rotating seed base (CI passes FUZZ_SEED_BASE
+# from the run number), fixed wall budget.
 FUZZ_SEED_BASE ?= 1
 fuzz-nightly:
 	PYTHONPATH=src python -m repro fuzz --seeds 25 \

@@ -2,14 +2,19 @@
 the worked example: two adjacent CSP variables v, w with domain {0, 1, 2}.
 
 Regenerates the table (and asserts the exact clause sets, so this bench
-doubles as a fidelity check), then times CNF generation per encoding.
+doubles as a fidelity check), then times CNF generation per encoding —
+and extends the inventory to *every* registered encoding (the expanded
+Table 1 of the rerun in ``docs/reproduction_notes.md``), with the new
+families' clause counts asserted against their closed-form sizes.
 """
 
 from __future__ import annotations
 
-from repro.bench import render_simple_table
+from repro.bench import clause_inventory, render_inventory_table, \
+    render_simple_table
 from repro.coloring import ColoringProblem, Graph
 from repro.core import get_encoding
+from repro.core.encodings import REGISTRY_ENCODINGS, amo_sizes
 from .conftest import publish
 
 
@@ -67,6 +72,47 @@ def test_table1_layout(benchmark):
                                         "at-most-one": 0, "conflict": 3,
                                         "excluded-illegal": 0,
                                         "total clauses": 5}
+
+
+def test_table1_expanded_registry(benchmark):
+    """The expanded Table 1: the same worked example (two adjacent
+    vertices, K = 5 so the auxiliary-variable families do not
+    degenerate) across every registered encoding."""
+    problem = ColoringProblem(Graph(2, [(0, 1)]), 5)
+    inventories = {}
+
+    def build():
+        for name in REGISTRY_ENCODINGS:
+            inventories[name] = clause_inventory(
+                get_encoding(name).encode(problem))
+        return inventories
+
+    benchmark.pedantic(build, rounds=3, iterations=1)
+    publish("table1_expanded", render_inventory_table(
+        "Table 1 (expanded) — clause inventory, 2 adjacent vertices, "
+        "5 colors", inventories))
+
+    # The new families against their closed-form sizes (K = 5, so the
+    # ALO clause accounts for 1 of each structural count).
+    for name, kind, group in (("seqdirect", "sequential", None),
+                              ("cmddirect", "commander", 3),
+                              ("bimdirect", "bimander", 2),
+                              ("proddirect", "product", None)):
+        aux, amo_clauses = amo_sizes(kind, 5, group_size=group)
+        assert inventories[name]["aux vars/vertex"] == aux
+        assert inventories[name]["structural/vertex"] == amo_clauses + 1
+    # POP: K-1 thresholds, K-2 ordering clauses, no auxiliaries.
+    assert inventories["pop"]["vars/vertex"] == 4
+    assert inventories["pop"]["aux vars/vertex"] == 0
+    assert inventories["pop"]["structural/vertex"] == 3
+    # POP-H: K selectors + K-1 threshold auxiliaries, 4K-4 clauses.
+    assert inventories["pop-h"]["vars/vertex"] == 9
+    assert inventories["pop-h"]["aux vars/vertex"] == 4
+    assert inventories["pop-h"]["structural/vertex"] == 16
+    # Every encoding spends one conflict clause per edge per common
+    # color on this single-edge example.
+    for name in REGISTRY_ENCODINGS:
+        assert inventories[name]["conflict clauses"] == 5
 
 
 def test_table1_exact_clauses(benchmark):

@@ -22,7 +22,9 @@ from repro.core import Strategy, get_encoding
 from .conftest import publish
 
 #: Table 2's strategy columns: muldirect × {-, b1, s1}; best six new
-#: encodings × {b1, s1}.
+#: encodings × {b1, s1}; plus the expanded rerun's new-family columns
+#: (partial-order POP / POP-H and the commander-AMO direct encoding,
+#: each with s1 — the configuration the modern literature reports).
 TABLE2_STRATEGIES = (
     [Strategy("muldirect", sym) for sym in ("none", "b1", "s1")]
     + [Strategy(encoding, sym)
@@ -30,6 +32,8 @@ TABLE2_STRATEGIES = (
                         "ITE-linear-2+muldirect", "muldirect-3+muldirect",
                         "direct-3+muldirect")
        for sym in ("b1", "s1")]
+    + [Strategy(encoding, "s1")
+       for encoding in ("pop", "pop-h", "cmddirect")]
 )
 
 REFERENCE = "muldirect"  # muldirect without symmetry breaking
@@ -86,7 +90,8 @@ def test_table2_instance_sizes(benchmark, unroutable_instances):
     """CNF sizes per encoding on the Table-2 instances (the structural
     side of the comparison: variables and clauses per strategy)."""
     encodings = ["muldirect", "ITE-linear", "ITE-log",
-                 "ITE-linear-2+muldirect", "muldirect-3+muldirect"]
+                 "ITE-linear-2+muldirect", "muldirect-3+muldirect",
+                 "pop", "pop-h", "cmddirect"]
 
     def measure():
         rows = []
@@ -108,8 +113,13 @@ def test_table2_instance_sizes(benchmark, unroutable_instances):
     publish("table2_sizes", render_simple_table(
         "Table 2 instances — CNF sizes per encoding", header, rows))
 
-    # ITE-log always spends the fewest variables; muldirect the most.
+    # ITE-log always spends the fewest variables; POP undercuts
+    # muldirect by one variable per vertex; POP-H's selector+threshold
+    # layout is the largest block of the matrix.
     for row in rows:
-        sizes = [int(cell.split("/")[0]) for cell in row[4:]]
-        assert sizes[2] == min(sizes)
-        assert sizes[0] == max(sizes)
+        sizes = dict(zip(encodings,
+                         (int(cell.split("/")[0]) for cell in row[4:])))
+        assert sizes["ITE-log"] == min(sizes.values())
+        assert sizes["pop"] < sizes["muldirect"]
+        assert sizes["cmddirect"] > sizes["muldirect"]
+        assert sizes["pop-h"] == max(sizes.values())

@@ -7,8 +7,10 @@ Layer map (each is a subpackage with its own focused API):
 
 * :mod:`repro.sat` — CNF formulas, DIMACS CNF I/O, CDCL/DPLL solvers.
 * :mod:`repro.coloring` — graph-coloring problems, DIMACS ``.col`` I/O.
-* :mod:`repro.core` — the paper's 15 CSP-to-SAT encodings, b1/s1 symmetry
-  breaking, the solving pipeline and strategy portfolios.
+* :mod:`repro.core` — the paper's 15 CSP-to-SAT encodings plus the
+  modern at-most-one and partial-order families (25 registered
+  encodings in all), b1/s1 symmetry breaking, the solving pipeline and
+  strategy portfolios.
 * :mod:`repro.fpga` — island-style FPGA model, global router, the
   routing-to-coloring reduction, and MCNC-like benchmark profiles.
 * :mod:`repro.bench` — strategy sweeps, concurrent batch runs and
@@ -50,9 +52,10 @@ from .api import SolveRequest, SolveResponse
 from .bench import BatchJob, BatchResult, run_batch
 from .coloring import ColoringProblem, Graph
 from .errors import ParseError
-from .core import (ALL_ENCODINGS, BEST_SINGLE_STRATEGY, NEW_ENCODINGS,
-                   PORTFOLIO_2, PORTFOLIO_3, PREVIOUS_ENCODINGS,
-                   PortfolioResult, TABLE2_ENCODINGS, Strategy,
+from .core import (ALL_ENCODINGS, BEST_SINGLE_STRATEGY, MODERN_ENCODINGS,
+                   NEW_ENCODINGS, PORTFOLIO_2, PORTFOLIO_3,
+                   PREVIOUS_ENCODINGS, PortfolioResult, REGISTRY_ENCODINGS,
+                   TABLE2_ENCODINGS, Strategy,
                    encode_coloring, get_encoding, minimum_colors,
                    run_portfolio, solve_coloring)
 from .fpga import (DetailedRoutingResult, FPGAArchitecture, GlobalRouting,
@@ -64,13 +67,15 @@ from .reliability import (AuditReport, AuditVerdict, FaultPlan,
                           audit_result)
 from .sat.solver.cdcl import BudgetExceeded
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "api", "SolveRequest", "SolveResponse",
     "ColoringProblem", "Graph",
-    "ALL_ENCODINGS", "BEST_SINGLE_STRATEGY", "NEW_ENCODINGS", "PORTFOLIO_2",
-    "PORTFOLIO_3", "PREVIOUS_ENCODINGS", "TABLE2_ENCODINGS", "Strategy",
+    "ALL_ENCODINGS", "BEST_SINGLE_STRATEGY", "MODERN_ENCODINGS",
+    "NEW_ENCODINGS", "PORTFOLIO_2",
+    "PORTFOLIO_3", "PREVIOUS_ENCODINGS", "REGISTRY_ENCODINGS",
+    "TABLE2_ENCODINGS", "Strategy",
     "PortfolioResult", "encode_coloring", "get_encoding", "minimum_colors",
     "run_portfolio", "solve_coloring",
     "DetailedRoutingResult", "FPGAArchitecture", "GlobalRouting", "Net",

@@ -5,12 +5,15 @@ from .batch import (BatchJob, BatchJobResult, BatchResult, jobs_for,
 from .runner import (BenchmarkInstance, SweepResult,
                      prepare_routable_instance, prepare_unroutable_instance,
                      sweep)
-from .tables import (format_seconds, format_speedup, render_simple_table,
-                     render_table)
+from .tables import (INVENTORY_FIELDS, clause_inventory, format_seconds,
+                     format_speedup, render_inventory_table,
+                     render_simple_table, render_table)
 
 __all__ = [
     "BatchJob", "BatchJobResult", "BatchResult", "jobs_for", "run_batch",
     "BenchmarkInstance", "SweepResult", "prepare_routable_instance",
     "prepare_unroutable_instance", "sweep",
-    "format_seconds", "format_speedup", "render_simple_table", "render_table",
+    "INVENTORY_FIELDS", "clause_inventory", "format_seconds",
+    "format_speedup", "render_inventory_table", "render_simple_table",
+    "render_table",
 ]

@@ -95,6 +95,49 @@ def render_table(title: str,
     return "\n".join(lines)
 
 
+#: Column order of :func:`clause_inventory` (and the tables built from it).
+INVENTORY_FIELDS = ("vars/vertex", "aux vars/vertex", "structural/vertex",
+                    "conflict clauses", "total vars", "total clauses")
+
+
+def clause_inventory(encoded) -> Dict[str, int]:
+    """Structural breakdown of one :class:`~repro.core.encodings.base.
+    EncodedProblem`, generic across every registered encoding.
+
+    Unlike Table 1's hand classification (which special-cases the three
+    §2 schemes), this derives the split from the encoding artifact
+    itself: variables a vertex's patterns never mention are auxiliaries
+    (sequential/commander/bimander/product AMO variables, POP-H
+    thresholds), per-vertex structural clauses cover at-least-one /
+    at-most-one / ordering / channelling / exclusion alike, and
+    everything else in the CNF is conflict clauses.
+    """
+    vertex = encoded.vertex_encoding
+    pattern_vars = {abs(lit) for pattern in vertex.patterns
+                    for lit in pattern}
+    num_vertices = encoded.problem.num_vertices
+    structural = len(vertex.clauses) * num_vertices
+    return {
+        "vars/vertex": vertex.num_vars,
+        "aux vars/vertex": vertex.num_vars - (max(pattern_vars)
+                                              if pattern_vars else 0),
+        "structural/vertex": len(vertex.clauses),
+        "conflict clauses": encoded.cnf.num_clauses - structural,
+        "total vars": encoded.cnf.num_vars,
+        "total clauses": encoded.cnf.num_clauses,
+    }
+
+
+def render_inventory_table(title: str,
+                           inventories: Mapping[str, Mapping[str, int]]
+                           ) -> str:
+    """One row per encoding from :func:`clause_inventory` outputs."""
+    header = ["Encoding"] + list(INVENTORY_FIELDS)
+    rows = [[name] + [str(inventory[field]) for field in INVENTORY_FIELDS]
+            for name, inventory in inventories.items()]
+    return render_simple_table(title, header, rows)
+
+
 def render_simple_table(title: str, header: Sequence[str],
                         rows: Sequence[Sequence[str]]) -> str:
     """Render a generic left-aligned text table."""

@@ -189,7 +189,8 @@ def _flush_obs() -> None:
 def _add_strategy_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--encoding", default=DEFAULT_ENCODING,
                         help=f"CSP-to-SAT encoding (default "
-                             f"{DEFAULT_ENCODING})")
+                             f"{DEFAULT_ENCODING}; see 'repro encodings' "
+                             f"for the full registry)")
     parser.add_argument("--symmetry", default=DEFAULT_SYMMETRY,
                         choices=["none", "b1", "s1", "c1"],
                         help="symmetry-breaking heuristic (default s1)")
@@ -261,6 +262,24 @@ def cmd_benchmarks(args) -> int:
         spec = benchmark_spec(name, args.scale)
         suite = "table2" if name in ALL_BENCHMARKS[:8] else "extra"
         print(f"{name:12s} {spec.cols}x{spec.rows:<6d} {spec.num_nets:5d}  {suite}")
+    return 0
+
+
+def cmd_encodings(args) -> int:
+    from .core.encodings import (ALL_ENCODINGS, EXTENSION_ENCODINGS,
+                                 MODERN_ENCODINGS, REGISTRY_ENCODINGS)
+    families = [("paper", ALL_ENCODINGS), ("extension", EXTENSION_ENCODINGS),
+                ("modern", MODERN_ENCODINGS)]
+    family_of = {name: family for family, names in families
+                 for name in names}
+    num_colors = args.colors
+    print(f"{'encoding':28s} {'family':10s} {'vars/vtx':>8s} "
+          f"{'struct.clauses':>14s}  (K={num_colors})")
+    for name in REGISTRY_ENCODINGS:
+        vertex = get_encoding(name).vertex_encoding(num_colors)
+        print(f"{name:28s} {family_of[name]:10s} {vertex.num_vars:8d} "
+              f"{len(vertex.clauses):14d}")
+    print(f"{len(REGISTRY_ENCODINGS)} registered encodings")
     return 0
 
 
@@ -690,6 +709,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("benchmarks", help="list benchmark circuit profiles")
     p.add_argument("--scale", type=float, default=1.0)
     p.set_defaults(func=cmd_benchmarks)
+
+    p = sub.add_parser("encodings",
+                       help="list every registered CSP-to-SAT encoding")
+    p.add_argument("--colors", type=int, default=7,
+                   help="domain size K for the per-vertex size columns "
+                        "(default 7)")
+    p.set_defaults(func=cmd_encodings)
 
     p = sub.add_parser("generate", help="emit a placed netlist as JSON")
     p.add_argument("circuit", help="benchmark name")

@@ -2,7 +2,8 @@
 pipeline and portfolios."""
 
 from .encodings import (ALL_ENCODINGS, EncodedProblem, Encoding,
-                        NEW_ENCODINGS, PREVIOUS_ENCODINGS, TABLE2_ENCODINGS,
+                        MODERN_ENCODINGS, NEW_ENCODINGS, PREVIOUS_ENCODINGS,
+                        REGISTRY_ENCODINGS, TABLE2_ENCODINGS,
                         encode_coloring, get_encoding, parse_encoding)
 from .patterns import (Pattern, conflict_clause, negate_pattern,
                        pattern_holds, shift_pattern)
@@ -18,8 +19,9 @@ from .symmetry import (apply_symmetry, b1_sequence, get_heuristic,
                        s1_sequence, symmetry_clauses)
 
 __all__ = [
-    "ALL_ENCODINGS", "EncodedProblem", "Encoding", "NEW_ENCODINGS",
-    "PREVIOUS_ENCODINGS", "TABLE2_ENCODINGS", "encode_coloring",
+    "ALL_ENCODINGS", "EncodedProblem", "Encoding", "MODERN_ENCODINGS",
+    "NEW_ENCODINGS", "PREVIOUS_ENCODINGS", "REGISTRY_ENCODINGS",
+    "TABLE2_ENCODINGS", "encode_coloring",
     "get_encoding", "parse_encoding",
     "Pattern", "conflict_clause", "negate_pattern", "pattern_holds",
     "shift_pattern",

@@ -111,6 +111,33 @@ class VertexEncoding:
     patterns: List[Pattern]
     clauses: List[LocalClause] = field(default_factory=list)
 
+    def validate(self) -> None:
+        """Check the block's internal consistency.
+
+        Every pattern and every structural clause must stay inside the
+        declared ``num_vars`` block and mention no variable twice within
+        a pattern.  Auxiliary-variable schemes (sequential / commander /
+        bimander / product at-most-one, POP-H channelling) are exactly
+        where an off-by-one in allocation would silently alias two
+        constraint groups — an aliased CNF is *still well-formed*, so
+        nothing downstream would catch it.  Raises ``ValueError``.
+        """
+        if len(self.patterns) != self.num_values:
+            raise ValueError(
+                f"{len(self.patterns)} patterns for {self.num_values} "
+                f"values")
+        for pattern in self.patterns:
+            check_pattern(pattern, self.num_vars)
+        for clause in self.clauses:
+            for lit in clause:
+                if lit == 0:
+                    raise ValueError("structural clause contains literal 0")
+                if abs(lit) > self.num_vars:
+                    raise ValueError(
+                        f"structural clause literal {lit} exceeds the "
+                        f"vertex block size {self.num_vars} — the scheme "
+                        f"references a variable it never declared")
+
     def decode_value(self, values: Sequence[bool]) -> Optional[int]:
         """Return the first domain value whose pattern holds under a local
         assignment (``values[i]`` = local variable ``i+1``), or None.

@@ -54,7 +54,12 @@ def build_vertex_encoding(num_values: int, levels: Sequence[Level]) -> VertexEnc
                 f"variable count")
     if levels[-1].num_vars is not None:
         raise ValueError("the final level must not fix a variable count")
-    return _build(num_values, list(levels))
+    encoding = _build(num_values, list(levels))
+    # Every composed block is validated before any CNF is generated from
+    # it: auxiliary-variable schemes (and future ones) cannot leak
+    # literals outside the block or alias pattern variables.
+    encoding.validate()
+    return encoding
 
 
 def _build(num_values: int, levels: List[Level]) -> VertexEncoding:

@@ -1,0 +1,126 @@
+"""Partial-ordering (POP / POP-H) encodings (Jabrayilov & Mutzel).
+
+Instead of one selector per (vertex, color), the partial-order encoding
+spends K-1 *threshold* variables per vertex: local variable i reads
+"color(v) ≥ i".  The ordering axioms ``color ≥ i+1 → color ≥ i`` make
+every assignment denote exactly one color — the unique step position of
+the threshold ladder — so at-least-one / at-most-one constraints are
+free, like the ITE trees, while symmetry breaking and conflicts still
+derive from patterns:
+
+* value c's indexing pattern is ``y_c ∧ ¬y_{c+1}`` (one literal at the
+  domain boundaries), so conflict clauses have ≤ 4 literals regardless
+  of K;
+* a model decodes by locating the step, i.e. ordinary pattern
+  evaluation.
+
+**POP-H** is the hybrid: it adds the K direct selector variables
+``x_c`` channelled to the thresholds (``x_c ↔ y_c ∧ ¬y_{c+1}``) and
+exposes *those* as the patterns, recovering the direct encoding's
+2-literal conflict clauses while the ladder replaces the quadratic
+at-most-one — the configuration Jabrayilov & Mutzel report as the
+strongest on hard coloring instances.
+
+POP composes as an upper hierarchy level too (``pop-2+muldirect``): m
+threshold variables partition the domain into m+1 ordered subdomains,
+exactly like ITE-linear's fan-out but with ladder clauses instead of
+tree structure.  POP-H uses auxiliaries, so like ``seqdirect`` it is
+final-level only.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..patterns import LocalClause, Pattern
+from .base import LevelScheme
+
+
+def _ordering_clauses(num_thresholds: int) -> List[LocalClause]:
+    """y_{i+1} → y_i for the threshold ladder occupying vars 1..n."""
+    return [(-(i + 1), i) for i in range(1, num_thresholds)]
+
+
+class PartialOrderScheme(LevelScheme):
+    """POP: K-1 threshold variables, ordering clauses, step patterns."""
+
+    name = "pop"
+    is_ite = False
+
+    def num_vars(self, n: int) -> int:
+        if n < 1:
+            raise ValueError("domain must have at least one value")
+        return n - 1
+
+    def patterns(self, n: int) -> List[Pattern]:
+        self.num_vars(n)
+        if n == 1:
+            return [()]
+        result: List[Pattern] = [(-1,)]
+        for value in range(1, n - 1):
+            result.append((value, -(value + 1)))
+        result.append((n - 1,))
+        return result
+
+    def structural_clauses(self, n: int) -> List[LocalClause]:
+        return _ordering_clauses(self.num_vars(n))
+
+    def num_subdomains(self, num_level_vars: int) -> int:
+        # m thresholds distinguish m+1 ordered ranges (cf. ITE-linear).
+        return num_level_vars + 1
+
+
+class PartialOrderHybridScheme(LevelScheme):
+    """POP-H: direct selectors channelled to a threshold ladder.
+
+    Layout: value variables ``x_1..x_K`` first (the patterns), threshold
+    auxiliaries ``y_1..y_{K-1}`` after them.  Structural clauses are the
+    ordering axioms plus the channelling ``x_c ↔ y_c ∧ ¬y_{c+1}`` (with
+    ``y_0 ≡ true`` and ``y_K ≡ false``), which force exactly one
+    selector true — no at-least-one or at-most-one clauses needed.
+    """
+
+    name = "pop-h"
+    is_ite = False
+
+    def num_vars(self, n: int) -> int:
+        if n < 1:
+            raise ValueError("domain must have at least one value")
+        return 2 * n - 1
+
+    def patterns(self, n: int) -> List[Pattern]:
+        self.num_vars(n)
+        return [(value + 1,) for value in range(n)]
+
+    def structural_clauses(self, n: int) -> List[LocalClause]:
+        self.num_vars(n)
+        if n == 1:
+            return [(1,)]  # x_1 ↔ true
+
+        def y(i: int) -> int:  # threshold i lives after the n selectors
+            return n + i
+
+        clauses: List[LocalClause] = [(-y(i + 1), y(i))
+                                      for i in range(1, n - 1)]
+        for c in range(1, n + 1):
+            x = c
+            below = c - 1   # y_{c-1}, absent for the first value
+            above = c       # y_c, absent for the last value
+            forward: List[int] = [x]  # y_{c-1} ∧ ¬y_c → x_c
+            if below >= 1:
+                clauses.append((-x, y(below)))
+                forward.append(-y(below))
+            if above <= n - 1:
+                clauses.append((-x, -y(above)))
+                forward.append(y(above))
+            clauses.append(tuple(forward))
+        return clauses
+
+    def num_subdomains(self, num_level_vars: int) -> int:
+        raise NotImplementedError(
+            "pop-h uses auxiliary variables and is only meaningful as a "
+            "final hierarchy level")
+
+
+POP = PartialOrderScheme()
+POP_H = PartialOrderHybridScheme()

@@ -1,12 +1,15 @@
-"""Named encodings: the paper's 2 baselines, the 12 new encodings, and a
-general name grammar for building further hybrids.
+"""Named encodings: the paper's 2 baselines, the 12 new encodings, the
+modern at-most-one and partial-order families, and a general name
+grammar for building further hybrids.
 
 A name is one or more level specifications joined by ``+``; each level is a
 scheme name (``log``, ``direct``, ``muldirect``, ``ITE-linear``,
-``ITE-log``) optionally followed by ``-<i>``, the number of indexing
-Boolean variables that level uses (mandatory for every level but the
-last).  Examples: ``muldirect``, ``ITE-log-2+direct``,
-``ITE-linear-2+muldirect``, ``direct-3+muldirect-2+log``.
+``ITE-log``, ``pop``, ``pop-h``, ``seqdirect``, ``cmddirect``,
+``bimdirect``, ``proddirect``) optionally followed by ``-<i>``, the
+number of indexing Boolean variables that level uses (mandatory for
+every level but the last).  Examples: ``muldirect``,
+``ITE-log-2+direct``, ``ITE-linear-2+muldirect``,
+``direct-3+muldirect-2+log``, ``pop-2+muldirect``.
 """
 
 from __future__ import annotations
@@ -15,18 +18,26 @@ from typing import Dict, List, Sequence
 
 from ...coloring.problem import ColoringProblem
 from .base import EncodedProblem, Level, LevelScheme, VertexEncoding
+from .cardinality import BIMDIRECT, CMDDIRECT, PRODDIRECT
 from .hierarchical import build_vertex_encoding
 from .ite import ITE_LINEAR, ITE_LOG
+from .partial_order import POP, POP_H
 from .simple import DIRECT, LOG, MULDIRECT, SEQDIRECT
 
 #: scheme lookup, longest names first so ``ITE-log-2`` parses as the
-#: ``ITE-log`` scheme with parameter 2, not as ``ITE`` + junk.
+#: ``ITE-log`` scheme with parameter 2, not as ``ITE`` + junk (and
+#: ``pop-h`` before ``pop``).
 _SCHEMES: Dict[str, LevelScheme] = {
     "ite-linear": ITE_LINEAR,
     "ite-log": ITE_LOG,
     "seqdirect": SEQDIRECT,
+    "cmddirect": CMDDIRECT,
+    "bimdirect": BIMDIRECT,
+    "proddirect": PRODDIRECT,
     "muldirect": MULDIRECT,
     "direct": DIRECT,
+    "pop-h": POP_H,
+    "pop": POP,
     "log": LOG,
 }
 
@@ -119,6 +130,37 @@ EXTENSION_ENCODINGS: List[str] = [
     "ITE-log-2+seqdirect",
     "ITE-linear-2+seqdirect",
 ]
+
+#: The modern at-most-one families (Zhou's at-most-k comparison):
+#: direct-style patterns with commander / bimander / product
+#: at-most-one constraints from ``repro.core.encodings.cardinality``.
+MODERN_AMO_ENCODINGS: List[str] = [
+    "cmddirect",
+    "bimdirect",
+    "proddirect",
+]
+
+#: The partial-ordering encodings (Jabrayilov & Mutzel): the pure
+#: threshold-ladder POP, the hybrid POP-H, and POP as an upper
+#: hierarchy level over the paper's machinery.
+PARTIAL_ORDER_ENCODINGS: List[str] = [
+    "pop",
+    "pop-h",
+    "pop-2+muldirect",
+]
+
+#: Everything added for the 2026 rerun of the paper's comparison, plus
+#: one hybrid proving the new schemes compose under §4's hierarchy.
+MODERN_ENCODINGS: List[str] = (
+    MODERN_AMO_ENCODINGS + PARTIAL_ORDER_ENCODINGS
+    + ["ITE-log-2+cmddirect"]
+)
+
+#: The full registry: every first-class encoding the pipeline, strategy
+#: matrix, portfolio, API cache keys and CLI accept by name.
+REGISTRY_ENCODINGS: List[str] = (
+    ALL_ENCODINGS + EXTENSION_ENCODINGS + MODERN_ENCODINGS
+)
 
 #: The encoding columns of Table 2 (muldirect baseline + best 6 new ones).
 TABLE2_ENCODINGS: List[str] = [

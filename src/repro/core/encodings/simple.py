@@ -20,6 +20,7 @@ from typing import List
 
 from ..patterns import LocalClause, Pattern, negate_pattern
 from .base import LevelScheme
+from .cardinality import CardinalityDirectScheme
 
 
 def bits_needed(n: int) -> int:
@@ -111,7 +112,7 @@ class LogScheme(LevelScheme):
                      for bit in range(num_bits))
 
 
-class SeqDirectScheme(LevelScheme):
+class SeqDirectScheme(CardinalityDirectScheme):
     """Direct encoding with a *sequential* (ladder) at-most-one.
 
     An extension beyond the paper: the pairwise at-most-one of the direct
@@ -123,42 +124,15 @@ class SeqDirectScheme(LevelScheme):
     in patterns — so conflicts, symmetry breaking and hierarchy
     composition all work untouched, demonstrating that the pattern
     abstraction accommodates auxiliary-variable schemes.
+
+    Now a thin instantiation of :class:`CardinalityDirectScheme` over the
+    cardinality library's :func:`~.cardinality.amo_sequential` builder —
+    clause-for-clause identical to the original hand-rolled ladder
+    (pinned by ``tests/test_seqdirect.py``).
     """
 
-    name = "seqdirect"
-    is_ite = False
-
-    def num_vars(self, n: int) -> int:
-        if n < 1:
-            raise ValueError("domain must have at least one value")
-        return n if n <= 2 else 2 * n - 1
-
-    def patterns(self, n: int) -> List[Pattern]:
-        self.num_vars(n)
-        return [(value + 1,) for value in range(n)]
-
-    def structural_clauses(self, n: int) -> List[LocalClause]:
-        clauses: List[LocalClause] = [tuple(range(1, n + 1))]
-        if n <= 1:
-            return clauses
-        if n == 2:
-            clauses.append((-1, -2))
-            return clauses
-        # Ladder variables s_1..s_{n-1} are local vars n+1..2n-1.
-        def ladder(i: int) -> int:
-            return n + i
-        clauses.append((-1, ladder(1)))                    # x1 -> s1
-        for i in range(2, n):
-            clauses.append((-i, ladder(i)))                # xi -> si
-            clauses.append((-ladder(i - 1), ladder(i)))    # s(i-1) -> si
-            clauses.append((-i, -ladder(i - 1)))           # xi -> !s(i-1)
-        clauses.append((-n, -ladder(n - 1)))               # xn -> !s(n-1)
-        return clauses
-
-    def num_subdomains(self, num_level_vars: int) -> int:
-        raise NotImplementedError(
-            "seqdirect uses auxiliary variables and is only meaningful as "
-            "a final hierarchy level")
+    def __init__(self) -> None:
+        super().__init__("seqdirect", "sequential")
 
 
 DIRECT = DirectScheme()

@@ -1,8 +1,10 @@
 """Cross-encoding / cross-engine differential solving.
 
-The paper's premise makes every instance its own oracle: all 15
-CSP-to-SAT encodings, every symmetry-breaking variant and both BCP
-engines are equivalent reformulations of the same coloring problem, so
+The paper's premise makes every instance its own oracle: every
+registered CSP-to-SAT encoding (the paper's 15 plus the modern
+at-most-one and partial-order families), every symmetry-breaking
+variant and both BCP engines are equivalent reformulations of the same
+coloring problem, so
 *any* SAT/UNSAT disagreement between two strategies is a bug by
 construction.  This module solves one instance under a configurable
 (encoding × symmetry × engine) matrix and cross-checks:
@@ -30,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..coloring.problem import ColoringProblem
 from ..core.encodings.registry import (ALL_ENCODINGS, EXTENSION_ENCODINGS,
+                                       MODERN_ENCODINGS, REGISTRY_ENCODINGS,
                                        TABLE2_ENCODINGS)
 from ..core.pipeline import ColoringOutcome, solve_coloring
 from ..core.strategy import Strategy
@@ -56,14 +59,17 @@ class StrategyMatrix:
     Parsed from a ``--matrix`` spec: either a preset name (``full``,
     ``quick``, ``engines``) or ``;``-separated dimensions::
 
-        encodings=all|table2|extensions|<name>,...;
+        encodings=registry|all|table2|extensions|modern|<name>,...;
         symmetry=none,b1,s1,c1;
         engine=arena,legacy,packed,arena+inprocess
 
-    Unspecified dimensions keep the ``full`` defaults.
+    Unspecified dimensions keep the ``full`` defaults.  ``full`` now
+    means the *whole registry* — the paper's 15 plus the seqdirect,
+    modern at-most-one and partial-order families — so every newly
+    registered encoding is differentially checked by default.
     """
 
-    encodings: Tuple[str, ...] = tuple(ALL_ENCODINGS)
+    encodings: Tuple[str, ...] = tuple(REGISTRY_ENCODINGS)
     symmetries: Tuple[str, ...] = ("none", "s1")
     engines: Tuple[str, ...] = ("arena", "legacy")
 
@@ -94,7 +100,11 @@ class StrategyMatrix:
             # The fuzz-smoke matrix: inprocessing on vs off rides along
             # on every quick run, so the flag set added for the
             # conflict-heavy suite is differentially checked for free.
-            return cls(encodings=tuple(TABLE2_ENCODINGS),
+            # One representative of each new family (commander AMO,
+            # POP, POP-H) rides along too — a smoke run must exercise
+            # the auxiliary-variable and threshold-ladder code paths.
+            return cls(encodings=tuple(TABLE2_ENCODINGS)
+                       + ("cmddirect", "pop", "pop-h"),
                        symmetries=("none", "s1"),
                        engines=("arena", "arena+inprocess"))
         if spec == "engines":
@@ -119,10 +129,14 @@ class StrategyMatrix:
                 for name in names:
                     if name == "all":
                         expanded.extend(ALL_ENCODINGS)
+                    elif name == "registry":
+                        expanded.extend(REGISTRY_ENCODINGS)
                     elif name == "table2":
                         expanded.extend(TABLE2_ENCODINGS)
                     elif name == "extensions":
                         expanded.extend(EXTENSION_ENCODINGS)
+                    elif name == "modern":
+                        expanded.extend(MODERN_ENCODINGS)
                     else:
                         expanded.append(name)
                 kwargs["encodings"] = tuple(dict.fromkeys(expanded))

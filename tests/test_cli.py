@@ -12,6 +12,26 @@ class TestBenchmarks:
         assert "alu2" in out and "k2" in out and "table2" in out
 
 
+class TestEncodings:
+    def test_lists_whole_registry(self, capsys):
+        from repro.core.encodings import REGISTRY_ENCODINGS
+        assert main(["encodings"]) == 0
+        out = capsys.readouterr().out
+        for name in REGISTRY_ENCODINGS:
+            assert name in out
+        assert f"{len(REGISTRY_ENCODINGS)} registered encodings" in out
+        assert "modern" in out and "paper" in out
+
+    def test_colors_flag_changes_sizes(self, capsys):
+        assert main(["encodings", "--colors", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "(K=4)" in out
+        # pop spends K-1 threshold variables per vertex.
+        pop_row = next(line for line in out.splitlines()
+                       if line.startswith("pop "))
+        assert pop_row.split()[2] == "3"
+
+
 class TestGenerate:
     def test_to_stdout(self, capsys):
         assert main(["generate", "alu2", "--scale", "0.5"]) == 0

@@ -1,0 +1,118 @@
+"""Unit tests for the POP / POP-H partial-ordering schemes.
+
+The load-bearing property is *structural exactly-one*: like the ITE
+trees, the ordering (and, for POP-H, channelling) clauses make every
+satisfying local assignment denote exactly one domain value, with no
+at-least-one / at-most-one clauses.  Checked by exhaustive enumeration
+of the per-vertex block, plus pinned variable/clause counts and the
+hierarchy composition ``pop-2+muldirect``.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.encodings import (POP, POP_H, get_encoding, parse_encoding)
+from repro.core.patterns import pattern_holds
+
+
+def block_models(scheme, n):
+    """All local assignments satisfying the scheme's structural clauses."""
+    num_vars = scheme.num_vars(n)
+    clauses = scheme.structural_clauses(n)
+    models = []
+    for bits in itertools.product((False, True), repeat=num_vars):
+        ok = all(any(bits[lit - 1] if lit > 0 else not bits[-lit - 1]
+                     for lit in clause)
+                 for clause in clauses)
+        if ok:
+            models.append(bits)
+    return models
+
+
+def decoded_values(scheme, n):
+    """Multiset of values the scheme's models decode to (first match)."""
+    values = []
+    for bits in block_models(scheme, n):
+        held = [value for value, pattern in enumerate(scheme.patterns(n))
+                if pattern_holds(pattern, bits)]
+        assert len(held) == 1, (
+            f"{scheme.name}: model {bits} matches {len(held)} patterns")
+        values.append(held[0])
+    return values
+
+
+@pytest.mark.parametrize("n", range(1, 8))
+class TestPartialOrderScheme:
+    def test_threshold_variable_count(self, n):
+        assert POP.num_vars(n) == n - 1
+        POP.check(n)
+
+    def test_ordering_clauses(self, n):
+        assert POP.structural_clauses(n) == [(-(i + 1), i)
+                                             for i in range(1, n - 1)]
+
+    def test_models_are_exactly_the_ladder_steps(self, n):
+        """Each of the n downward-closed threshold vectors is one model,
+        and each decodes to a distinct value — structural exactly-one."""
+        assert sorted(decoded_values(POP, n)) == list(range(n))
+
+    def test_step_patterns_are_short(self, n):
+        for pattern in POP.patterns(n):
+            assert len(pattern) <= 2
+
+
+@pytest.mark.parametrize("n", range(1, 7))
+class TestPartialOrderHybridScheme:
+    def test_variable_count(self, n):
+        assert POP_H.num_vars(n) == 2 * n - 1
+        POP_H.check(n)
+
+    def test_patterns_are_unit_selectors(self, n):
+        assert POP_H.patterns(n) == [(value + 1,) for value in range(n)]
+
+    def test_clause_count(self, n):
+        expected = 1 if n == 1 else 4 * n - 4
+        assert len(POP_H.structural_clauses(n)) == expected
+
+    def test_channelling_forces_exactly_one_selector(self, n):
+        """Over selectors *and* thresholds the block has exactly n
+        models, one per value, each with a single selector true."""
+        values = decoded_values(POP_H, n)
+        assert sorted(values) == list(range(n))
+        for bits in block_models(POP_H, n):
+            assert sum(bits[:n]) == 1
+
+
+class TestHierarchyComposition:
+    def test_pop_subdomain_fanout(self):
+        # m thresholds distinguish m+1 ordered ranges.
+        assert POP.num_subdomains(2) == 3
+        assert POP.num_subdomains(1) == 2
+
+    def test_pop_upper_level_variable_budget(self):
+        # pop-2 on top of K=7: 3 subdomains of sizes 3,2,2; the top
+        # spends POP.num_vars(3)=2 and the bottom muldirect ⌈7/3⌉=3.
+        encoding = get_encoding("pop-2+muldirect")
+        assert encoding.vars_per_vertex(7) == 5
+
+    def test_pop_h_rejected_as_upper_level(self):
+        encoding = parse_encoding("pop-h-2+direct")
+        with pytest.raises(NotImplementedError):
+            encoding.vertex_encoding(6)
+
+    def test_cardinality_schemes_rejected_as_upper_level(self):
+        for name in ("cmddirect-2+direct", "seqdirect-2+muldirect"):
+            with pytest.raises(NotImplementedError):
+                parse_encoding(name).vertex_encoding(6)
+
+
+class TestNameParsing:
+    def test_pop_h_parses_before_pop(self):
+        assert parse_encoding("pop-h").levels[0].scheme is POP_H
+        assert parse_encoding("pop").levels[0].scheme is POP
+
+    def test_pop_with_count_is_a_pop_level(self):
+        level = parse_encoding("pop-2+muldirect").levels[0]
+        assert level.scheme is POP
+        assert level.num_vars == 2

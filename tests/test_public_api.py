@@ -26,7 +26,7 @@ class TestExports:
         assert len(module.__all__) == len(set(module.__all__))
 
     def test_version(self):
-        assert repro.__version__ == "1.8.0"
+        assert repro.__version__ == "1.9.0"
 
     def test_api_contract_exported_at_top_level(self):
         from repro import SolveRequest, SolveResponse, api
@@ -82,6 +82,14 @@ class TestQuickstartContract:
         assert PREVIOUS_ENCODINGS == ["log", "muldirect"]
         assert len(TABLE2_ENCODINGS) == 7
         assert len(PORTFOLIO_3) == 3
+
+    def test_registry_constant_names(self):
+        from repro import ALL_ENCODINGS, MODERN_ENCODINGS, REGISTRY_ENCODINGS
+        assert len(MODERN_ENCODINGS) == 7
+        assert len(REGISTRY_ENCODINGS) == 25
+        assert set(ALL_ENCODINGS) <= set(REGISTRY_ENCODINGS)
+        assert set(MODERN_ENCODINGS) <= set(REGISTRY_ENCODINGS)
+        assert "pop" in REGISTRY_ENCODINGS and "pop-h" in REGISTRY_ENCODINGS
 
 
 class TestCompatibilityShims:

@@ -20,6 +20,10 @@ from repro.cli import main as cli_main
 from repro.coloring import ColoringProblem, Graph, complete_graph
 from repro.coloring.brute import is_colorable
 from repro.core import Strategy
+from repro.core.encodings import (CardinalityDirectScheme, MODERN_ENCODINGS,
+                                  REGISTRY_ENCODINGS, amo_commander)
+from repro.core.encodings import registry as encoding_registry
+from repro.core.encodings.base import Level
 from repro.core.pipeline import ColoringOutcome
 from repro.qa import (FailureSignature, StrategyMatrix, generate_instances,
                       load_bundle, recheck_failure, run_differential,
@@ -111,6 +115,23 @@ class TestStrategyMatrix:
     def test_engines_preset_races_engines(self):
         assert StrategyMatrix.parse("engines").engines == \
             ("arena", "legacy", "packed", "arena+inprocess")
+
+    def test_full_default_covers_whole_registry(self):
+        assert set(StrategyMatrix().encodings) == set(REGISTRY_ENCODINGS)
+
+    def test_quick_preset_covers_new_families(self):
+        # The fuzz-smoke run must exercise the auxiliary-variable and
+        # threshold-ladder code paths, not just the paper's schemes.
+        encodings = StrategyMatrix.parse("quick").encodings
+        assert {"cmddirect", "pop", "pop-h"} <= set(encodings)
+
+    def test_modern_and_registry_tokens(self):
+        modern = StrategyMatrix.parse(
+            "encodings=modern;symmetry=none;engine=arena")
+        assert modern.encodings == tuple(MODERN_ENCODINGS)
+        full = StrategyMatrix.parse(
+            "encodings=registry;symmetry=none;engine=arena")
+        assert full.encodings == tuple(REGISTRY_ENCODINGS)
 
     def test_custom_spec(self):
         matrix = StrategyMatrix.parse(
@@ -322,6 +343,87 @@ class TestInjectedEncodingBug:
         report = run_fuzz([1], matrix=BUG_MATRIX, metamorphic=False,
                           include_routing=False)
         assert report.ok, report.summary()
+
+
+def _overlapping_groups(lits, group_size):
+    """A wrong commander partition: consecutive groups share a literal."""
+    return [list(lits[i:i + group_size + 1])
+            for i in range(0, len(lits), group_size)]
+
+
+class _BrokenCommanderScheme(CardinalityDirectScheme):
+    """cmddirect with overlapping groups: a boundary literal sits in two
+    groups, so selecting it forces *both* commanders true and trips the
+    commander-level at-most-one — boundary colors become unusable and
+    colorable instances go UNSAT.  The CNF is still well-formed (it
+    passes ``VertexEncoding.validate``), so only differential solving
+    can catch it."""
+
+    def amo_clauses(self, values, alloc):
+        return amo_commander(values, alloc, self.group_size or 2,
+                             groups_fn=_overlapping_groups)
+
+
+class TestBrokenCommanderGrouping:
+    """Satellite acceptance: a deliberately broken commander grouping is
+    caught by the strategy matrix and shrunk to a minimal instance."""
+
+    BROKEN = "broken-cmddirect"
+
+    @pytest.fixture()
+    def broken_registry(self):
+        scheme = _BrokenCommanderScheme(self.BROKEN, "commander",
+                                        group_size=2)
+        encoding_registry._CACHE[self.BROKEN] = encoding_registry.Encoding(
+            self.BROKEN, [Level(scheme, None)])
+        yield
+        encoding_registry._CACHE.pop(self.BROKEN, None)
+
+    @pytest.fixture()
+    def matrix(self, broken_registry):
+        return StrategyMatrix(encodings=("direct", self.BROKEN),
+                              symmetries=("none",), engines=("arena",))
+
+    def test_overconstrained_color_goes_unsat(self, broken_registry):
+        """The bug mechanism itself: a triangle is 3-colorable, but the
+        overlapping grouping makes the boundary color unusable."""
+        from repro.core.pipeline import solve_coloring
+        outcome = solve_coloring(ColoringProblem(complete_graph(3), 3),
+                                 Strategy(self.BROKEN, "none"))
+        assert outcome.status is SolveStatus.UNSAT
+
+    def test_caught_by_differential_matrix(self, matrix):
+        problem = ColoringProblem(complete_graph(3), 3)
+        result = run_differential(problem, matrix.strategies())
+        assert not result.ok
+        kinds = {failure.kind for failure in result.failures}
+        assert "status-disagreement" in kinds
+        assert "oracle-mismatch" in kinds
+        for failure in result.failures:
+            assert any(self.BROKEN in label for label in failure.labels)
+
+    def test_shrunk_to_a_triangle(self, matrix):
+        """From a 7-vertex instance the shrinker must reduce the
+        disagreement to its 3-vertex core and keep it reproducible."""
+        graph = Graph(7, [(0, 1), (1, 2), (0, 2),  # the essential K3
+                          (2, 3), (3, 4), (4, 5), (5, 6)])
+        problem = ColoringProblem(graph, 3)
+        strategies = matrix.strategies()
+        result = run_differential(problem, strategies)
+        assert not result.ok
+        signature = next(f for f in result.failures
+                         if f.kind == "status-disagreement")
+        shrunk, narrowed = shrink_failure(problem, strategies, signature)
+        assert shrunk.num_vertices == 3
+        assert recheck_failure(shrunk.problem, strategies, narrowed)
+
+    def test_sound_commander_stays_clean(self):
+        """Control: the real cmddirect passes the same differential."""
+        matrix = StrategyMatrix(encodings=("direct", "cmddirect"),
+                                symmetries=("none",), engines=("arena",))
+        problem = ColoringProblem(complete_graph(3), 3)
+        result = run_differential(problem, matrix.strategies())
+        assert result.ok, result.summary()
 
 
 class TestShrinkFailure:

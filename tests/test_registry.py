@@ -2,9 +2,12 @@
 
 import pytest
 
-from repro.core.encodings import (ALL_ENCODINGS, NEW_ENCODINGS,
-                                  PREVIOUS_ENCODINGS, TABLE2_ENCODINGS,
-                                  get_encoding, parse_encoding)
+from repro.core.encodings import (ALL_ENCODINGS, EXTENSION_ENCODINGS,
+                                  MODERN_AMO_ENCODINGS, MODERN_ENCODINGS,
+                                  NEW_ENCODINGS, PARTIAL_ORDER_ENCODINGS,
+                                  PREVIOUS_ENCODINGS, REGISTRY_ENCODINGS,
+                                  TABLE2_ENCODINGS, get_encoding,
+                                  parse_encoding)
 
 
 class TestNameParsing:
@@ -55,6 +58,19 @@ class TestNameParsing:
         with pytest.raises(ValueError):
             parse_encoding("direct-0+muldirect")
 
+    def test_pop_h_not_confused_with_pop_param(self):
+        # "pop-h" is a scheme name; "pop-2" is pop with 2 threshold vars.
+        assert parse_encoding("pop-h").levels[0].scheme.name == "pop-h"
+        level = parse_encoding("pop-2+muldirect").levels[0]
+        assert level.scheme.name == "pop"
+        assert level.num_vars == 2
+
+    def test_cardinality_scheme_names(self):
+        for name in ("seqdirect", "cmddirect", "bimdirect", "proddirect"):
+            encoding = parse_encoding(name)
+            assert not encoding.is_hierarchical
+            assert encoding.levels[0].scheme.name == name
+
 
 class TestRegistry:
     def test_paper_inventory(self):
@@ -69,6 +85,21 @@ class TestRegistry:
             encoding = get_encoding(name)
             assert encoding.name == name
 
+    def test_registry_inventory(self):
+        assert len(MODERN_AMO_ENCODINGS) == 3
+        assert len(PARTIAL_ORDER_ENCODINGS) == 3
+        assert len(MODERN_ENCODINGS) == 7
+        assert len(REGISTRY_ENCODINGS) == (len(ALL_ENCODINGS)
+                                           + len(EXTENSION_ENCODINGS)
+                                           + len(MODERN_ENCODINGS))
+        assert len(set(REGISTRY_ENCODINGS)) == len(REGISTRY_ENCODINGS)
+
+    def test_every_registry_encoding_parses(self):
+        for name in REGISTRY_ENCODINGS:
+            encoding = get_encoding(name)
+            assert encoding.name == name
+            assert encoding.vars_per_vertex(5) >= 1
+
     def test_cache_returns_same_object(self):
         assert get_encoding("log") is get_encoding("log")
 
@@ -81,6 +112,20 @@ class TestRegistry:
         assert get_encoding("muldirect-3+muldirect").vars_per_vertex(7) == 6
         # ITE-linear-2 -> 3 subdomains of (3,2,2): 2 + 3 bottom vars
         assert get_encoding("ITE-linear-2+direct").vars_per_vertex(7) == 5
+
+    def test_vars_per_vertex_new_families(self):
+        # pop: K-1 thresholds; pop-h: K selectors + K-1 thresholds.
+        assert get_encoding("pop").vars_per_vertex(7) == 6
+        assert get_encoding("pop-h").vars_per_vertex(7) == 13
+        # pop-2 -> 3 ordered subdomains of (3,2,2): 2 + 3 bottom vars.
+        assert get_encoding("pop-2+muldirect").vars_per_vertex(7) == 5
+        # 7 values + aux: commander ⌈7/3⌉=3 groups -> 3 commanders
+        # (recursion stops at 3 = group size), bimander 2 index bits,
+        # product 3+3 grid selectors, sequential 6 ladder vars.
+        assert get_encoding("cmddirect").vars_per_vertex(7) == 10
+        assert get_encoding("bimdirect").vars_per_vertex(7) == 9
+        assert get_encoding("proddirect").vars_per_vertex(7) == 13
+        assert get_encoding("seqdirect").vars_per_vertex(7) == 13
 
 
 class TestEncodingSizes:

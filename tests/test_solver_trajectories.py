@@ -86,6 +86,38 @@ def test_routing_trajectories(routing_cnfs, name, engine):
             == FIXTURES["routing"][name][preset_name]
 
 
+@pytest.fixture(scope="module")
+def modern_routing_cnfs():
+    """The same two routing instances under the new-family strategies:
+    the partial-order POP and the commander-AMO direct encoding, both
+    with s1 symmetry breaking (one aux-var family, one threshold
+    family — pinning their trajectories guards the new structural
+    clauses against silent drift)."""
+    from repro.core import get_encoding
+    from repro.core.symmetry import apply_symmetry
+    from repro.fpga import build_routing_csp, load_routing
+
+    routing = load_routing("alu2", scale=0.7)
+    cnfs = {}
+    for encoding in ("pop", "cmddirect"):
+        for width in (8, 7):
+            problem = build_routing_csp(routing, width).problem
+            encoded = get_encoding(encoding).encode(problem)
+            apply_symmetry(encoded, "s1")
+            cnfs[f"alu2-w{width}-{encoding}"] = encoded.cnf
+    return cnfs
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("name", ["alu2-w8-pop", "alu2-w7-pop",
+                                  "alu2-w8-cmddirect", "alu2-w7-cmddirect"])
+def test_modern_encoding_trajectories(modern_routing_cnfs, name, engine):
+    for preset_name in PRESETS:
+        assert _triple(modern_routing_cnfs[name], engine, preset_name) \
+            == FIXTURES["modern"][name][preset_name], \
+            f"{engine}/{preset_name} drifted on {name}"
+
+
 class TestPackedTrajectories:
     """The packed engine keeps MiniSat-style *stale* inline blockers,
     so its search trajectory legitimately differs from arena/legacy —
